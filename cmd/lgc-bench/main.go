@@ -1,0 +1,58 @@
+// Command lgc-bench regenerates the paper's evaluation tables and figures
+// on synthetic stand-in graphs (see DESIGN.md §2 for the experiment index
+// and §3 for the stand-in substitutions).
+//
+// Usage:
+//
+//	lgc-bench -experiment table3
+//	lgc-bench -experiment all -scale small
+//	lgc-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parcluster/internal/bench"
+	"parcluster/internal/gen"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID (or 'all')")
+		scaleStr   = flag.String("scale", "medium", "graph scale: small, medium, large")
+		procs      = flag.Int("procs", 0, "maximum worker count (0 = all cores)")
+		reps       = flag.Int("reps", 3, "timed repetitions per measurement (minimum reported)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "lgc-bench: -experiment is required (try -list)")
+		os.Exit(2)
+	}
+	scale, err := gen.ParseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgc-bench:", err)
+		os.Exit(2)
+	}
+	w := bench.NewWorkspace(bench.Config{
+		Scale: scale,
+		Procs: *procs,
+		Out:   os.Stdout,
+		Reps:  *reps,
+	})
+	start := time.Now()
+	if err := w.Run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "lgc-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal harness time: %v\n", time.Since(start))
+}

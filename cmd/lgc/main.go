@@ -1,0 +1,125 @@
+// Command lgc runs a single local graph clustering query: load or generate
+// a graph, diffuse from a seed vertex with one of the paper's four
+// algorithms, sweep, and print the cluster — the paper's interactive-analyst
+// workflow (§1) as a command line.
+//
+// Usage:
+//
+//	lgc -gen barbell:k=20 -algo prnibble -seed 0
+//	lgc -graph web.adj -algo hkpr -seed 12345 -procs 8
+//	lgc -gen soc-LJ -algo nibble -seed -1        # -1 = largest component
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parcluster"
+	"parcluster/internal/gen"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "graph file (.adj, .bin, or edge list)")
+		genSpec   = flag.String("gen", "", "generator spec, e.g. 'barbell:k=20' or a Table 2 stand-in name")
+		algo      = flag.String("algo", "prnibble", "algorithm: nibble, prnibble, hkpr, randhk, evolving")
+		seed      = flag.Int("seed", -1, "seed vertex (-1 = a vertex in the largest component)")
+		procs     = flag.Int("procs", 0, "worker count (0 = all cores)")
+		seq       = flag.Bool("seq", false, "use the sequential reference implementations")
+		eps       = flag.Float64("eps", 0, "epsilon (0 = paper default for the algorithm)")
+		alpha     = flag.Float64("alpha", 0.01, "PR-Nibble teleportation parameter")
+		tIter     = flag.Int("T", 20, "Nibble iteration cap")
+		hkT       = flag.Float64("t", 10, "heat kernel temperature")
+		hkN       = flag.Int("N", 20, "HK-PR Taylor degree")
+		walks     = flag.Int("walks", 100000, "rand-HK-PR walk count")
+		walkLen   = flag.Int("K", 10, "rand-HK-PR maximum walk length")
+		maxPrint  = flag.Int("print", 20, "print at most this many cluster members")
+	)
+	flag.Parse()
+	if err := run(*graphFile, *genSpec, *algo, *seed, *procs, *seq, *eps, *alpha,
+		*tIter, *hkT, *hkN, *walks, *walkLen, *maxPrint); err != nil {
+		fmt.Fprintln(os.Stderr, "lgc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphFile, genSpec, algo string, seed, procs int, seq bool, eps, alpha float64,
+	tIter int, hkT float64, hkN, walks, walkLen, maxPrint int) error {
+	g, err := loadGraph(graphFile, genSpec, procs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if g.NumVertices() == 0 {
+		return fmt.Errorf("empty graph")
+	}
+	sv := uint32(seed)
+	if seed < 0 {
+		rep, size := g.LargestComponent()
+		sv = rep
+		fmt.Printf("seed: %d (largest component, %d vertices)\n", sv, size)
+	} else if seed >= g.NumVertices() {
+		return fmt.Errorf("seed %d out of range [0,%d)", seed, g.NumVertices())
+	}
+
+	opts := parcluster.ClusterOptions{Method: algo}
+	opts.Nibble = parcluster.NibbleOptions{Epsilon: orDefault(eps, 1e-8), T: tIter, Procs: procs, Sequential: seq}
+	opts.PRNibble = parcluster.PRNibbleOptions{Alpha: alpha, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq}
+	opts.HKPR = parcluster.HKPROptions{T: hkT, N: hkN, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq}
+	opts.RandHKPR = parcluster.RandHKPROptions{T: hkT, K: walkLen, Walks: walks, Procs: procs, Sequential: seq}
+	opts.Sweep = parcluster.SweepOptions{Procs: procs, Sequential: seq}
+
+	start := time.Now()
+	cluster, err := parcluster.FindCluster(g, sv, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm: %s (%s)\n", algo, mode(seq))
+	fmt.Printf("time: %v\n", elapsed)
+	fmt.Printf("stats: %v\n", cluster.Stats)
+	fmt.Printf("cluster: size=%d conductance=%.6g volume=%d cut=%d\n",
+		len(cluster.Members), cluster.Conductance, cluster.Volume, cluster.Cut)
+	show := cluster.Members
+	suffix := ""
+	if len(show) > maxPrint {
+		show = show[:maxPrint]
+		suffix = fmt.Sprintf(" ... (%d more)", len(cluster.Members)-maxPrint)
+	}
+	fmt.Printf("members: %v%s\n", show, suffix)
+	return nil
+}
+
+func loadGraph(graphFile, genSpec string, procs int) (*parcluster.Graph, error) {
+	switch {
+	case graphFile != "" && genSpec != "":
+		return nil, fmt.Errorf("pass -graph or -gen, not both")
+	case graphFile != "":
+		return parcluster.LoadFile(procs, graphFile)
+	case genSpec != "":
+		spec, err := gen.ParseSpec(genSpec)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(procs, spec)
+	default:
+		return nil, fmt.Errorf("pass -graph <file> or -gen <spec> (known recipes: %v)", gen.KnownRecipes())
+	}
+}
+
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func mode(seq bool) string {
+	if seq {
+		return "sequential"
+	}
+	return "parallel"
+}

@@ -1,0 +1,38 @@
+// Package parcluster is a Go implementation of the parallel local graph
+// clustering algorithms of Shun, Roosta-Khorasani, Fountoulakis and Mahoney,
+// "Parallel Local Graph Clustering" (VLDB 2016, arXiv:1604.07515).
+//
+// A local clustering algorithm finds a low-conductance cluster around a seed
+// vertex with work proportional to the size of the cluster found — not the
+// size of the graph. This package provides the paper's four diffusion
+// methods, each in a sequential and a shared-memory parallel version:
+//
+//   - Nibble — truncated lazy random walks (Spielman & Teng)
+//   - PRNibble — approximate personalized PageRank pushes (Andersen, Chung
+//     & Lang), with the paper's optimized update rule
+//   - HKPR — deterministic heat kernel PageRank (Kloster & Gleich)
+//   - RandHKPR — randomized heat kernel PageRank via sampled random walks
+//     (Chung & Simpson)
+//
+// plus the sweep cut rounding procedure (sequential and work-efficient
+// parallel) that converts a diffusion vector into a cluster, and network
+// community profile (NCP) computation.
+//
+// # Quick start
+//
+//	g := parcluster.MustGenerate("caveman", map[string]int{"cliques": 16, "k": 12})
+//	cluster := parcluster.FindCluster(g, 0, parcluster.ClusterOptions{})
+//	fmt.Println(cluster.Members, cluster.Conductance)
+//
+// Every algorithm accepts a worker count (0 = all cores) and has a
+// Sequential switch selecting the paper's reference sequential
+// implementation. All parallel algorithms return clusters with the same
+// quality guarantees as their sequential counterparts.
+//
+// The internal packages implement the substrates the paper builds on: a
+// Ligra-style frontier framework, lock-free concurrent hash tables for
+// sparse vectors, and work-efficient parallel primitives (prefix sums,
+// filter, comparison and integer sorting). See DESIGN.md for the full
+// system inventory and EXPERIMENTS.md for the reproduction of every table
+// and figure in the paper's evaluation.
+package parcluster

@@ -1,0 +1,69 @@
+// NCP: a miniature of the paper's Figure 12 — network community profiles
+// contrasting a graph with real community structure against a mesh with
+// none.
+//
+// The community graph's profile dips sharply at the planted community
+// scale and rises afterwards (the "good clusters are small" shape of
+// Leskovec et al. that the paper reproduces on billion-edge graphs); the
+// 3D-grid's profile stays flat and high, matching the paper's observation
+// that local clustering finds nothing good on meshes.
+//
+// Run: go run ./examples/ncp
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"parcluster"
+)
+
+func main() {
+	profile("community graph (planted communities, 30-300 vertices)",
+		parcluster.MustGenerate("community", map[string]int{
+			"n": 20000, "avgdeg": 12, "degin": 6, "commmin": 30, "commmax": 300, "seed": 5,
+		}))
+	profile("3D grid (mesh, no community structure)",
+		parcluster.MustGenerate("grid3d", map[string]int{"s": 27}))
+}
+
+func profile(name string, g *parcluster.Graph) {
+	fmt.Printf("\n=== %s: n=%d m=%d ===\n", name, g.NumVertices(), g.NumEdges())
+	points := parcluster.ComputeNCP(g, parcluster.NCPOptions{
+		Seeds:    60,
+		Alphas:   []float64{0.1, 0.01},
+		Epsilons: []float64{1e-5, 1e-6},
+		Seed:     7,
+	})
+	env := parcluster.NCPLowerEnvelope(points)
+	fmt.Printf("%8s %12s  %s\n", "size", "conductance", "profile (log scale)")
+	for _, pt := range env {
+		fmt.Printf("%8d %12.5f  %s\n", pt.Size, pt.Conductance, bar(pt.Conductance))
+	}
+	best := parcluster.NCPPoint{Conductance: 2}
+	for _, pt := range points {
+		if pt.Conductance < best.Conductance {
+			best = pt
+		}
+	}
+	fmt.Printf("best cluster: size %d at conductance %.5f\n", best.Size, best.Conductance)
+}
+
+// bar renders conductance on a log axis: full width at phi=1, empty at
+// phi=1e-4.
+func bar(phi float64) string {
+	const width = 50
+	pos := (math.Log10(phi) + 4) / 4 // 1e-4 -> 0, 1 -> 1
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > 1 {
+		pos = 1
+	}
+	n := int(pos * width)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

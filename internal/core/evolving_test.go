@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"parcluster/internal/gen"
+	"parcluster/internal/graph"
+)
+
+func setsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvolvingSetFindsBarbell(t *testing.T) {
+	k := 20
+	g := gen.Barbell(k)
+	want := 1.0 / float64(k*(k-1)+1)
+	res, st := EvolvingSetSeq(g, 0, EvolvingSetOptions{MaxIter: 60, GrowOnly: true, Seed: 3})
+	if len(res.Set) != k {
+		t.Fatalf("set size %d, want %d (phi=%v)", len(res.Set), k, res.Conductance)
+	}
+	if math.Abs(res.Conductance-want) > 1e-12 {
+		t.Fatalf("conductance %v, want %v", res.Conductance, want)
+	}
+	if st.Iterations == 0 || st.EdgesTouched == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestEvolvingSetSeqParIdenticalTrajectories(t *testing.T) {
+	// Q values are exact (integer counts over 2d), so with the same random
+	// stream both implementations must produce the same best set.
+	graphs := map[string]*graph.CSR{
+		"caveman": gen.Caveman(8, 8),
+		"barbell": gen.Barbell(15),
+		"grid":    gen.Grid3D(1, 6),
+	}
+	for name, g := range graphs {
+		for _, grow := range []bool{true, false} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				opts := EvolvingSetOptions{MaxIter: 40, GrowOnly: grow, Seed: seed}
+				rs, ss := EvolvingSetSeq(g, 1, opts)
+				optsP := opts
+				optsP.Procs = 4
+				rp, sp := EvolvingSetPar(g, 1, optsP)
+				if rs.Conductance != rp.Conductance || !setsEqual(rs.Set, rp.Set) {
+					t.Fatalf("%s grow=%v seed=%d: seq (|S|=%d phi=%v) vs par (|S|=%d phi=%v)",
+						name, grow, seed, len(rs.Set), rs.Conductance, len(rp.Set), rp.Conductance)
+				}
+				if ss.Iterations != sp.Iterations {
+					t.Fatalf("%s grow=%v seed=%d: trajectory lengths differ (%d vs %d)",
+						name, grow, seed, ss.Iterations, sp.Iterations)
+				}
+			}
+		}
+	}
+}
+
+func TestEvolvingSetGrowOnlyMonotone(t *testing.T) {
+	// In grow-only mode the best set always contains the seed and the
+	// process never dies.
+	g := gen.Caveman(10, 8)
+	res, _ := EvolvingSetSeq(g, 0, EvolvingSetOptions{MaxIter: 30, GrowOnly: true, Seed: 9})
+	found := false
+	for _, v := range res.Set {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("grow-only best set lost the seed")
+	}
+}
+
+func TestEvolvingSetTargetPhiStopsEarly(t *testing.T) {
+	g := gen.Barbell(20)
+	res, _ := EvolvingSetSeq(g, 0, EvolvingSetOptions{
+		MaxIter: 1000, GrowOnly: true, Seed: 3, TargetPhi: 0.01,
+	})
+	if res.Conductance > 0.01 {
+		t.Fatalf("target not reached: %v", res.Conductance)
+	}
+	if res.Steps >= 1000 {
+		t.Fatal("did not stop early")
+	}
+}
+
+func TestEvolvingSetUnrestrictedVariance(t *testing.T) {
+	// §5: "the behavior of the algorithm [varies] widely as the random
+	// choices in each iteration can lead to very different sets". Verify
+	// the unrestricted process is seed-sensitive on a mesh, where no
+	// dominant cluster pins the trajectory: best-set sizes should differ
+	// across random streams, while every outcome remains a valid set.
+	g := gen.Grid3D(1, 8)
+	distinct := map[int]bool{}
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, _ := EvolvingSetSeq(g, 0, EvolvingSetOptions{MaxIter: 25, Seed: seed})
+		if res.Conductance < 0 || res.Conductance > 1 {
+			t.Fatalf("invalid conductance %v", res.Conductance)
+		}
+		if len(res.Set) == 0 {
+			t.Fatal("process returned empty set")
+		}
+		distinct[len(res.Set)] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("unrestricted process showed little variance across seeds (%d distinct sizes); expected §5's behaviour", len(distinct))
+	}
+}
+
+func TestEvolvingSetIsolatedSeed(t *testing.T) {
+	g := graph.FromEdges(1, 3, []graph.Edge{{U: 0, V: 1}})
+	res, _ := EvolvingSetSeq(g, 2, EvolvingSetOptions{MaxIter: 5, GrowOnly: true, Seed: 1})
+	// The isolated seed has volume 0: conductance is defined as 1 and the
+	// set cannot grow.
+	if res.Conductance != 1 {
+		t.Fatalf("conductance = %v, want 1 for isolated seed", res.Conductance)
+	}
+	resP, _ := EvolvingSetPar(g, 2, EvolvingSetOptions{MaxIter: 5, GrowOnly: true, Seed: 1, Procs: 2})
+	if resP.Conductance != 1 {
+		t.Fatalf("parallel: conductance = %v", resP.Conductance)
+	}
+}
+
+func TestEvolvingSetLocalWork(t *testing.T) {
+	// Work is proportional to the volumes of the evolving sets, not the
+	// graph: on a big graph with a tight planted community and grow-only
+	// thresholds, edges touched stay near |steps| * vol(community).
+	g := gen.Caveman(2000, 8) // 16k vertices
+	res, st := EvolvingSetSeq(g, 0, EvolvingSetOptions{MaxIter: 20, GrowOnly: true, Seed: 2})
+	if res.Conductance > 0.1 {
+		t.Fatalf("conductance %v", res.Conductance)
+	}
+	// The community has volume ~58; even with boundary exploration the
+	// total touched edges must be far below the graph volume (2m = 114k).
+	if st.EdgesTouched > int64(g.TotalVolume())/10 {
+		t.Fatalf("EdgesTouched = %d suggests non-local work (2m = %d)", st.EdgesTouched, g.TotalVolume())
+	}
+}

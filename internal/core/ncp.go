@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"parcluster/internal/graph"
+	"parcluster/internal/parallel"
+	"parcluster/internal/rng"
+)
+
+// ncp.go computes network community profile (NCP) plots (§4, Figure 12; the
+// concept is from Leskovec et al. [29]): the best conductance found for
+// clusters of each size, as a function of size. Following the paper, the
+// profile is collected by running PR-Nibble from many random seed vertices
+// while varying alpha and epsilon; every sweep contributes the conductance
+// of *every* prefix, not only its winning cluster, so one run yields data
+// points at all sizes along its sweep order.
+
+// NCPOptions configures an NCP computation.
+type NCPOptions struct {
+	// Seeds is the number of random seed vertices (the paper uses 10^5 for
+	// Figure 12).
+	Seeds int
+	// Alphas and Epsilons are the PR-Nibble parameter grids; every seed is
+	// run with every (alpha, epsilon) combination. Defaults: {0.1, 0.01,
+	// 0.001} and {1e-5, 1e-6, 1e-7}.
+	Alphas, Epsilons []float64
+	// MaxSize caps the recorded cluster size (0 = n). Sweep prefixes longer
+	// than this still run; they just do not contribute points.
+	MaxSize int
+	// Procs is the worker count for the inner parallel algorithms.
+	Procs int
+	// Seed drives the random choice of seed vertices.
+	Seed uint64
+}
+
+func (o *NCPOptions) defaults() {
+	if o.Seeds <= 0 {
+		o.Seeds = 100
+	}
+	if len(o.Alphas) == 0 {
+		o.Alphas = []float64{0.1, 0.01, 0.001}
+	}
+	if len(o.Epsilons) == 0 {
+		o.Epsilons = []float64{1e-5, 1e-6, 1e-7}
+	}
+}
+
+// NCPPoint is one point of the profile: the best (lowest) conductance seen
+// for any swept cluster of exactly Size vertices.
+type NCPPoint struct {
+	Size        int
+	Conductance float64
+}
+
+// NCP computes the network community profile of g. The returned points are
+// sorted by size and form the raw scatter; LowerEnvelope turns them into
+// the monotone staircase usually plotted.
+func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
+	opts.defaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	maxSize := opts.MaxSize
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	best := make(map[int]float64)
+	r := rng.New(opts.Seed)
+	procs := parallel.ResolveProcs(opts.Procs)
+	for s := 0; s < opts.Seeds; s++ {
+		seed := uint32(r.Intn(n))
+		if g.Degree(seed) == 0 {
+			continue // isolated vertices produce no sweepable mass
+		}
+		for _, alpha := range opts.Alphas {
+			for _, eps := range opts.Epsilons {
+				vec, _ := PRNibblePar(g, seed, alpha, eps, OptimizedRule, procs, 1)
+				if vec.Len() == 0 {
+					continue
+				}
+				res := SweepCutPar(g, vec, procs)
+				for i, phi := range res.PrefixConductance {
+					size := i + 1
+					if size > maxSize {
+						break
+					}
+					if old, ok := best[size]; !ok || phi < old {
+						best[size] = phi
+					}
+				}
+			}
+		}
+	}
+	points := make([]NCPPoint, 0, len(best))
+	for size, phi := range best {
+		points = append(points, NCPPoint{Size: size, Conductance: phi})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Size < points[j].Size })
+	return points
+}
+
+// LowerEnvelope buckets NCP points into log-spaced size bins (ratio ~1.25)
+// and keeps the minimum conductance per bin — the curve the paper plots.
+func LowerEnvelope(points []NCPPoint) []NCPPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	var out []NCPPoint
+	binHi := 1
+	cur := NCPPoint{Size: 0, Conductance: 2}
+	flush := func() {
+		if cur.Size > 0 {
+			out = append(out, cur)
+		}
+	}
+	for _, pt := range points {
+		for pt.Size > binHi {
+			flush()
+			cur = NCPPoint{Size: 0, Conductance: 2}
+			next := binHi * 5 / 4
+			if next == binHi {
+				next++
+			}
+			binHi = next
+		}
+		if pt.Conductance < cur.Conductance {
+			cur = pt
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"parcluster/internal/graph"
+	"parcluster/internal/ligra"
+	"parcluster/internal/parallel"
+	"parcluster/internal/sparse"
+)
+
+// nibble.go implements the Nibble algorithm of Spielman and Teng [44, 45]
+// (§3.2): a lazy random walk from the seed whose small entries are truncated
+// to zero after every step. Following the paper's modification, the
+// algorithm runs for up to T iterations and returns the walk vector rather
+// than performing a sweep per iteration (the caller applies one sweep at the
+// end); it stops early, returning the previous vector, if truncation empties
+// the frontier.
+//
+// Per step, every frontier vertex v (those with p[v] >= eps*d(v)) keeps half
+// its mass and spreads the other half evenly over its d(v) neighbors; mass
+// on sub-threshold vertices is intentionally discarded (that is the
+// truncation). Theorem 2: O(T/eps) work and O(T log(1/eps)) depth.
+
+// NibbleSeq is the sequential Nibble implementation.
+func NibbleSeq(g *graph.CSR, seed uint32, eps float64, T int) (*sparse.Map, Stats) {
+	return NibbleSeqFrom(g, []uint32{seed}, eps, T)
+}
+
+// NibbleSeqFrom is NibbleSeq with a multi-vertex seed set (footnote 5 of
+// the paper): the initial unit of mass is split evenly over the seeds.
+func NibbleSeqFrom(g *graph.CSR, seeds []uint32, eps float64, T int) (*sparse.Map, Stats) {
+	seeds = normalizeSeeds(g, seeds)
+	var st Stats
+	p := sparse.NewMap(len(seeds))
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		p.Set(s, w)
+	}
+	// Figure 3 initializes the frontier to the seed set unconditionally:
+	// the first iteration pushes from the seeds even if their mass is
+	// sub-threshold (the filter then empties the frontier and p_0 is
+	// returned).
+	frontier := append([]uint32(nil), seeds...)
+	for t := 1; t <= T; t++ {
+		next := sparse.NewMap(len(frontier))
+		for _, v := range frontier {
+			pv := p.Get(v)
+			next.Add(v, pv/2)
+			ns := g.Neighbors(v)
+			share := pv / (2 * float64(len(ns)))
+			for _, w := range ns {
+				next.Add(w, share)
+			}
+			st.Pushes++
+			st.EdgesTouched += int64(len(ns))
+		}
+		st.Iterations++
+		frontier = frontier[:0]
+		next.ForEach(func(v uint32, pv float64) {
+			if pv >= eps*float64(g.Degree(v)) {
+				frontier = append(frontier, v)
+			}
+		})
+		if len(frontier) == 0 {
+			return p, st // p_{t-1}, per Figure 3 lines 15–16
+		}
+		p = next
+	}
+	return p, st
+}
+
+// NibblePar is the parallel Nibble implementation of Figure 3: a vertexMap
+// sends half of each frontier vertex's mass to itself, an edgeMap spreads
+// the rest with fetch-and-add, and a filter over the touched vertices forms
+// the next frontier.
+func NibblePar(g *graph.CSR, seed uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
+	return NibbleParFrom(g, []uint32{seed}, eps, T, procs)
+}
+
+// NibbleParFrom is NibblePar with a multi-vertex seed set; larger seed sets
+// grow the frontiers and, as the paper notes, the available parallelism.
+func NibbleParFrom(g *graph.CSR, seeds []uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
+	seeds = normalizeSeeds(g, seeds)
+	procs = parallel.ResolveProcs(procs)
+	var st Stats
+	p := sparse.NewConcurrent(len(seeds))
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		p.Add(s, w)
+	}
+	frontier := ligra.FromIDs(seeds)
+	next := sparse.NewConcurrent(len(seeds) + int(frontier.Volume(procs, g)))
+	var shares []float64
+	for t := 1; t <= T; t++ {
+		vol := frontier.Volume(procs, g)
+		// Every entry of the next vector is a frontier vertex or one of its
+		// neighbors: |frontier| + vol bounds the table, keeping this
+		// iteration's work O(|frontier| + vol) — the locality guarantee.
+		next.Reset(procs, frontier.Size()+int(vol))
+		// The per-neighbor share is computed once per frontier vertex into
+		// a dense array, so the edge map costs one array read per edge
+		// instead of a sparse lookup.
+		shares = growTo(shares, frontier.Size())
+		ligra.VertexMapIndexed(procs, frontier, func(i int, v uint32) {
+			pv := p.Get(v)
+			next.Add(v, pv/2)
+			shares[i] = pv / (2 * float64(g.Degree(v)))
+		})
+		ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
+			return next.Add(d, shares[i])
+		})
+		st.Pushes += int64(frontier.Size())
+		st.EdgesTouched += int64(vol)
+		st.Iterations++
+		touched := ligra.FromIDs(next.Keys(procs))
+		frontier = ligra.VertexFilter(procs, touched, func(v uint32) bool {
+			return next.Get(v) >= eps*float64(g.Degree(v))
+		})
+		if frontier.IsEmpty() {
+			return vecFromConcurrent(p), st
+		}
+		p, next = next, p
+	}
+	return vecFromConcurrent(p), st
+}

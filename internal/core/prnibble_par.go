@@ -1,0 +1,115 @@
+package core
+
+import (
+	"parcluster/internal/graph"
+	"parcluster/internal/ligra"
+	"parcluster/internal/parallel"
+	"parcluster/internal/sparse"
+)
+
+// prnibble_par.go implements the parallel PR-Nibble of §3.3 (Figures 5–6):
+// every iteration pushes from all vertices with r(v) >= eps*d(v)
+// simultaneously, reading residuals as of the start of the iteration
+// (synchronous double buffering — the paper's r/r' pair). Theorem 3: the
+// total work remains O(1/(eps*alpha)) with either update rule, even though
+// the parallel schedule performs somewhat more pushes than the sequential
+// one (Table 1 measures the inflation at <= ~1.6x).
+//
+// Residual updates are accumulated in a fresh per-iteration *delta* table
+// rather than a copy of r: the self-update is expressed as a negative
+// delta, making every update a commutative fetch-and-add, and the merge
+// r += delta touches only the entries written this iteration. This realizes
+// the prose semantics of §3.3 ("r' is set to r at the beginning of an
+// iteration") without copying r, preserving both mass and the per-iteration
+// locality bound. See DESIGN.md §1 note 1.
+
+// PRNibblePar runs parallel PR-Nibble from seed using procs workers.
+// beta in (0, 1] selects the β-fraction variant from the end of §3.3: each
+// iteration processes only the top β-fraction of above-threshold vertices
+// by r(v)/d(v) (beta = 1 processes all of them, the Figure 5/6 algorithm).
+func PRNibblePar(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
+	return PRNibbleParFrom(g, []uint32{seed}, alpha, eps, rule, procs, beta)
+}
+
+// PRNibbleParFrom is PRNibblePar with a multi-vertex seed set; per the
+// paper's footnote 5, larger seed sets increase the frontier sizes at each
+// iteration, and with them the available parallelism.
+func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
+	seeds = normalizeSeeds(g, seeds)
+	procs = parallel.ResolveProcs(procs)
+	if beta <= 0 || beta > 1 {
+		beta = 1
+	}
+	var st Stats
+	pGain, edgeShare, selfKeep := rule.coefficients(alpha)
+	p := sparse.NewConcurrent(16)
+	r := sparse.NewConcurrent(len(seeds))
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		r.Add(s, w)
+	}
+	above := func(v uint32) bool {
+		d := g.Degree(v)
+		return d > 0 && r.Get(v) >= eps*float64(d)
+	}
+	frontier := ligra.VertexFilter(procs, ligra.FromIDs(seeds), above)
+	delta := sparse.NewConcurrent(16)
+	var shares []float64
+	for !frontier.IsEmpty() {
+		if beta < 1 && frontier.Size() > 1 {
+			frontier = topBetaFraction(procs, g, r, frontier, beta)
+		}
+		vol := frontier.Volume(procs, g)
+		delta.Reset(procs, frontier.Size()+int(vol))
+		p.Reserve(frontier.Size())
+		shares = growTo(shares, frontier.Size())
+		ligra.VertexMapIndexed(procs, frontier, func(i int, v uint32) {
+			rv := r.Get(v)
+			p.Add(v, pGain*rv)
+			// Self-update as a commutative delta: r[v] becomes
+			// selfKeep*rv, i.e. changes by (selfKeep-1)*rv.
+			delta.Add(v, (selfKeep-1)*rv)
+			shares[i] = edgeShare * rv / float64(g.Degree(v))
+		})
+		ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
+			return delta.Add(d, shares[i])
+		})
+		st.Pushes += int64(frontier.Size())
+		st.EdgesTouched += int64(vol)
+		st.Iterations++
+		// Merge the deltas into r; only touched entries change, so the next
+		// frontier is a filter over exactly the delta keys.
+		touched := delta.Keys(procs)
+		r.Reserve(len(touched))
+		parallel.For(procs, len(touched), 512, func(i int) {
+			v := touched[i]
+			r.Add(v, delta.Get(v))
+		})
+		frontier = ligra.VertexFilter(procs, ligra.FromIDs(touched), above)
+	}
+	return vecFromConcurrent(p), st
+}
+
+// topBetaFraction returns the ceil(beta*|frontier|) vertices with the
+// largest r(v)/d(v), implementing the β-fraction work/parallelism trade-off
+// of §3.3. Ties break toward the smaller vertex ID so the schedule is
+// deterministic.
+func topBetaFraction(procs int, g *graph.CSR, r *sparse.ConcurrentMap, frontier ligra.VertexSubset, beta float64) ligra.VertexSubset {
+	ids := append([]uint32(nil), frontier.IDs()...)
+	keep := int(beta*float64(len(ids)) + 0.999999)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= len(ids) {
+		return frontier
+	}
+	score := func(v uint32) float64 { return r.Get(v) / float64(g.Degree(v)) }
+	parallel.Sort(procs, ids, func(a, b uint32) bool {
+		sa, sb := score(a), score(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return a < b
+	})
+	return ligra.FromIDs(ids[:keep])
+}

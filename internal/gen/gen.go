@@ -1,0 +1,394 @@
+// Package gen generates the synthetic input graphs for tests, examples, and
+// the benchmark harness.
+//
+// Two generators reproduce the paper's own synthetic inputs exactly as
+// described in §4 ("Input Graphs"): RandLocal ("every vertex has five edges
+// to neighbors chosen with probability proportional to the difference in the
+// neighbor's ID value from the vertex's ID" — i.e. ID-local random edges)
+// and Grid3D (a 3-dimensional grid where "every vertex has six edges, each
+// connecting it to its 2 neighbors in each dimension", which requires torus
+// wrap-around).
+//
+// The remaining generators build structured test graphs (cliques, cycles,
+// barbells, caveman and planted-partition graphs with known ground-truth
+// clusters) and the stand-ins for the paper's proprietary real-world inputs
+// (see standin.go and DESIGN.md §3 for the substitution rationale).
+//
+// All generators are deterministic functions of their seed at every worker
+// count: randomness is drawn from per-vertex (or per-edge) rng.Split
+// streams, never from a shared sequential stream.
+package gen
+
+import (
+	"math"
+
+	"parcluster/internal/graph"
+	"parcluster/internal/parallel"
+	"parcluster/internal/rng"
+)
+
+// Figure1 returns the 8-vertex, 8-edge example graph of the paper's
+// Figure 1 (vertices A..H = 0..7). Its sweep over {A, B, C, D} reproduces
+// the worked example of §3.1 exactly.
+func Figure1() *graph.CSR {
+	return graph.FromEdges(1, 8, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 3, V: 6}, {U: 4, V: 7},
+	})
+}
+
+// RandLocal builds the paper's randLocal input: n vertices, deg edges per
+// vertex to ID-local random neighbors (the paper uses deg = 5). Offsets are
+// drawn log-uniformly in [1, n), so nearby IDs are much likelier neighbors,
+// giving the locality structure the name refers to. Self and duplicate
+// edges are removed by the builder, so the final edge count is slightly
+// below n*deg (the paper reports 49,100,524 unique edges for n = 10^7,
+// deg = 5, i.e. ~98% of the nominal 5*10^7).
+func RandLocal(p, n, deg int, seed uint64) *graph.CSR {
+	if n <= 1 {
+		return graph.FromEdges(p, n, nil)
+	}
+	edges := make([]graph.Edge, n*deg)
+	parallel.For(p, n, 256, func(v int) {
+		r := rng.Split(seed, uint64(v))
+		for j := 0; j < deg; j++ {
+			// Log-uniform offset in [1, n): exp(U * ln n) rounded down.
+			off := int(math.Exp(r.Float64() * math.Log(float64(n))))
+			if off < 1 {
+				off = 1
+			}
+			if off >= n {
+				off = n - 1
+			}
+			if r.Bool() {
+				off = n - off // negative direction, mod n
+			}
+			edges[v*deg+j] = graph.Edge{U: uint32(v), V: uint32((v + off) % n)}
+		}
+	})
+	return graph.FromEdges(p, n, edges)
+}
+
+// Grid3D builds the paper's 3D-grid input: an s*s*s torus where every
+// vertex has exactly six edges (two neighbors in each dimension). The paper
+// uses s = 215 (9,938,375 vertices).
+func Grid3D(p, s int) *graph.CSR {
+	if s < 1 {
+		return graph.FromEdges(p, 0, nil)
+	}
+	if s == 1 {
+		return graph.FromEdges(p, 1, nil)
+	}
+	n := s * s * s
+	// Three +1-direction edges per vertex; wrap-around closes the torus.
+	edges := make([]graph.Edge, 3*n)
+	parallel.For(p, n, 1024, func(v int) {
+		x := v % s
+		y := (v / s) % s
+		z := v / (s * s)
+		xp := (x+1)%s + y*s + z*s*s
+		yp := x + ((y+1)%s)*s + z*s*s
+		zp := x + y*s + ((z+1)%s)*s*s
+		edges[3*v] = graph.Edge{U: uint32(v), V: uint32(xp)}
+		edges[3*v+1] = graph.Edge{U: uint32(v), V: uint32(yp)}
+		edges[3*v+2] = graph.Edge{U: uint32(v), V: uint32(zp)}
+	})
+	return graph.FromEdges(p, n, edges)
+}
+
+// Grid2D builds a w*h grid (no wrap-around), the substrate for the image
+// segmentation example. Vertex (x, y) has ID y*w + x.
+func Grid2D(p, w, h int) *graph.CSR {
+	if w < 1 || h < 1 {
+		return graph.FromEdges(p, 0, nil)
+	}
+	var edges []graph.Edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := uint32(y*w + x)
+			if x+1 < w {
+				edges = append(edges, graph.Edge{U: v, V: v + 1})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{U: v, V: v + uint32(w)})
+			}
+		}
+	}
+	return graph.FromEdges(p, w*h, edges)
+}
+
+// Cycle builds the n-cycle (n >= 3).
+func Cycle(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v), V: uint32((v + 1) % n)})
+	}
+	return graph.FromEdges(1, n, edges)
+}
+
+// Path builds the n-vertex path.
+func Path(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v), V: uint32(v + 1)})
+	}
+	return graph.FromEdges(1, n, edges)
+}
+
+// Clique builds the complete graph K_n.
+func Clique(n int) *graph.CSR {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	return graph.FromEdges(1, n, edges)
+}
+
+// Star builds the star with one hub (vertex 0) and n-1 leaves.
+func Star(n int) *graph.CSR {
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(v)})
+	}
+	return graph.FromEdges(1, n, edges)
+}
+
+// CompleteBipartite builds K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *graph.CSR {
+	var edges []graph.Edge
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(a + v)})
+		}
+	}
+	return graph.FromEdges(1, a+b, edges)
+}
+
+// Barbell builds two k-cliques joined by a single bridge edge: the classic
+// minimum-conductance planted cut. Vertices 0..k-1 form the left clique,
+// k..2k-1 the right; the bridge is (k-1, k).
+func Barbell(k int) *graph.CSR {
+	var edges []graph.Edge
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+			edges = append(edges, graph.Edge{U: uint32(k + u), V: uint32(k + v)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: uint32(k - 1), V: uint32(k)})
+	return graph.FromEdges(1, 2*k, edges)
+}
+
+// Caveman builds a connected caveman graph: cliques of size k arranged in a
+// ring, adjacent cliques joined by one edge. Every clique is a ground-truth
+// cluster of conductance 2/(k(k-1)+2-ish); community i occupies IDs
+// [i*k, (i+1)*k).
+func Caveman(cliques, k int) *graph.CSR {
+	var edges []graph.Edge
+	for c := 0; c < cliques; c++ {
+		base := uint32(c * k)
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				edges = append(edges, graph.Edge{U: base + uint32(u), V: base + uint32(v)})
+			}
+		}
+		// One edge to the next clique closes the ring.
+		next := uint32(((c + 1) % cliques) * k)
+		edges = append(edges, graph.Edge{U: base, V: next + 1})
+	}
+	return graph.FromEdges(1, cliques*k, edges)
+}
+
+// SBM builds a planted-partition (stochastic block model) graph with the
+// given contiguous block sizes. Each vertex draws ~degIn edges to uniform
+// members of its own block and ~degOut edges to uniform members of other
+// blocks (an expected-degree variant of the SBM, chosen because it is
+// embarrassingly parallel; the conductance structure — blocks of
+// conductance ≈ degOut/(degIn+degOut) — is what the tests rely on, and it
+// is identical to the classical SBM's at these average degrees).
+func SBM(p int, blockSizes []int, degIn, degOut int, seed uint64) *graph.CSR {
+	n := 0
+	starts := make([]int, len(blockSizes)+1)
+	for i, s := range blockSizes {
+		starts[i] = n
+		n += s
+	}
+	starts[len(blockSizes)] = n
+	if n == 0 {
+		return graph.FromEdges(p, 0, nil)
+	}
+	block := make([]int, n)
+	for b, s := range blockSizes {
+		for i := 0; i < s; i++ {
+			block[starts[b]+i] = b
+		}
+	}
+	per := degIn + degOut
+	edges := make([]graph.Edge, n*per)
+	parallel.For(p, n, 256, func(v int) {
+		r := rng.Split(seed, uint64(v))
+		b := block[v]
+		lo, hi := starts[b], starts[b+1]
+		for j := 0; j < degIn; j++ {
+			u := lo + r.Intn(hi-lo)
+			edges[v*per+j] = graph.Edge{U: uint32(v), V: uint32(u)}
+		}
+		for j := 0; j < degOut; j++ {
+			// Uniform vertex outside the block, by rejection (skipped when
+			// there is a single block and nothing is outside).
+			u := r.Intn(n)
+			if hi-lo < n {
+				for u >= lo && u < hi {
+					u = r.Intn(n)
+				}
+			}
+			edges[v*per+degIn+j] = graph.Edge{U: uint32(v), V: uint32(u)}
+		}
+	})
+	return graph.FromEdges(p, n, edges)
+}
+
+// WattsStrogatz builds a small-world ring lattice: n vertices each joined to
+// their k nearest neighbors (k even), with each edge's far endpoint rewired
+// to a uniform random vertex with probability beta.
+func WattsStrogatz(p, n, k int, beta float64, seed uint64) *graph.CSR {
+	if k%2 != 0 {
+		k++
+	}
+	half := k / 2
+	edges := make([]graph.Edge, n*half)
+	parallel.For(p, n, 256, func(v int) {
+		r := rng.Split(seed, uint64(v))
+		for j := 1; j <= half; j++ {
+			w := (v + j) % n
+			if r.Float64() < beta {
+				w = r.Intn(n)
+			}
+			edges[v*half+j-1] = graph.Edge{U: uint32(v), V: uint32(w)}
+		}
+	})
+	return graph.FromEdges(p, n, edges)
+}
+
+// ChungLu builds a power-law random graph with expected degrees
+// w_v ∝ (v + v0)^(-1/(gamma-1)) scaled so the average degree is avgDeg,
+// following the Chung-Lu model: both endpoints of each of n*avgDeg/2 edges
+// are sampled proportionally to w. Heavy-tailed degree sequences like the
+// paper's social-network inputs emerge with gamma ≈ 2.3–2.8.
+func ChungLu(p, n int, avgDeg float64, gamma float64, seed uint64) *graph.CSR {
+	if n == 0 {
+		return graph.FromEdges(p, 0, nil)
+	}
+	exp := -1.0 / (gamma - 1.0)
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		cum[v+1] = cum[v] + math.Pow(float64(v+10), exp)
+	}
+	total := cum[n]
+	// Weights are monotone in the rank used for binary search; a seeded
+	// permutation maps ranks to vertex IDs so the hubs are spread uniformly
+	// over the ID space instead of clustering at low IDs (which would
+	// otherwise correlate with the ID-contiguous planted communities of
+	// CommunityGraph).
+	perm := make([]uint32, n)
+	pr := rng.New(seed ^ 0x5bd1e995)
+	pr.Perm(perm)
+	numEdges := int(float64(n) * avgDeg / 2)
+	edges := make([]graph.Edge, numEdges)
+	sample := func(r *rng.RNG) uint32 {
+		x := r.Float64() * total
+		// Binary search for the first cum[rank+1] > x.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return perm[lo]
+	}
+	parallel.For(p, numEdges, 1024, func(i int) {
+		r := rng.Split(seed, uint64(i))
+		edges[i] = graph.Edge{U: sample(&r), V: sample(&r)}
+	})
+	return graph.FromEdges(p, n, edges)
+}
+
+// CommunityGraph overlays a Chung-Lu power-law backbone with planted
+// ID-contiguous communities whose sizes are drawn log-uniformly in
+// [commMin, commMax]. Each vertex draws degIn edges to uniform members of
+// its community; the backbone contributes avgDeg-degIn global edges per
+// vertex on average. This is the stand-in recipe for the paper's social
+// graphs: heavy-tailed degrees plus low-conductance clusters across a range
+// of scales, which is exactly the structure the NCP experiments (Figure 12)
+// measure.
+func CommunityGraph(p, n int, avgDeg float64, degIn, commMin, commMax int, gamma float64, seed uint64) *graph.CSR {
+	if n == 0 {
+		return graph.FromEdges(p, 0, nil)
+	}
+	if commMin < 2 {
+		commMin = 2
+	}
+	if commMax < commMin {
+		commMax = commMin
+	}
+	// Carve [0, n) into communities with log-uniform sizes.
+	r := rng.New(seed)
+	var starts []int
+	pos := 0
+	logMin, logMax := math.Log(float64(commMin)), math.Log(float64(commMax))
+	for pos < n {
+		size := int(math.Exp(logMin + r.Float64()*(logMax-logMin)))
+		if size < commMin {
+			size = commMin
+		}
+		if pos+size > n {
+			size = n - pos
+		}
+		starts = append(starts, pos)
+		pos += size
+	}
+	starts = append(starts, n)
+	commOf := make([]int32, n)
+	for c := 0; c+1 < len(starts); c++ {
+		for v := starts[c]; v < starts[c+1]; v++ {
+			commOf[v] = int32(c)
+		}
+	}
+
+	// Intra-community edges.
+	intra := make([]graph.Edge, n*degIn)
+	parallel.For(p, n, 256, func(v int) {
+		rv := rng.Split(seed+1, uint64(v))
+		c := commOf[v]
+		lo, hi := starts[c], starts[c+1]
+		for j := 0; j < degIn; j++ {
+			u := lo
+			if hi-lo > 1 {
+				u = lo + rv.Intn(hi-lo)
+			}
+			intra[v*degIn+j] = graph.Edge{U: uint32(v), V: uint32(u)}
+		}
+	})
+
+	// Global power-law backbone.
+	globalAvg := avgDeg - float64(degIn)
+	if globalAvg < 1 {
+		globalAvg = 1
+	}
+	backbone := ChungLu(p, n, globalAvg, gamma, seed+2)
+	global := make([]graph.Edge, 0, backbone.NumEdges())
+	for v := 0; v < n; v++ {
+		for _, u := range backbone.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				global = append(global, graph.Edge{U: uint32(v), V: u})
+			}
+		}
+	}
+	return graph.FromEdges(p, n, append(intra, global...))
+}

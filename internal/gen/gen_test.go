@@ -1,0 +1,342 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"parcluster/internal/graph"
+)
+
+func validate(t *testing.T, g *graph.CSR, name string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: invalid graph: %v", name, err)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	g := Figure1()
+	validate(t, g, "figure1")
+	if g.NumVertices() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("n=%d m=%d, want 8, 8", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestRandLocal(t *testing.T) {
+	g := RandLocal(0, 10000, 5, 7)
+	validate(t, g, "randLocal")
+	if g.NumVertices() != 10000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// After dedup, edge count is near n*deg (the paper reports ~98% of
+	// nominal for its scale).
+	m := float64(g.NumEdges())
+	if m < 0.85*50000 || m > 50000 {
+		t.Fatalf("m = %v, want within [42500, 50000]", m)
+	}
+	// Locality: the mean |ID distance| (mod wrap) of edges should be far
+	// below the uniform expectation n/4.
+	var totalDist, count float64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			d := math.Abs(float64(int(w) - v))
+			if d > 5000 {
+				d = 10000 - d
+			}
+			totalDist += d
+			count++
+		}
+	}
+	if mean := totalDist / count; mean > 1200 {
+		t.Fatalf("mean edge distance %v suggests no ID locality", mean)
+	}
+}
+
+func TestRandLocalDeterministic(t *testing.T) {
+	a := RandLocal(1, 2000, 5, 42)
+	b := RandLocal(4, 2000, 5, 42) // different worker count, same graph
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ across p: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(uint32(v)), b.Neighbors(uint32(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(0, 10)
+	validate(t, g, "grid3d")
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Torus: every vertex has exactly six neighbors, as the paper states.
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d != 6 {
+			t.Fatalf("vertex %d degree = %d, want 6", v, d)
+		}
+	}
+	if g.NumEdges() != 3*1000 {
+		t.Fatalf("m = %d, want 3000", g.NumEdges())
+	}
+}
+
+func TestGrid3DSmall(t *testing.T) {
+	// s=2 wraps both directions onto the same neighbor: degree 3 after
+	// dedup, still valid.
+	g := Grid3D(1, 2)
+	validate(t, g, "grid3d-2")
+	if g.NumVertices() != 8 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	g = Grid3D(1, 1)
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Fatal("s=1 should be a single isolated vertex")
+	}
+	g = Grid3D(1, 0)
+	if g.NumVertices() != 0 {
+		t.Fatal("s=0 should be empty")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(1, 4, 3)
+	validate(t, g, "grid2d")
+	if g.NumVertices() != 12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Edges: 3 rows * 3 horizontal + 4 cols * 2 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("m = %d, want 17", g.NumEdges())
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // (1,1)
+		t.Fatalf("interior degree = %d", g.Degree(5))
+	}
+}
+
+func TestBasicShapes(t *testing.T) {
+	cyc := Cycle(10)
+	validate(t, cyc, "cycle")
+	if cyc.NumEdges() != 10 {
+		t.Fatalf("cycle m = %d", cyc.NumEdges())
+	}
+	pth := Path(10)
+	validate(t, pth, "path")
+	if pth.NumEdges() != 9 {
+		t.Fatalf("path m = %d", pth.NumEdges())
+	}
+	clq := Clique(6)
+	validate(t, clq, "clique")
+	if clq.NumEdges() != 15 {
+		t.Fatalf("clique m = %d", clq.NumEdges())
+	}
+	st := Star(7)
+	validate(t, st, "star")
+	if st.NumEdges() != 6 || st.Degree(0) != 6 {
+		t.Fatalf("star m=%d hub=%d", st.NumEdges(), st.Degree(0))
+	}
+	kb := CompleteBipartite(3, 4)
+	validate(t, kb, "bipartite")
+	if kb.NumEdges() != 12 {
+		t.Fatalf("K33 m = %d", kb.NumEdges())
+	}
+}
+
+func TestBarbellPlantedCut(t *testing.T) {
+	g := Barbell(10)
+	validate(t, g, "barbell")
+	if g.NumVertices() != 20 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	left := make([]uint32, 10)
+	for i := range left {
+		left[i] = uint32(i)
+	}
+	// The left clique is the minimum-conductance cut: 1 crossing edge over
+	// volume 10*9+1 = 91.
+	if got, want := g.Conductance(left), 1.0/91.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("barbell conductance = %v, want %v", got, want)
+	}
+}
+
+func TestCavemanStructure(t *testing.T) {
+	g := Caveman(8, 6)
+	validate(t, g, "caveman")
+	if g.NumVertices() != 48 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumComponents() != 1 {
+		t.Fatalf("caveman should be connected, has %d components", g.NumComponents())
+	}
+	// Each clique has low conductance: 2 crossing edges (ring).
+	comm := make([]uint32, 6)
+	for i := range comm {
+		comm[i] = uint32(i)
+	}
+	if phi := g.Conductance(comm); phi > 0.07 {
+		t.Fatalf("caveman community conductance = %v, want small", phi)
+	}
+}
+
+func TestSBMCommunityConductance(t *testing.T) {
+	sizes := []int{500, 500, 500, 500}
+	g := SBM(0, sizes, 8, 2, 3)
+	validate(t, g, "sbm")
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	block := make([]uint32, 500)
+	for i := range block {
+		block[i] = uint32(i)
+	}
+	phi := g.Conductance(block)
+	// With degIn=8, degOut=2 the block conductance should be near
+	// degOut/(degIn+degOut) = 0.2 (dedup shifts it slightly).
+	if phi < 0.1 || phi > 0.35 {
+		t.Fatalf("SBM block conductance = %v, want ~0.2", phi)
+	}
+	// A random vertex subset of the same size has far higher conductance.
+	random := make([]uint32, 500)
+	for i := range random {
+		random[i] = uint32(i * 4)
+	}
+	if g.Conductance(random) < 2*phi {
+		t.Fatalf("planted block is not better than a random set")
+	}
+}
+
+func TestSBMSingleBlock(t *testing.T) {
+	g := SBM(1, []int{300}, 5, 2, 1)
+	validate(t, g, "sbm-single")
+	if g.NumVertices() != 300 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(0, 5000, 6, 0.05, 9)
+	validate(t, g, "ws")
+	if g.NumVertices() != 5000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Average degree ~k.
+	avg := float64(g.TotalVolume()) / float64(g.NumVertices())
+	if avg < 5 || avg > 6.5 {
+		t.Fatalf("avg degree %v, want ~6", avg)
+	}
+}
+
+func TestChungLuHeavyTail(t *testing.T) {
+	g := ChungLu(0, 20000, 10, 2.3, 11)
+	validate(t, g, "chunglu")
+	avg := float64(g.TotalVolume()) / float64(g.NumVertices())
+	if avg < 6 || avg > 14 {
+		t.Fatalf("avg degree %v, want ~10 (sampling + dedup tolerance)", avg)
+	}
+	// Heavy tail: max degree far above average.
+	if maxDeg := float64(g.MaxDegree()); maxDeg < 8*avg {
+		t.Fatalf("max degree %v vs avg %v: no heavy tail", maxDeg, avg)
+	}
+}
+
+func TestCommunityGraphHasGoodLocalClusters(t *testing.T) {
+	g := CommunityGraph(0, 20000, 12, 6, 50, 200, 2.5, 13)
+	validate(t, g, "community")
+	// The first community occupies an ID-contiguous range starting at 0.
+	// Find its extent by walking intra-community structure: just test that
+	// *some* prefix range of size in [50, 200] has conductance well below
+	// the graph average behaviour (0.5+).
+	best := 1.0
+	for size := 50; size <= 200; size += 10 {
+		S := make([]uint32, size)
+		for i := range S {
+			S[i] = uint32(i)
+		}
+		if phi := g.Conductance(S); phi < best {
+			best = phi
+		}
+	}
+	if best > 0.45 {
+		t.Fatalf("no good planted cluster found in prefix ranges: best φ = %v", best)
+	}
+}
+
+func TestStandInsGenerateSmall(t *testing.T) {
+	for _, name := range StandInNames() {
+		g, err := StandIn(0, name, Small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() < 1000 {
+			t.Fatalf("%s: suspiciously small (n=%d)", name, g.NumVertices())
+		}
+		validate(t, g, name)
+	}
+}
+
+func TestStandInUnknown(t *testing.T) {
+	if _, err := StandIn(1, "nope", Medium); err == nil {
+		t.Fatal("unknown stand-in accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": Small, "medium": Medium, "large": Large, "": Medium} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale accepted junk")
+	}
+}
+
+func TestGenerateRecipes(t *testing.T) {
+	cases := []Spec{
+		{Name: "figure1"},
+		{Name: "randlocal", Params: map[string]int{"n": 1000, "deg": 4, "seed": 2}},
+		{Name: "grid3d", Params: map[string]int{"s": 5}},
+		{Name: "grid2d", Params: map[string]int{"w": 8, "h": 8}},
+		{Name: "cycle", Params: map[string]int{"n": 12}},
+		{Name: "path", Params: map[string]int{"n": 12}},
+		{Name: "clique", Params: map[string]int{"n": 8}},
+		{Name: "star", Params: map[string]int{"n": 8}},
+		{Name: "barbell", Params: map[string]int{"k": 8}},
+		{Name: "caveman", Params: map[string]int{"cliques": 4, "k": 5}},
+		{Name: "sbm", Params: map[string]int{"blocks": 3, "size": 100}},
+		{Name: "ws", Params: map[string]int{"n": 500}},
+		{Name: "chunglu", Params: map[string]int{"n": 2000}},
+		{Name: "community", Params: map[string]int{"n": 3000}},
+	}
+	for _, spec := range cases {
+		g, err := Generate(0, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		validate(t, g, spec.Name)
+	}
+	if _, err := Generate(0, Spec{Name: "bogus"}); err == nil {
+		t.Fatal("bogus recipe accepted")
+	}
+}
+
+func TestKnownRecipesSorted(t *testing.T) {
+	names := KnownRecipes()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("recipes not sorted/unique at %d: %v", i, names)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a generator spec of the form "name" or
+// "name:key=value,key=value" with integer values, e.g.
+// "randlocal:n=100000,deg=5,seed=1". It is the textual interface the CLI
+// tools expose for Generate.
+func ParseSpec(s string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, fmt.Errorf("gen: empty generator name in spec %q", s)
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	spec.Params = map[string]int{}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("gen: bad parameter %q in spec %q (want key=value)", kv, s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return Spec{}, fmt.Errorf("gen: parameter %q in spec %q: %w", key, s, err)
+		}
+		spec.Params[strings.TrimSpace(key)] = n
+	}
+	return spec, nil
+}

@@ -1,0 +1,67 @@
+package gen
+
+import "testing"
+
+func TestParseSpecBare(t *testing.T) {
+	spec, err := ParseSpec("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "figure1" || spec.Params != nil {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestParseSpecParams(t *testing.T) {
+	spec, err := ParseSpec("randlocal:n=100000, deg=5 ,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "randlocal" {
+		t.Fatalf("name = %q", spec.Name)
+	}
+	want := map[string]int{"n": 100000, "deg": 5, "seed": 7}
+	for k, v := range want {
+		if spec.Params[k] != v {
+			t.Fatalf("param %s = %d, want %d", k, spec.Params[k], v)
+		}
+	}
+}
+
+func TestParseSpecTrailingComma(t *testing.T) {
+	spec, err := ParseSpec("grid3d:s=10,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Params["s"] != 10 {
+		t.Fatalf("params = %v", spec.Params)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                // empty
+		":n=5",            // missing name
+		"sbm:blocks",      // no '='
+		"sbm:blocks=abc",  // non-integer
+		"sbm:blocks=1e9x", // garbage suffix
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseSpecRoundTripThroughGenerate(t *testing.T) {
+	spec, err := ParseSpec("barbell:k=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 18 {
+		t.Fatalf("n = %d, want 18", g.NumVertices())
+	}
+}

@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parcluster/internal/graph"
+)
+
+// standin.go: the registry mapping the paper's Table 2 inputs to generator
+// recipes. The two synthetic inputs (randLocal, 3D-grid) are generated
+// exactly as the paper describes, scaled by the Scale knob. The eight
+// real-world graphs (SNAP datasets, Twitter, Yahoo web, nlpkkt240) cannot be
+// downloaded in this offline environment, so each is simulated by a recipe
+// that preserves the structural property the evaluation depends on:
+//
+//   - social/community graphs (soc-LJ, com-LJ, com-Orkut, com-friendster,
+//     cit-Patents, Yahoo): heavy-tailed degrees + planted low-conductance
+//     communities across a range of scales (CommunityGraph);
+//   - Twitter: heavy-tailed degrees with only weak community structure
+//     (pure Chung-Lu), matching the paper's NCP finding that its best
+//     clusters are small;
+//   - nlpkkt240: a constrained-optimization mesh, i.e. a well-connected
+//     expander-like graph with no good local clusters — a 3D grid stand-in,
+//     matching the paper's observation that local clustering terminates
+//     quickly and finds nothing good there.
+//
+// See DESIGN.md §3 for the full substitution table.
+
+// Scale selects the size of generated stand-ins. Small is for unit tests
+// and CI; Medium (default) makes every experiment run in seconds; Large
+// approaches the paper's scales where memory allows.
+type Scale int
+
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+// ParseScale converts "small"/"medium"/"large".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium", "":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return Medium, fmt.Errorf("gen: unknown scale %q (want small, medium or large)", s)
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Large:
+		return "large"
+	default:
+		return "medium"
+	}
+}
+
+// factor returns the vertex-count multiplier relative to Medium.
+func (s Scale) factor() float64 {
+	switch s {
+	case Small:
+		return 0.05
+	case Large:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// StandInNames lists the Table 2 inputs in the paper's row order.
+func StandInNames() []string {
+	return []string{
+		"soc-LJ", "cit-Patents", "com-LJ", "com-Orkut", "nlpkkt240",
+		"Twitter", "com-friendster", "Yahoo", "randLocal", "3D-grid",
+	}
+}
+
+// StandIn generates the stand-in for the named Table 2 input at the given
+// scale, using p workers and a fixed seed (the same name and scale always
+// produce the same graph).
+func StandIn(p int, name string, scale Scale) (*graph.CSR, error) {
+	f := scale.factor()
+	sz := func(base int) int {
+		n := int(float64(base) * f)
+		if n < 1000 {
+			n = 1000
+		}
+		return n
+	}
+	switch name {
+	case "soc-LJ":
+		// 4.8M vertices, avg degree ~17.7, strong communities.
+		return CommunityGraph(p, sz(240_000), 17, 6, 8, 2000, 2.5, 0xA1), nil
+	case "cit-Patents":
+		// 6.0M vertices, avg degree ~5.5, sparser, mid-size communities.
+		return CommunityGraph(p, sz(300_000), 6, 3, 20, 4000, 2.8, 0xA2), nil
+	case "com-LJ":
+		// 4.0M vertices, avg degree ~17.1.
+		return CommunityGraph(p, sz(200_000), 17, 6, 8, 2000, 2.5, 0xA3), nil
+	case "com-Orkut":
+		// 3.1M vertices, avg degree ~76: the dense social graph.
+		return CommunityGraph(p, sz(100_000), 60, 20, 30, 3000, 2.4, 0xA4), nil
+	case "nlpkkt240":
+		// 28M vertices, mesh-like, no good local clusters: 3D torus.
+		side := int(float64(65) * cubeRootFactor(f))
+		if side < 12 {
+			side = 12
+		}
+		return Grid3D(p, side), nil
+	case "Twitter":
+		// 41.7M vertices, avg degree ~57.7, heavy tail, weak communities.
+		return ChungLu(p, sz(300_000), 40, 2.3, 0xA6), nil
+	case "com-friendster":
+		// 124.8M vertices, avg degree ~29.
+		return CommunityGraph(p, sz(400_000), 25, 8, 10, 5000, 2.5, 0xA7), nil
+	case "Yahoo":
+		// 1.41B vertices, avg degree ~9.1; the paper's NCP found good
+		// clusters at tens of thousands of vertices, so plant large
+		// communities too.
+		return CommunityGraph(p, sz(500_000), 9, 4, 50, 60000, 2.6, 0xA8), nil
+	case "randLocal":
+		// Exactly the paper's generator; paper n = 10^7, deg = 5.
+		return RandLocal(p, sz(1_000_000), 5, 0xA9), nil
+	case "3D-grid":
+		// Exactly the paper's generator; paper s = 215 (9.94M vertices).
+		side := int(float64(100) * cubeRootFactor(f))
+		if side < 15 {
+			side = 15
+		}
+		return Grid3D(p, side), nil
+	}
+	return nil, fmt.Errorf("gen: unknown stand-in %q (known: %v)", name, StandInNames())
+}
+
+// cubeRootFactor converts a vertex-count factor into a side-length factor
+// for the cubic grids.
+func cubeRootFactor(f float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	return math.Cbrt(f)
+}
+
+// Spec describes a generator invocation for the CLI tools: a name plus
+// key=value parameters, e.g. "randlocal:n=100000,deg=5,seed=1".
+type Spec struct {
+	Name   string
+	Params map[string]int
+}
+
+// Generate builds a graph from a named recipe with integer parameters.
+// Recognized names: figure1, randlocal (n, deg, seed), grid3d (s),
+// grid2d (w, h), cycle (n), path (n), clique (n), star (n), barbell (k),
+// caveman (cliques, k), sbm (blocks, size, degin, degout, seed),
+// ws (n, k, beta100, seed), chunglu (n, avgdeg, gamma100, seed),
+// community (n, avgdeg, degin, commmin, commmax, gamma100, seed),
+// and the Table 2 stand-in names via StandIn.
+func Generate(p int, spec Spec) (*graph.CSR, error) {
+	get := func(key string, def int) int {
+		if v, ok := spec.Params[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch spec.Name {
+	case "figure1":
+		return Figure1(), nil
+	case "randlocal":
+		return RandLocal(p, get("n", 100000), get("deg", 5), uint64(get("seed", 1))), nil
+	case "grid3d":
+		return Grid3D(p, get("s", 32)), nil
+	case "grid2d":
+		return Grid2D(p, get("w", 64), get("h", 64)), nil
+	case "cycle":
+		return Cycle(get("n", 100)), nil
+	case "path":
+		return Path(get("n", 100)), nil
+	case "clique":
+		return Clique(get("n", 16)), nil
+	case "star":
+		return Star(get("n", 16)), nil
+	case "barbell":
+		return Barbell(get("k", 16)), nil
+	case "caveman":
+		return Caveman(get("cliques", 16), get("k", 12)), nil
+	case "sbm":
+		blocks := get("blocks", 10)
+		size := get("size", 200)
+		sizes := make([]int, blocks)
+		for i := range sizes {
+			sizes[i] = size
+		}
+		return SBM(p, sizes, get("degin", 8), get("degout", 2), uint64(get("seed", 1))), nil
+	case "ws":
+		return WattsStrogatz(p, get("n", 10000), get("k", 6),
+			float64(get("beta100", 5))/100, uint64(get("seed", 1))), nil
+	case "chunglu":
+		return ChungLu(p, get("n", 100000), float64(get("avgdeg", 10)),
+			float64(get("gamma100", 250))/100, uint64(get("seed", 1))), nil
+	case "community":
+		return CommunityGraph(p, get("n", 100000), float64(get("avgdeg", 12)),
+			get("degin", 5), get("commmin", 10), get("commmax", 1000),
+			float64(get("gamma100", 250))/100, uint64(get("seed", 1))), nil
+	}
+	// Fall through to the Table 2 stand-ins.
+	scale := Medium
+	if s, ok := spec.Params["scale"]; ok {
+		scale = Scale(s)
+	}
+	return StandIn(p, spec.Name, scale)
+}
+
+// KnownRecipes returns the names Generate accepts, sorted.
+func KnownRecipes() []string {
+	names := []string{
+		"figure1", "randlocal", "grid3d", "grid2d", "cycle", "path",
+		"clique", "star", "barbell", "caveman", "sbm", "ws", "chunglu",
+		"community",
+	}
+	names = append(names, StandInNames()...)
+	sort.Strings(names)
+	return names
+}

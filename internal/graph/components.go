@@ -1,0 +1,88 @@
+package graph
+
+// components.go: connected components via union-find. The paper seeds every
+// Table 3 experiment from "a single arbitrary vertex in the largest
+// component"; LargestComponent provides that vertex.
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []uint32
+	size   []uint32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]uint32, n), size: make([]uint32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = uint32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x uint32) uint32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b uint32) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// LargestComponent returns a representative vertex of the largest connected
+// component and that component's vertex count. For an empty graph it returns
+// (0, 0).
+func (g *CSR) LargestComponent() (rep uint32, size int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0
+	}
+	uf := newUnionFind(n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if w > uint32(v) {
+				uf.union(uint32(v), w)
+			}
+		}
+	}
+	var best uint32
+	var bestSize uint32
+	for v := 0; v < n; v++ {
+		r := uf.find(uint32(v))
+		if uf.size[r] > bestSize {
+			bestSize = uf.size[r]
+			best = r
+		}
+	}
+	return best, int(bestSize)
+}
+
+// NumComponents returns the number of connected components.
+func (g *CSR) NumComponents() int {
+	n := g.NumVertices()
+	uf := newUnionFind(n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if w > uint32(v) {
+				uf.union(uint32(v), w)
+			}
+		}
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		if uf.find(uint32(v)) == uint32(v) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+func TestLargestComponent(t *testing.T) {
+	// Two components: a triangle {0,1,2} and an edge {3,4}, plus isolated 5.
+	g := FromEdges(1, 6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 3, V: 4}})
+	rep, size := g.LargestComponent()
+	if size != 3 {
+		t.Fatalf("largest component size = %d, want 3", size)
+	}
+	if rep > 2 {
+		t.Fatalf("representative %d not in the triangle", rep)
+	}
+	if got := g.NumComponents(); got != 3 {
+		t.Fatalf("NumComponents = %d, want 3", got)
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	g := FromEdges(1, 0, nil)
+	rep, size := g.LargestComponent()
+	if rep != 0 || size != 0 {
+		t.Fatalf("empty graph: rep=%d size=%d", rep, size)
+	}
+	if g.NumComponents() != 0 {
+		t.Fatal("empty graph should have 0 components")
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	g := FromEdges(1, 5, nil)
+	if got := g.NumComponents(); got != 5 {
+		t.Fatalf("NumComponents = %d, want 5", got)
+	}
+	_, size := g.LargestComponent()
+	if size != 1 {
+		t.Fatalf("largest component size = %d, want 1", size)
+	}
+}
+
+func TestComponentsConnected(t *testing.T) {
+	g := figure1(t)
+	rep, size := g.LargestComponent()
+	if size != 8 {
+		t.Fatalf("figure1 is connected: size = %d", size)
+	}
+	if int(rep) >= 8 {
+		t.Fatalf("rep out of range: %d", rep)
+	}
+	if g.NumComponents() != 1 {
+		t.Fatal("figure1 should be one component")
+	}
+}
+
+func TestComponentsLargeRing(t *testing.T) {
+	// Path-halving union-find on a long cycle: exercises deep chains.
+	const n = 100000
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{U: uint32(i), V: uint32((i + 1) % n)}
+	}
+	g := FromEdges(0, n, edges)
+	_, size := g.LargestComponent()
+	if size != n {
+		t.Fatalf("ring size = %d, want %d", size, n)
+	}
+}

@@ -1,0 +1,268 @@
+// Package graph provides the undirected, unweighted graph substrate the
+// paper's algorithms run on (§2 "Graph Notation"): a compressed sparse row
+// (CSR) representation, a parallel builder that symmetrizes and removes self
+// and duplicate edges (the paper's preprocessing), conductance/volume/
+// boundary utilities, and text/binary file formats.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"parcluster/internal/parallel"
+)
+
+// CSR is an immutable undirected graph in compressed sparse row form. Each
+// undirected edge {u, v} is stored twice (in u's and in v's adjacency list),
+// lists are sorted and contain no self loops or duplicates.
+type CSR struct {
+	offsets []uint64 // len n+1; offsets[v]..offsets[v+1] index adj
+	adj     []uint32
+	m       uint64 // number of unique undirected edges; len(adj) == 2m
+}
+
+// NumVertices returns n.
+func (g *CSR) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of unique undirected edges m.
+func (g *CSR) NumEdges() uint64 { return g.m }
+
+// TotalVolume returns 2m, the volume of the whole vertex set.
+func (g *CSR) TotalVolume() uint64 { return 2 * g.m }
+
+// Degree returns d(v), the number of edges incident on v.
+func (g *CSR) Degree(v uint32) uint32 {
+	return uint32(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns v's sorted adjacency list. The slice aliases the graph's
+// storage and must not be modified.
+func (g *CSR) Neighbors(v uint32) []uint32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge, by binary search on the shorter
+// of the two adjacency lists.
+func (g *CSR) HasEdge(u, v uint32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	_, found := slices.BinarySearch(ns, v)
+	return found
+}
+
+// MaxDegree returns the largest degree in the graph (0 for an empty graph).
+func (g *CSR) MaxDegree() uint32 {
+	var maxDeg uint32
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// Edge is one undirected edge for the builder. Orientation is irrelevant.
+type Edge struct {
+	U, V uint32
+}
+
+// FromEdges builds a CSR graph on n vertices from an arbitrary edge list
+// using p workers. Self loops and duplicate edges (in either orientation)
+// are removed and the graph is symmetrized, matching the paper's input
+// preprocessing. If n <= 0 the vertex count is inferred as maxID+1.
+func FromEdges(p, n int, edges []Edge) *CSR {
+	p = parallel.ResolveProcs(p)
+	if n <= 0 {
+		var maxID atomic.Uint32
+		parallel.ForRange(p, len(edges), 0, func(lo, hi int) {
+			local := uint32(0)
+			for _, e := range edges[lo:hi] {
+				if e.U > local {
+					local = e.U
+				}
+				if e.V > local {
+					local = e.V
+				}
+			}
+			for {
+				cur := maxID.Load()
+				if local <= cur || maxID.CompareAndSwap(cur, local) {
+					break
+				}
+			}
+		})
+		if len(edges) == 0 {
+			n = 0
+		} else {
+			n = int(maxID.Load()) + 1
+		}
+	}
+
+	// Pass 1: count both directions of every non-self edge.
+	deg := make([]uint32, n+1)
+	parallel.ForRange(p, len(edges), 0, func(lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			if e.U == e.V {
+				continue
+			}
+			atomic.AddUint32(&deg[e.U], 1)
+			atomic.AddUint32(&deg[e.V], 1)
+		}
+	})
+
+	// Offsets by prefix sum; cursors are fetch-and-add scatter positions.
+	offsets := make([]uint64, n+1)
+	var total uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		total += uint64(deg[v])
+	}
+	offsets[n] = total
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	adj := make([]uint32, total)
+	parallel.ForRange(p, len(edges), 0, func(lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			if e.U == e.V {
+				continue
+			}
+			iu := atomic.AddUint64(&cursor[e.U], 1) - 1
+			adj[iu] = e.V
+			iv := atomic.AddUint64(&cursor[e.V], 1) - 1
+			adj[iv] = e.U
+		}
+	})
+
+	// Pass 2: sort each adjacency list and count unique neighbors.
+	newDeg := make([]uint64, n)
+	parallel.For(p, n, 64, func(v int) {
+		lo, hi := offsets[v], offsets[v+1]
+		ns := adj[lo:hi]
+		slices.Sort(ns)
+		u := uint64(0)
+		for i := range ns {
+			if i == 0 || ns[i] != ns[i-1] {
+				u++
+			}
+		}
+		newDeg[v] = u
+	})
+	newOffsets := make([]uint64, n+1)
+	var m2 uint64
+	for v := 0; v < n; v++ {
+		newOffsets[v] = m2
+		m2 += newDeg[v]
+	}
+	newOffsets[n] = m2
+	newAdj := make([]uint32, m2)
+	parallel.For(p, n, 64, func(v int) {
+		lo, hi := offsets[v], offsets[v+1]
+		ns := adj[lo:hi]
+		o := newOffsets[v]
+		for i := range ns {
+			if i == 0 || ns[i] != ns[i-1] {
+				newAdj[o] = ns[i]
+				o++
+			}
+		}
+	})
+	return &CSR{offsets: newOffsets, adj: newAdj, m: m2 / 2}
+}
+
+// FromAdjacency builds a CSR directly from pre-validated offsets and
+// adjacency storage. The caller asserts the representation invariants
+// (sorted, symmetric, loop- and duplicate-free); Validate can check them.
+func FromAdjacency(offsets []uint64, adj []uint32) *CSR {
+	return &CSR{offsets: offsets, adj: adj, m: uint64(len(adj)) / 2}
+}
+
+// Validate checks the CSR invariants: monotone offsets covering adj,
+// in-range sorted duplicate-free neighbor lists, no self loops, and
+// symmetry (u in N(v) iff v in N(u)). It is O(m log maxdeg).
+func (g *CSR) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) != n+1 {
+		return errors.New("graph: offsets length mismatch")
+	}
+	if g.offsets[0] != 0 || g.offsets[n] != uint64(len(g.adj)) {
+		return errors.New("graph: offsets do not cover adjacency array")
+	}
+	if uint64(len(g.adj)) != 2*g.m {
+		return fmt.Errorf("graph: edge count m=%d inconsistent with len(adj)=%d", g.m, len(g.adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		ns := g.Neighbors(uint32(v))
+		for i, w := range ns {
+			if int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if w == uint32(v) {
+				return fmt.Errorf("graph: self loop at vertex %d", v)
+			}
+			if i > 0 && ns[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted", v)
+			}
+			if !g.HasEdge(w, uint32(v)) {
+				return fmt.Errorf("graph: edge %d->%d not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Volume returns vol(S) = sum of degrees of the vertices in S. Duplicate
+// entries in S are counted twice; callers pass sets.
+func (g *CSR) Volume(S []uint32) uint64 {
+	var vol uint64
+	for _, v := range S {
+		vol += uint64(g.Degree(v))
+	}
+	return vol
+}
+
+// Boundary returns |∂(S)|, the number of edges with exactly one endpoint
+// in S. Work is proportional to vol(S).
+func (g *CSR) Boundary(S []uint32) uint64 {
+	in := make(map[uint32]bool, len(S))
+	for _, v := range S {
+		in[v] = true
+	}
+	var cut uint64
+	for _, v := range S {
+		for _, w := range g.Neighbors(v) {
+			if !in[w] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Conductance returns φ(S) = |∂(S)| / min(vol(S), 2m − vol(S)). Following
+// the convention used throughout the repository, φ is defined as 1 when the
+// denominator is zero (S empty or S = V with no strict complement volume),
+// so that degenerate cuts never win a sweep.
+func (g *CSR) Conductance(S []uint32) float64 {
+	vol := g.Volume(S)
+	return ConductanceFrom(g.TotalVolume(), vol, g.Boundary(S))
+}
+
+// ConductanceFrom computes φ from precomputed quantities: the total graph
+// volume 2m, vol(S), and |∂(S)|.
+func ConductanceFrom(totalVol, vol, cut uint64) float64 {
+	denom := vol
+	if rest := totalVol - vol; rest < denom {
+		denom = rest
+	}
+	if denom == 0 {
+		return 1
+	}
+	return float64(cut) / float64(denom)
+}

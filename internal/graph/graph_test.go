@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// figure1 builds the example graph of the paper's Figure 1: n = 8, m = 8,
+// vertices A..H = 0..7, edges A-B, A-C, B-C, C-D, D-E, D-F, D-G, E-H.
+// This reproduces the degree sequence d(A)=2, d(B)=2, d(C)=3, d(D)=4 used in
+// the §3.1 worked sweep example ("the array of degrees is [2, 2, 3, 4]").
+func figure1(t testing.TB) *CSR {
+	t.Helper()
+	g := FromEdges(1, 8, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {3, 5}, {3, 6}, {4, 7},
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("figure1 graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestFigure1Conductance(t *testing.T) {
+	g := figure1(t)
+	if g.NumVertices() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("n=%d m=%d, want 8, 8", g.NumVertices(), g.NumEdges())
+	}
+	// The exact conductances the paper lists in Figure 1.
+	cases := []struct {
+		S    []uint32
+		want float64
+	}{
+		{[]uint32{0}, 1.0},                // {A}: 2/min(2,14)
+		{[]uint32{0, 1}, 0.5},             // {A,B}: 2/min(4,12)
+		{[]uint32{0, 1, 2}, 1.0 / 7.0},    // {A,B,C}: 1/min(7,9)
+		{[]uint32{0, 1, 2, 3}, 3.0 / 5.0}, // {A,B,C,D}: 3/min(11,5)
+	}
+	for _, c := range cases {
+		if got := g.Conductance(c.S); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("conductance(%v) = %v, want %v", c.S, got, c.want)
+		}
+	}
+	// Degrees used by the §3.1 worked example.
+	wantDeg := []uint32{2, 2, 3, 4}
+	for v, want := range wantDeg {
+		if got := g.Degree(uint32(v)); got != want {
+			t.Errorf("degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g := FromEdges(1, 4, []Edge{
+		{0, 1}, {1, 0}, {0, 1}, // duplicates in both orientations
+		{2, 2}, // self loop
+		{2, 3},
+	})
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 3) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self loop survived")
+	}
+}
+
+func TestFromEdgesEmptyAndIsolated(t *testing.T) {
+	g := FromEdges(1, 0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph mis-built")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit n larger than any endpoint leaves isolated vertices.
+	g = FromEdges(1, 10, []Edge{{0, 1}})
+	if g.NumVertices() != 10 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.Degree(9) != 0 {
+		t.Fatal("vertex 9 should be isolated")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesInfersN(t *testing.T) {
+	g := FromEdges(1, 0, []Edge{{3, 7}})
+	if g.NumVertices() != 8 {
+		t.Fatalf("inferred n = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestFromEdgesParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n = 2000
+	edges := make([]Edge, 20000)
+	for i := range edges {
+		edges[i] = Edge{uint32(r.Intn(n)), uint32(r.Intn(n))}
+	}
+	g1 := FromEdges(1, n, edges)
+	gp := FromEdges(0, n, edges)
+	if g1.NumEdges() != gp.NumEdges() {
+		t.Fatalf("m mismatch: %d vs %d", g1.NumEdges(), gp.NumEdges())
+	}
+	if !reflect.DeepEqual(g1.offsets, gp.offsets) || !reflect.DeepEqual(g1.adj, gp.adj) {
+		t.Fatal("parallel build differs from sequential build")
+	}
+	if err := gp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSumEquals2M(t *testing.T) {
+	g := figure1(t)
+	var sum uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		sum += uint64(g.Degree(uint32(v)))
+	}
+	if sum != g.TotalVolume() {
+		t.Fatalf("degree sum %d != total volume %d", sum, g.TotalVolume())
+	}
+}
+
+func TestConductanceComplementSymmetry(t *testing.T) {
+	// φ(S) == φ(V \ S): both boundary and min(vol, 2m-vol) are symmetric.
+	g := figure1(t)
+	f := func(mask uint8) bool {
+		var S, comp []uint32
+		for v := uint32(0); v < 8; v++ {
+			if mask&(1<<v) != 0 {
+				S = append(S, v)
+			} else {
+				comp = append(comp, v)
+			}
+		}
+		return math.Abs(g.Conductance(S)-g.Conductance(comp)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConductanceDegenerate(t *testing.T) {
+	g := figure1(t)
+	if got := g.Conductance(nil); got != 1 {
+		t.Fatalf("conductance(empty) = %v, want 1", got)
+	}
+	all := make([]uint32, 8)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	if got := g.Conductance(all); got != 1 {
+		t.Fatalf("conductance(V) = %v, want 1", got)
+	}
+}
+
+func TestBoundaryAndVolume(t *testing.T) {
+	g := figure1(t)
+	S := []uint32{0, 1, 2}
+	if vol := g.Volume(S); vol != 7 {
+		t.Fatalf("vol = %d, want 7", vol)
+	}
+	if cut := g.Boundary(S); cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := figure1(t)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("missing edge A-B")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("phantom edge A-D")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := figure1(t)
+	if got := g.MaxDegree(); got != 4 {
+		t.Fatalf("MaxDegree = %d, want 4 (vertex D)", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := figure1(t)
+	// Self loop.
+	bad := &CSR{offsets: []uint64{0, 1, 2}, adj: []uint32{0, 0}, m: 1}
+	if bad.Validate() == nil {
+		t.Error("self loop not caught")
+	}
+	// Asymmetry.
+	bad = &CSR{offsets: []uint64{0, 1, 2, 2}, adj: []uint32{1, 2}, m: 1}
+	if bad.Validate() == nil {
+		t.Error("asymmetry not caught")
+	}
+	// Out-of-range neighbor.
+	bad = &CSR{offsets: []uint64{0, 1, 2}, adj: []uint32{5, 0}, m: 1}
+	if bad.Validate() == nil {
+		t.Error("out-of-range neighbor not caught")
+	}
+	// Unsorted adjacency.
+	bad = &CSR{offsets: []uint64{0, 2, 3, 4}, adj: []uint32{2, 1, 0, 0}, m: 2}
+	if bad.Validate() == nil {
+		t.Error("unsorted adjacency not caught")
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, g *CSR,
+	write func(*bytes.Buffer, *CSR) error,
+	read func(*bytes.Buffer) (*CSR, error)) *CSR {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf, g); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func graphsEqual(a, b *CSR) bool {
+	return a.NumVertices() == b.NumVertices() &&
+		a.NumEdges() == b.NumEdges() &&
+		reflect.DeepEqual(a.offsets, b.offsets) &&
+		reflect.DeepEqual(a.adj, b.adj)
+}
+
+func TestAdjacencyGraphRoundTrip(t *testing.T) {
+	g := figure1(t)
+	got := roundTrip(t, g,
+		func(b *bytes.Buffer, g *CSR) error { return WriteAdjacencyGraph(b, g) },
+		func(b *bytes.Buffer) (*CSR, error) { return ReadAdjacencyGraph(b) })
+	if !graphsEqual(g, got) {
+		t.Fatal("AdjacencyGraph round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := figure1(t)
+	got := roundTrip(t, g,
+		func(b *bytes.Buffer, g *CSR) error { return WriteBinary(b, g) },
+		func(b *bytes.Buffer) (*CSR, error) { return ReadBinary(b) })
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("edge list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# SNAP header\n\n0 1\n  1\t2  \n# trailing\n"
+	g, err := ReadEdgeList(1, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumVertices() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // one field
+		"a b\n",           // non-numeric
+		"0 99999999999\n", // out of uint32 range
+		"-1 2\n",          // negative
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(1, strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadAdjacencyGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "NotAGraph\n1\n0\n0\n",
+		"truncated":       "AdjacencyGraph\n2\n2\n0\n",
+		"odd edges":       "AdjacencyGraph\n2\n3\n0\n1\n1\n0\n1\n",
+		"target range":    "AdjacencyGraph\n2\n2\n0\n1\n5\n5\n",
+		"offset overflow": "AdjacencyGraph\n2\n2\n0\n9\n1\n0\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if _, err := ReadAdjacencyGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("garbage")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := ReadBinary(strings.NewReader(binaryMagic)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestLoadSaveFileDispatch(t *testing.T) {
+	g := figure1(t)
+	dir := t.TempDir()
+	for _, name := range []string{"g.adj", "g.bin", "g.txt"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := LoadFile(1, path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("%s: round trip changed the graph", name)
+		}
+	}
+	if _, err := LoadFile(1, filepath.Join(dir, "missing.adj")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestAdjacencyRejectsAsymmetric(t *testing.T) {
+	// A directed (asymmetric) adjacency file must be rejected by Validate.
+	in := "AdjacencyGraph\n3\n2\n0\n1\n2\n1\n2\n"
+	if _, err := ReadAdjacencyGraph(strings.NewReader(in)); err == nil {
+		t.Error("asymmetric graph accepted")
+	}
+}

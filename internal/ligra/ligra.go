@@ -1,0 +1,140 @@
+// Package ligra implements the subset of the Ligra shared-memory graph
+// processing framework [41] that the paper's algorithms use (§2 "Ligra
+// Framework"): a sparse vertexSubset and the data-parallel vertexMap and
+// edgeMap operators.
+//
+// Both operators do work proportional to the input subset (and, for
+// EdgeMap, its incident edges) only — the property that makes the
+// implementations "local" in the paper's sense. EdgeMap is edge-balanced:
+// the frontier's incident edges are partitioned into equal-size chunks via a
+// prefix sum over degrees, so a single high-degree vertex (common in the
+// power-law graphs the paper evaluates) cannot serialize an iteration.
+package ligra
+
+import (
+	"sort"
+
+	"parcluster/internal/graph"
+	"parcluster/internal/parallel"
+)
+
+// VertexSubset is a sparse set of vertex IDs (Ligra's vertexSubset). The
+// zero value is the empty subset.
+type VertexSubset struct {
+	ids []uint32
+}
+
+// FromVertices builds a subset from explicit vertex IDs. The caller asserts
+// the IDs are distinct.
+func FromVertices(vs ...uint32) VertexSubset {
+	return VertexSubset{ids: vs}
+}
+
+// FromIDs wraps an existing distinct-ID slice without copying.
+func FromIDs(ids []uint32) VertexSubset { return VertexSubset{ids: ids} }
+
+// Size returns the number of vertices in the subset.
+func (s VertexSubset) Size() int { return len(s.ids) }
+
+// IsEmpty reports whether the subset is empty.
+func (s VertexSubset) IsEmpty() bool { return len(s.ids) == 0 }
+
+// IDs returns the underlying ID slice. It must not be modified.
+func (s VertexSubset) IDs() []uint32 { return s.ids }
+
+// Volume returns the sum of the degrees of the subset's vertices in g,
+// computed with p workers. This is the per-iteration edge bound the
+// algorithms use to size their sparse tables.
+func (s VertexSubset) Volume(p int, g *graph.CSR) uint64 {
+	n := len(s.ids)
+	if n == 0 {
+		return 0
+	}
+	if parallel.ResolveProcs(p) == 1 || n < 2048 {
+		var vol uint64
+		for _, v := range s.ids {
+			vol += uint64(g.Degree(v))
+		}
+		return vol
+	}
+	degs := make([]uint64, n)
+	parallel.For(p, n, 0, func(i int) { degs[i] = uint64(g.Degree(s.ids[i])) })
+	return parallel.Sum(p, degs)
+}
+
+// VertexMap applies fn to every vertex in the subset, in parallel
+// (Ligra's vertexMap). fn may side-effect shared structures and must be
+// safe for concurrent calls on distinct vertices.
+func VertexMap(p int, s VertexSubset, fn func(v uint32)) {
+	parallel.For(p, len(s.ids), 512, func(i int) { fn(s.ids[i]) })
+}
+
+// VertexMapIndexed is VertexMap with the vertex's position in the subset
+// passed to fn, pairing with EdgeMapIndexed for per-source state arrays.
+func VertexMapIndexed(p int, s VertexSubset, fn func(i int, v uint32)) {
+	parallel.For(p, len(s.ids), 512, func(i int) { fn(i, s.ids[i]) })
+}
+
+// VertexFilter returns the sub-subset for which pred holds, preserving
+// order (Ligra's vertexFilter). pred must be pure or safe under concurrency.
+func VertexFilter(p int, s VertexSubset, pred func(v uint32) bool) VertexSubset {
+	return VertexSubset{ids: parallel.Filter(p, s.ids, pred)}
+}
+
+// edgeMapGrain is the number of edges per EdgeMap work chunk.
+const edgeMapGrain = 2048
+
+// EdgeMap applies update(u, v) to every edge (u, v) with u in the subset
+// (Ligra's edgeMap), in parallel over edge-balanced chunks, and returns the
+// subset of targets v for which update returned true.
+//
+// update must be thread-safe: multiple frontier vertices may push to the
+// same target concurrently (the paper resolves this with fetch-and-add).
+// The returned subset contains each target at most as many times as update
+// returned true for it; the idiomatic way to get an exactly-deduplicated
+// output — used by all the clustering algorithms here — is to return the
+// "created" flag of a sparse-set Add, which is true exactly once per target.
+// Work is O(|subset| + vol(subset)) and depth is polylogarithmic, matching
+// Ligra's bounds.
+func EdgeMap(p int, g *graph.CSR, s VertexSubset, update func(src, dst uint32) bool) VertexSubset {
+	return EdgeMapIndexed(p, g, s, func(_ int, src, dst uint32) bool { return update(src, dst) })
+}
+
+// EdgeMapIndexed is EdgeMap with the source's position in the subset passed
+// to the update function. The diffusion algorithms use the index to read
+// per-source state (the pushed share, precomputed once per frontier vertex
+// in a dense array) instead of paying a sparse-table lookup on every edge —
+// the same source-value hoisting the paper's Ligra implementation gets for
+// free from its dense vertex arrays.
+func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int, src, dst uint32) bool) VertexSubset {
+	nf := len(s.ids)
+	if nf == 0 {
+		return VertexSubset{}
+	}
+	degs := make([]uint64, nf)
+	parallel.For(p, nf, 0, func(i int) { degs[i] = uint64(g.Degree(s.ids[i])) })
+	offs := make([]uint64, nf)
+	total := parallel.ScanExclusive(p, degs, offs)
+	if total == 0 {
+		return VertexSubset{}
+	}
+	chunks := int((total + edgeMapGrain - 1) / edgeMapGrain)
+	outs := make([][]uint32, chunks)
+	parallel.ForRange(p, int(total), edgeMapGrain, func(elo, ehi int) {
+		var out []uint32
+		// First frontier index whose edge range contains elo.
+		i := sort.Search(nf, func(i int) bool { return offs[i] > uint64(elo) }) - 1
+		for e := elo; e < ehi; i++ {
+			v := s.ids[i]
+			ns := g.Neighbors(v)
+			for j := e - int(offs[i]); j < len(ns) && e < ehi; j++ {
+				if update(i, v, ns[j]) {
+					out = append(out, ns[j])
+				}
+				e++
+			}
+		}
+		outs[elo/edgeMapGrain] = out
+	})
+	return VertexSubset{ids: parallel.Concat(p, outs)}
+}

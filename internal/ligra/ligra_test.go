@@ -1,0 +1,205 @@
+package ligra
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parcluster/internal/gen"
+	"parcluster/internal/graph"
+	"parcluster/internal/sparse"
+)
+
+func procsUnderTest() []int { return []int{1, 3, runtime.GOMAXPROCS(0)} }
+
+func TestVertexSubsetBasics(t *testing.T) {
+	var empty VertexSubset
+	if !empty.IsEmpty() || empty.Size() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	s := FromVertices(3, 1, 4)
+	if s.Size() != 3 || s.IsEmpty() {
+		t.Fatal("FromVertices size")
+	}
+	if got := s.IDs(); len(got) != 3 || got[0] != 3 {
+		t.Fatal("IDs mismatch")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g := gen.Figure1()
+	s := FromVertices(0, 1, 2, 3) // degrees 2, 2, 3, 4
+	for _, p := range procsUnderTest() {
+		if vol := s.Volume(p, g); vol != 11 {
+			t.Fatalf("p=%d: Volume = %d, want 11", p, vol)
+		}
+	}
+	var empty VertexSubset
+	if empty.Volume(2, g) != 0 {
+		t.Fatal("empty volume")
+	}
+}
+
+func TestVolumeLarge(t *testing.T) {
+	g := gen.Grid3D(0, 20) // 8000 vertices, degree 6
+	ids := make([]uint32, 5000)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	s := FromIDs(ids)
+	for _, p := range procsUnderTest() {
+		if vol := s.Volume(p, g); vol != 30000 {
+			t.Fatalf("p=%d: Volume = %d, want 30000", p, vol)
+		}
+	}
+}
+
+func TestVertexMapVisitsEachOnce(t *testing.T) {
+	for _, p := range procsUnderTest() {
+		ids := make([]uint32, 10000)
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		counts := make([]int32, len(ids))
+		VertexMap(p, FromIDs(ids), func(v uint32) { atomic.AddInt32(&counts[v], 1) })
+		for v, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: vertex %d visited %d times", p, v, c)
+			}
+		}
+	}
+}
+
+func TestVertexFilter(t *testing.T) {
+	ids := make([]uint32, 1000)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	for _, p := range procsUnderTest() {
+		out := VertexFilter(p, FromIDs(ids), func(v uint32) bool { return v%5 == 0 })
+		if out.Size() != 200 {
+			t.Fatalf("p=%d: filtered size = %d", p, out.Size())
+		}
+		for k, v := range out.IDs() {
+			if v != uint32(5*k) {
+				t.Fatalf("p=%d: order not preserved", p)
+			}
+		}
+	}
+}
+
+func TestEdgeMapVisitsFrontierEdgesExactly(t *testing.T) {
+	g := gen.Figure1()
+	// Frontier {C, D}: C's edges to A,B,D and D's edges to C,E,F,G.
+	for _, p := range procsUnderTest() {
+		var mu sync.Mutex
+		visited := map[[2]uint32]int{}
+		EdgeMap(p, g, FromVertices(2, 3), func(s, d uint32) bool {
+			mu.Lock()
+			visited[[2]uint32{s, d}]++
+			mu.Unlock()
+			return false
+		})
+		want := [][2]uint32{{2, 0}, {2, 1}, {2, 3}, {3, 2}, {3, 4}, {3, 5}, {3, 6}}
+		if len(visited) != len(want) {
+			t.Fatalf("p=%d: visited %d distinct edges, want %d: %v", p, len(visited), len(want), visited)
+		}
+		for _, e := range want {
+			if visited[e] != 1 {
+				t.Fatalf("p=%d: edge %v visited %d times", p, e, visited[e])
+			}
+		}
+	}
+}
+
+func TestEdgeMapReturnsTrueTargets(t *testing.T) {
+	g := gen.Figure1()
+	for _, p := range procsUnderTest() {
+		out := EdgeMap(p, g, FromVertices(3), func(s, d uint32) bool { return d >= 4 })
+		got := append([]uint32(nil), out.IDs()...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := []uint32{4, 5, 6}
+		if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+			t.Fatalf("p=%d: out = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestEdgeMapEmptyFrontier(t *testing.T) {
+	g := gen.Figure1()
+	out := EdgeMap(4, g, VertexSubset{}, func(s, d uint32) bool { return true })
+	if !out.IsEmpty() {
+		t.Fatal("empty frontier produced output")
+	}
+}
+
+func TestEdgeMapZeroDegreeFrontier(t *testing.T) {
+	// Vertices 2..4 are isolated; a frontier of isolated vertices has no
+	// incident edges and must produce an empty output.
+	gi := graph.FromEdges(1, 5, []graph.Edge{{U: 0, V: 1}})
+	out := EdgeMap(4, gi, FromVertices(3), func(s, d uint32) bool { return true })
+	if !out.IsEmpty() {
+		t.Fatal("isolated frontier produced output")
+	}
+	// Mixed frontier: only the non-isolated vertex contributes.
+	out = EdgeMap(4, gi, FromVertices(2, 0, 4), func(s, d uint32) bool { return true })
+	if out.Size() != 1 || out.IDs()[0] != 1 {
+		t.Fatalf("mixed frontier output = %v", out.IDs())
+	}
+}
+
+func TestEdgeMapDedupViaSparseCreated(t *testing.T) {
+	// The idiom every algorithm uses: update returns the created flag of a
+	// concurrent sparse Add, so each target appears exactly once even when
+	// multiple frontier vertices push to it.
+	g := gen.Clique(32) // every pair adjacent: maximal contention
+	ids := make([]uint32, 16)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	for _, p := range procsUnderTest() {
+		table := sparse.NewConcurrent(64)
+		out := EdgeMap(p, g, FromIDs(ids), func(s, d uint32) bool {
+			return table.Add(d, 1)
+		})
+		got := append([]uint32(nil), out.IDs()...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		// Targets are all 32 vertices (frontier vertices receive pushes from
+		// other frontier members too).
+		if len(got) != 32 {
+			t.Fatalf("p=%d: %d distinct targets, want 32 (got %v)", p, len(got), got)
+		}
+		for i, v := range got {
+			if v != uint32(i) {
+				t.Fatalf("p=%d: missing/duplicate target at %d: %v", p, i, got)
+			}
+		}
+		// Each frontier vertex pushes to 31 neighbors: total mass 16*31.
+		if total := table.Sum(p); total != 16*31 {
+			t.Fatalf("p=%d: total pushes = %v, want %d", p, total, 16*31)
+		}
+	}
+}
+
+func TestEdgeMapEdgeBalancedOnSkewedDegrees(t *testing.T) {
+	// A star: one hub with huge degree plus leaves. The chunking must split
+	// the hub's edges across workers; verify correctness (every leaf
+	// touched exactly once).
+	const leaves = 50000
+	g := gen.Star(leaves + 1)
+	for _, p := range procsUnderTest() {
+		var count atomic.Int64
+		out := EdgeMap(p, g, FromVertices(0), func(s, d uint32) bool {
+			count.Add(1)
+			return true
+		})
+		if count.Load() != leaves {
+			t.Fatalf("p=%d: %d updates, want %d", p, count.Load(), leaves)
+		}
+		if out.Size() != leaves {
+			t.Fatalf("p=%d: out size %d", p, out.Size())
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for parallel algorithms.
+//
+// The local clustering algorithms in this repository must be reproducible
+// under any degree of parallelism: rand-HK-PR runs millions of independent
+// random walks concurrently, and the synthetic graph generators are run from
+// many goroutines. Both therefore need a generator that can be split into an
+// arbitrary number of statistically independent streams in O(1), without
+// locking and without any shared state. math/rand's global source satisfies
+// neither requirement, so we implement SplitMix64 (for seeding/splitting) and
+// xoshiro256** (for the bulk stream), the combination recommended by the
+// xoshiro authors.
+package rng
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to derive independent seeds: its output is equidistributed
+// and two distinct states never collide within 2^64 outputs.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 deterministically scrambles x through one SplitMix64 round.
+// It is handy for turning loop indices into well-distributed hash values.
+func Mix64(x uint64) uint64 {
+	s := x
+	return splitMix64(&s)
+}
+
+// RNG is a xoshiro256** generator. The zero value is NOT valid; construct
+// with New or Split so the state is properly seeded.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended by
+// the xoshiro reference implementation (directly using small seeds as state
+// would start the generator in a low-entropy region).
+func New(seed uint64) RNG {
+	sm := seed
+	return RNG{
+		s0: splitMix64(&sm),
+		s1: splitMix64(&sm),
+		s2: splitMix64(&sm),
+		s3: splitMix64(&sm),
+	}
+}
+
+// Split derives the i'th independent stream from seed. Streams for distinct
+// (seed, i) pairs are generated from distinct SplitMix64 seeds and are
+// statistically independent for all practical purposes. This is how each
+// random walk / worker goroutine obtains its own generator.
+func Split(seed, i uint64) RNG {
+	return New(seed ^ Mix64(i+0x632be59bd9b4e019))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns 32 uniformly distributed random bits (the high half of the
+// next 64-bit output, which has the best statistical quality in xoshiro256**).
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Uint64n returns a uniform integer in [0, n). n must be > 0.
+// Uses Lemire's multiply-shift rejection method: unbiased and division-free
+// in the common case.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire rejection sampling on the high 64 bits of the 128-bit product:
+	// reject while the low half is below (2^64 - n) mod n, which removes the
+	// bias of the plain multiply-shift method.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm fills out with a uniform random permutation of [0, len(out)) using the
+// Fisher-Yates shuffle.
+func (r *RNG) Perm(out []uint32) {
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// TruncPoisson is a sampler for the truncated Poisson(t) walk-length
+// distribution used by rand-HK-PR: P[len = k] = e^-t t^k / k! for k < K, and
+// all remaining mass assigned to K (the paper caps walks at maximum length K).
+// Sampling is by inverse CDF over a precomputed table, O(K) per sample worst
+// case but O(E[len]) expected, and allocation-free after construction.
+type TruncPoisson struct {
+	cdf []float64 // cdf[k] = P[len <= k], k = 0..K; cdf[K] = 1
+}
+
+// NewTruncPoisson precomputes the CDF table for parameters t > 0 and K >= 0.
+func NewTruncPoisson(t float64, maxLen int) *TruncPoisson {
+	if maxLen < 0 {
+		panic("rng: NewTruncPoisson with maxLen < 0")
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		panic("rng: NewTruncPoisson with invalid t")
+	}
+	cdf := make([]float64, maxLen+1)
+	term := math.Exp(-t) // e^-t t^0 / 0!
+	sum := term
+	cdf[0] = sum
+	for k := 1; k <= maxLen; k++ {
+		term *= t / float64(k)
+		sum += term
+		cdf[k] = sum
+	}
+	// All residual mass goes to K: walks longer than K are clamped.
+	cdf[maxLen] = 1
+	return &TruncPoisson{cdf: cdf}
+}
+
+// Sample draws one walk length in [0, K].
+func (tp *TruncPoisson) Sample(r *RNG) int {
+	u := r.Float64()
+	// The expected length is t, typically ~10; linear scan beats binary
+	// search for such short tables because of branch prediction.
+	for k, c := range tp.cdf {
+		if u < c {
+			return k
+		}
+	}
+	return len(tp.cdf) - 1
+}
+
+// Max returns the maximum sampled length K.
+func (tp *TruncPoisson) Max() int { return len(tp.cdf) - 1 }

@@ -1,0 +1,225 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Streams split from the same seed must differ from each other and be
+	// reproducible.
+	s0a := Split(7, 0)
+	s0b := Split(7, 0)
+	s1 := Split(7, 1)
+	if s0a.Uint64() != s0b.Uint64() {
+		t.Fatal("Split not deterministic")
+	}
+	x, y := s0a.Uint64(), s1.Uint64()
+	if x == y {
+		t.Fatal("adjacent split streams collide")
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 200; i++ {
+			v := r.Uint64n(n)
+			if v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over a small modulus.
+	r := New(9)
+	const n = 10
+	const draws = 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r := New(1)
+	r.Intn(0)
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Property(t *testing.T) {
+	// For y small enough that the product fits in 64 bits, hi must be 0 and
+	// lo must equal x*y.
+	f := func(x uint32, y uint32) bool {
+		hi, lo := mul64(uint64(x), uint64(y))
+		return hi == 0 && lo == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(11)
+	out := make([]uint32, 257)
+	r.Perm(out)
+	seen := make(map[uint32]bool, len(out))
+	for _, v := range out {
+		if int(v) >= len(out) {
+			t.Fatalf("perm value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("perm value %d duplicated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTruncPoissonMassAndMean(t *testing.T) {
+	const tt = 10.0
+	const maxLen = 40
+	tp := NewTruncPoisson(tt, maxLen)
+	if tp.Max() != maxLen {
+		t.Fatalf("Max = %d, want %d", tp.Max(), maxLen)
+	}
+	r := New(123)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		k := tp.Sample(&r)
+		if k < 0 || k > maxLen {
+			t.Fatalf("sample %d out of [0,%d]", k, maxLen)
+		}
+		sum += float64(k)
+	}
+	// With K=40 >> t=10 truncation is negligible; mean should be ~t.
+	if mean := sum / draws; math.Abs(mean-tt) > 0.1 {
+		t.Fatalf("sample mean %v, want ~%v", mean, tt)
+	}
+}
+
+func TestTruncPoissonTruncation(t *testing.T) {
+	// With K much smaller than t, most mass is clamped at K.
+	tp := NewTruncPoisson(50, 5)
+	r := New(77)
+	atMax := 0
+	for i := 0; i < 1000; i++ {
+		if tp.Sample(&r) == 5 {
+			atMax++
+		}
+	}
+	if atMax < 990 {
+		t.Fatalf("expected nearly all samples clamped to K, got %d/1000", atMax)
+	}
+}
+
+func TestTruncPoissonZeroT(t *testing.T) {
+	// t = 0 means all walks have length 0.
+	tp := NewTruncPoisson(0, 10)
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if k := tp.Sample(&r); k != 0 {
+			t.Fatalf("t=0 sample = %d, want 0", k)
+		}
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(1000003)
+	}
+	_ = sink
+}

@@ -1,0 +1,385 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parcluster/internal/parallel"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap(4)
+	if m.Get(5) != 0 {
+		t.Fatal("absent key should read 0")
+	}
+	if m.Has(5) {
+		t.Fatal("Has on absent key")
+	}
+	if created := m.Add(5, 1.5); !created {
+		t.Fatal("first Add should create")
+	}
+	if created := m.Add(5, 2.5); created {
+		t.Fatal("second Add should not create")
+	}
+	if got := m.Get(5); got != 4.0 {
+		t.Fatalf("Get = %v, want 4", got)
+	}
+	m.Set(5, 1)
+	if got := m.Get(5); got != 1 {
+		t.Fatalf("after Set, Get = %v", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Delete(5)
+	if m.Has(5) || m.Len() != 0 {
+		t.Fatal("Delete failed")
+	}
+}
+
+func TestMapSumCloneKeys(t *testing.T) {
+	m := NewMap(0)
+	for i := uint32(0); i < 100; i++ {
+		m.Set(i, float64(i))
+	}
+	if got := m.Sum(); got != 4950 {
+		t.Fatalf("Sum = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 100)
+	if m.Get(0) != 0 {
+		t.Fatal("Clone is not a deep copy")
+	}
+	keys := m.Keys()
+	if len(keys) != 100 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+}
+
+func TestConcurrentBasics(t *testing.T) {
+	m := NewConcurrent(10)
+	if m.Get(7) != 0 || m.Has(7) {
+		t.Fatal("absent key")
+	}
+	if !m.Add(7, 0.5) {
+		t.Fatal("first Add should create")
+	}
+	if m.Add(7, 0.25) {
+		t.Fatal("second Add should not create")
+	}
+	if got := m.Get(7); got != 0.75 {
+		t.Fatalf("Get = %v", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Set(7, -1)
+	if got := m.Get(7); got != -1 {
+		t.Fatalf("after Set, Get = %v", got)
+	}
+}
+
+func TestConcurrentMatchesMapSequentially(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ref := NewMap(0)
+	m := NewConcurrent(1)
+	for i := 0; i < 5000; i++ {
+		k := uint32(r.Intn(500))
+		d := r.Float64() - 0.5
+		m.Reserve(1)
+		c1 := ref.Add(k, d)
+		c2 := m.Add(k, d)
+		if c1 != c2 {
+			t.Fatalf("created mismatch for key %d", k)
+		}
+	}
+	if ref.Len() != m.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", ref.Len(), m.Len())
+	}
+	ref.ForEach(func(k uint32, v float64) {
+		if got := m.Get(k); math.Abs(got-v) > 1e-12 {
+			t.Fatalf("key %d: %v vs %v", k, got, v)
+		}
+	})
+}
+
+func TestConcurrentParallelAdds(t *testing.T) {
+	// Many goroutines hammer overlapping keys; total must be exact (each
+	// delta is a power of two so float addition is exact regardless of
+	// order) and created must fire exactly once per key.
+	const keys = 1000
+	const workers = 16
+	const addsPerWorker = 2000
+	m := NewConcurrent(keys)
+	var createdCount sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < addsPerWorker; i++ {
+				k := uint32(r.Intn(keys))
+				if m.Add(k, 1.0) {
+					if _, loaded := createdCount.LoadOrStore(k, true); loaded {
+						t.Errorf("key %d created twice", k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := m.Sum(runtime.GOMAXPROCS(0))
+	if total != workers*addsPerWorker {
+		t.Fatalf("Sum = %v, want %d", total, workers*addsPerWorker)
+	}
+	created := 0
+	createdCount.Range(func(_, _ any) bool { created++; return true })
+	if created != m.Len() {
+		t.Fatalf("created %d keys but Len = %d", created, m.Len())
+	}
+}
+
+func TestConcurrentReserveRehash(t *testing.T) {
+	m := NewConcurrent(4)
+	for k := uint32(0); k < 4; k++ {
+		m.Add(k, float64(k))
+	}
+	m.Reserve(1000)
+	for k := uint32(4); k < 1000; k++ {
+		m.Add(k, float64(k))
+	}
+	for k := uint32(0); k < 1000; k++ {
+		if got := m.Get(k); got != float64(k) {
+			t.Fatalf("key %d lost after rehash: %v", k, got)
+		}
+	}
+}
+
+func TestConcurrentReset(t *testing.T) {
+	m := NewConcurrent(100)
+	for k := uint32(0); k < 100; k++ {
+		m.Add(k, 1)
+	}
+	m.Reset(2, 50)
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for k := uint32(0); k < 100; k++ {
+		if m.Has(k) {
+			t.Fatalf("key %d survived Reset", k)
+		}
+	}
+	// Reset to a larger capacity must reallocate.
+	m.Reset(2, 10000)
+	for k := uint32(0); k < 10000; k++ {
+		m.Add(k, 1)
+	}
+	if m.Len() != 10000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestConcurrentKeysAndForEach(t *testing.T) {
+	m := NewConcurrent(64)
+	want := map[uint32]float64{}
+	for k := uint32(0); k < 64; k++ {
+		m.Add(k*3, float64(k))
+		want[k*3] = float64(k)
+	}
+	got := map[uint32]float64{}
+	m.ForEach(func(k uint32, v float64) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: %v vs %v", k, got[k], v)
+		}
+	}
+	keys := m.Keys(4)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) != 64 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i, k := range keys {
+		if k != uint32(i*3) {
+			t.Fatalf("Keys[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestConcurrentToMap(t *testing.T) {
+	m := NewConcurrent(10)
+	m.Add(1, 0.5)
+	m.Add(9, 1.5)
+	sm := m.ToMap()
+	if sm.Len() != 2 || sm.Get(1) != 0.5 || sm.Get(9) != 1.5 {
+		t.Fatalf("ToMap mismatch: %v %v", sm.Get(1), sm.Get(9))
+	}
+}
+
+func TestConcurrentAdversarialKeys(t *testing.T) {
+	// Keys engineered to collide under the mask exercise linear probing.
+	m := NewConcurrent(256)
+	var ks []uint32
+	for i := 0; i < 200; i++ {
+		ks = append(ks, uint32(i*65536)) // many share low hash bits pre-mix
+	}
+	for _, k := range ks {
+		m.Add(k, 1)
+	}
+	for _, k := range ks {
+		if m.Get(k) != 1 {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestConcurrentQuickAgainstMap(t *testing.T) {
+	f := func(keys []uint32, deltas []float64) bool {
+		n := len(keys)
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		ref := NewMap(n)
+		m := NewConcurrent(n + 1)
+		for i := 0; i < n; i++ {
+			k := keys[i] % 1000
+			d := deltas[i]
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				d = 1
+			}
+			ref.Add(k, d)
+			m.Add(k, d)
+		}
+		ok := true
+		ref.ForEach(func(k uint32, v float64) {
+			got := m.Get(k)
+			if math.Abs(got-v) > 1e-9*(1+math.Abs(v)) {
+				ok = false
+			}
+		})
+		return ok && ref.Len() == m.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDMapSequential(t *testing.T) {
+	m := NewIDMap(100)
+	a := m.Assign(42)
+	b := m.Assign(7)
+	c := m.Assign(42)
+	if a != c {
+		t.Fatalf("same key got different IDs: %d vs %d", a, c)
+	}
+	if a == b {
+		t.Fatal("different keys share an ID")
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+}
+
+func TestIDMapConcurrentDense(t *testing.T) {
+	const distinct = 500
+	const workers = 8
+	m := NewIDMap(distinct)
+	ids := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]int32, distinct)
+			for k := 0; k < distinct; k++ {
+				ids[w][k] = m.Assign(uint32(k * 13))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Count() != distinct {
+		t.Fatalf("Count = %d, want %d", m.Count(), distinct)
+	}
+	// All workers must agree on every key's ID, and IDs must be a
+	// permutation of [0, distinct).
+	seen := make([]bool, distinct)
+	for k := 0; k < distinct; k++ {
+		id := ids[0][k]
+		for w := 1; w < workers; w++ {
+			if ids[w][k] != id {
+				t.Fatalf("key %d: worker 0 got %d, worker %d got %d", k, id, w, ids[w][k])
+			}
+		}
+		if id < 0 || int(id) >= distinct {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d assigned twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	m := NewConcurrent(4)
+	for k := uint32(0); k < 1000; k++ {
+		m.Add(k, 1)
+	}
+}
+
+func TestSumParallel(t *testing.T) {
+	m := NewConcurrent(100000)
+	want := 0.0
+	for k := uint32(0); k < 100000; k++ {
+		m.Add(k, 0.5)
+		want += 0.5
+	}
+	for _, p := range []int{1, 4, parallel.ResolveProcs(0)} {
+		if got := m.Sum(p); got != want {
+			t.Fatalf("p=%d: Sum = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func BenchmarkConcurrentAddDisjoint(b *testing.B) {
+	m := NewConcurrent(1 << 20)
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			m.Add(uint32(r.Intn(1<<19)), 1)
+		}
+	})
+}
+
+func BenchmarkConcurrentAddContended(b *testing.B) {
+	// All goroutines hit 64 keys: the contention regime the paper calls out
+	// for naive rand-HK-PR aggregation.
+	m := NewConcurrent(1 << 10)
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			m.Add(uint32(r.Intn(64)), 1)
+		}
+	})
+}
+
+func BenchmarkMapAdd(b *testing.B) {
+	m := NewMap(1 << 20)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		m.Add(uint32(r.Intn(1<<19)), 1)
+	}
+}

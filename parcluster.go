@@ -1,0 +1,452 @@
+package parcluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"parcluster/internal/core"
+	"parcluster/internal/gen"
+	"parcluster/internal/graph"
+	"parcluster/internal/sparse"
+)
+
+// Graph is an immutable undirected graph in compressed sparse row form.
+// Build one with FromEdges, LoadFile, Generate, or StandIn.
+type Graph = graph.CSR
+
+// Edge is an undirected edge for FromEdges; orientation is irrelevant.
+type Edge = graph.Edge
+
+// Vector is a sparse map from vertex ID to diffusion mass — the output of
+// the diffusion algorithms and the input of SweepCut.
+type Vector = sparse.Map
+
+// Stats reports algorithm work counters (pushes, iterations, edge
+// traversals); see the paper's Table 1.
+type Stats = core.Stats
+
+// SweepResult is the outcome of a sweep cut: the minimum-conductance prefix
+// plus the full sweep order and per-prefix conductances.
+type SweepResult = core.SweepResult
+
+// PushRule selects the PR-Nibble update rule.
+type PushRule = core.PushRule
+
+// The two PR-Nibble push rules of §3.3 of the paper.
+const (
+	OriginalRule  = core.OriginalRule
+	OptimizedRule = core.OptimizedRule
+)
+
+// NCPPoint is one point of a network community profile.
+type NCPPoint = core.NCPPoint
+
+// Scale selects generated stand-in graph sizes (small / medium / large).
+type Scale = gen.Scale
+
+// Stand-in scales.
+const (
+	Small  = gen.Small
+	Medium = gen.Medium
+	Large  = gen.Large
+)
+
+// FromEdges builds a graph on n vertices (n <= 0 infers maxID+1) from an
+// edge list, removing self loops and duplicate edges and symmetrizing.
+// procs <= 0 uses all cores.
+func FromEdges(procs, n int, edges []Edge) *Graph {
+	return graph.FromEdges(procs, n, edges)
+}
+
+// LoadFile loads a graph from path (.adj = Ligra AdjacencyGraph text,
+// .bin = binary, anything else = SNAP edge list).
+func LoadFile(procs int, path string) (*Graph, error) { return graph.LoadFile(procs, path) }
+
+// SaveFile writes a graph to path with the same extension dispatch as
+// LoadFile.
+func SaveFile(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// WriteAdjacencyGraph writes g in Ligra's AdjacencyGraph text format.
+func WriteAdjacencyGraph(w io.Writer, g *Graph) error { return graph.WriteAdjacencyGraph(w, g) }
+
+// Generate builds a graph from a named recipe (see internal/gen.Generate
+// for the recipe list: figure1, randlocal, grid3d, sbm, caveman, barbell,
+// community, chunglu, ws, and the paper's Table 2 stand-in names).
+func Generate(name string, params map[string]int) (*Graph, error) {
+	return gen.Generate(0, gen.Spec{Name: name, Params: params})
+}
+
+// MustGenerate is Generate, panicking on unknown recipes. Intended for
+// examples and tests where the recipe name is a literal.
+func MustGenerate(name string, params map[string]int) *Graph {
+	g, err := Generate(name, params)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// StandIn generates the synthetic stand-in for one of the paper's Table 2
+// inputs ("soc-LJ", "Twitter", "randLocal", ...) at the given scale.
+func StandIn(procs int, name string, scale Scale) (*Graph, error) {
+	return gen.StandIn(procs, name, scale)
+}
+
+// StandInNames lists the Table 2 inputs in the paper's row order.
+func StandInNames() []string { return gen.StandInNames() }
+
+// NibbleOptions configures Nibble. Zero values select the paper's Table 3
+// parameters (T = 20, eps = 1e-8).
+type NibbleOptions struct {
+	Epsilon float64 // truncation threshold; default 1e-8
+	T       int     // maximum iterations; default 20
+	Procs   int     // workers for the parallel version; <= 0 = all cores
+	// Sequential selects the paper's reference sequential implementation
+	// instead of the parallel one.
+	Sequential bool
+}
+
+func (o *NibbleOptions) defaults() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-8
+	}
+	if o.T <= 0 {
+		o.T = 20
+	}
+}
+
+// Nibble runs the Nibble diffusion (§3.2) from seed and returns the
+// truncated random-walk vector for a sweep cut.
+func Nibble(g *Graph, seed uint32, opts NibbleOptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.NibbleSeq(g, seed, opts.Epsilon, opts.T)
+	}
+	return core.NibblePar(g, seed, opts.Epsilon, opts.T, opts.Procs)
+}
+
+// PRNibbleOptions configures PRNibble. Zero values select the paper's
+// Table 3 parameters (alpha = 0.01, eps = 1e-7, optimized rule).
+type PRNibbleOptions struct {
+	Alpha   float64  // teleportation parameter; default 0.01
+	Epsilon float64  // push threshold; default 1e-7
+	Rule    PushRule // default OptimizedRule... note zero value is OriginalRule; see defaults
+	// UseOriginalRule selects the unoptimized push of Andersen et al.
+	// (the Rule field would default ambiguously, so the flag is explicit).
+	UseOriginalRule bool
+	// Beta in (0, 1) enables the β-fraction variant (§3.3), processing only
+	// the top β-fraction of eligible vertices per iteration. 0 or 1 = all.
+	Beta  float64
+	Procs int
+	// Sequential selects the queue-based sequential implementation;
+	// PriorityQueue additionally switches it to the priority-queue variant.
+	Sequential    bool
+	PriorityQueue bool
+}
+
+func (o *PRNibbleOptions) defaults() {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.01
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-7
+	}
+	if o.UseOriginalRule {
+		o.Rule = core.OriginalRule
+	} else {
+		o.Rule = core.OptimizedRule
+	}
+}
+
+// PRNibble runs the PageRank-Nibble diffusion (§3.3) from seed and returns
+// the approximate PageRank vector for a sweep cut.
+func PRNibble(g *Graph, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		if opts.PriorityQueue {
+			return core.PRNibbleSeqPQ(g, seed, opts.Alpha, opts.Epsilon, opts.Rule)
+		}
+		return core.PRNibbleSeq(g, seed, opts.Alpha, opts.Epsilon, opts.Rule)
+	}
+	return core.PRNibblePar(g, seed, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta)
+}
+
+// HKPROptions configures HKPR. Zero values select the paper's Table 3
+// parameters (t = 10, N = 20, eps = 1e-7).
+type HKPROptions struct {
+	T          float64 // heat kernel temperature; default 10
+	N          int     // Taylor truncation degree; default 20
+	Epsilon    float64 // residual threshold; default 1e-7
+	Procs      int
+	Sequential bool
+}
+
+func (o *HKPROptions) defaults() {
+	if o.T <= 0 {
+		o.T = 10
+	}
+	if o.N <= 0 {
+		o.N = 20
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-7
+	}
+}
+
+// HKPR runs the deterministic heat kernel PageRank diffusion (§3.4) from
+// seed and returns the e^-t-scaled approximation of the heat kernel vector.
+func HKPR(g *Graph, seed uint32, opts HKPROptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.HKPRSeq(g, seed, opts.T, opts.N, opts.Epsilon)
+	}
+	return core.HKPRPar(g, seed, opts.T, opts.N, opts.Epsilon, opts.Procs)
+}
+
+// RandHKPROptions configures RandHKPR. Zero values select t = 10, K = 10,
+// Walks = 100000 (the paper's Table 3 uses 10^8 walks; scale Walks up for
+// comparable noise levels).
+type RandHKPROptions struct {
+	T     float64 // heat kernel temperature; default 10
+	K     int     // maximum walk length; default 10
+	Walks int     // number of random walks; default 100000
+	Seed  uint64  // randomness seed (walk i uses stream Split(Seed, i))
+	Procs int
+	// Sequential runs walks one at a time; Contended uses the naive
+	// fetch-and-add aggregation the paper reports as a negative result.
+	Sequential bool
+	Contended  bool
+}
+
+func (o *RandHKPROptions) defaults() {
+	if o.T <= 0 {
+		o.T = 10
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Walks <= 0 {
+		o.Walks = 100000
+	}
+}
+
+// RandHKPR runs the randomized heat kernel PageRank (§3.5) from seed and
+// returns the empirical distribution of walk endpoints. All three
+// implementations (sequential, parallel, contended) return bit-identical
+// vectors for the same Seed.
+func RandHKPR(g *Graph, seed uint32, opts RandHKPROptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.RandHKPRSeq(g, seed, opts.T, opts.K, opts.Walks, opts.Seed)
+	}
+	if opts.Contended {
+		return core.RandHKPRParContended(g, seed, opts.T, opts.K, opts.Walks, opts.Seed, opts.Procs)
+	}
+	return core.RandHKPRPar(g, seed, opts.T, opts.K, opts.Walks, opts.Seed, opts.Procs)
+}
+
+// NibbleFrom, PRNibbleFrom, HKPRFrom and RandHKPRFrom are the seed-set
+// variants of the four diffusions (footnote 5 of the paper): the initial
+// unit of mass is split evenly over the seed set, which also enlarges the
+// frontiers and with them the available parallelism. Duplicate seeds are
+// ignored; an empty or out-of-range seed set panics.
+
+// NibbleFrom runs Nibble from a multi-vertex seed set.
+func NibbleFrom(g *Graph, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.NibbleSeqFrom(g, seeds, opts.Epsilon, opts.T)
+	}
+	return core.NibbleParFrom(g, seeds, opts.Epsilon, opts.T, opts.Procs)
+}
+
+// PRNibbleFrom runs PR-Nibble from a multi-vertex seed set.
+func PRNibbleFrom(g *Graph, seeds []uint32, opts PRNibbleOptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.PRNibbleSeqFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule)
+	}
+	return core.PRNibbleParFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta)
+}
+
+// HKPRFrom runs HK-PR from a multi-vertex seed set.
+func HKPRFrom(g *Graph, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.HKPRSeqFrom(g, seeds, opts.T, opts.N, opts.Epsilon)
+	}
+	return core.HKPRParFrom(g, seeds, opts.T, opts.N, opts.Epsilon, opts.Procs)
+}
+
+// RandHKPRFrom runs rand-HK-PR from a multi-vertex seed set (each walk
+// starts at a uniformly drawn seed).
+func RandHKPRFrom(g *Graph, seeds []uint32, opts RandHKPROptions) (*Vector, Stats) {
+	opts.defaults()
+	if opts.Sequential {
+		return core.RandHKPRSeqFrom(g, seeds, opts.T, opts.K, opts.Walks, opts.Seed)
+	}
+	return core.RandHKPRParFrom(g, seeds, opts.T, opts.K, opts.Walks, opts.Seed, opts.Procs)
+}
+
+// EvolvingSetOptions configures EvolvingSet; see internal/core.
+type EvolvingSetOptions = core.EvolvingSetOptions
+
+// EvolvingSetResult is the outcome of an evolving set run.
+type EvolvingSetResult = core.EvolvingSetResult
+
+// EvolvingSet runs the evolving set process of Andersen and Peres (the
+// fifth local algorithm the paper discusses in §5, with the random-walk
+// coupling that keeps the process alive). Unlike the four diffusions it
+// produces a cluster directly, without a sweep cut. Sequential and parallel
+// versions follow identical trajectories for the same Seed.
+func EvolvingSet(g *Graph, seed uint32, opts EvolvingSetOptions, sequential bool) (EvolvingSetResult, Stats) {
+	if sequential {
+		return core.EvolvingSetSeq(g, seed, opts)
+	}
+	return core.EvolvingSetPar(g, seed, opts)
+}
+
+// SweepOptions configures SweepCut.
+type SweepOptions struct {
+	Procs int
+	// Sequential selects the standard sequential sweep; SortBased selects
+	// the faithful Theorem-1 parallel algorithm instead of the default
+	// bucket-accumulation parallel sweep. All three return identical
+	// results.
+	Sequential bool
+	SortBased  bool
+}
+
+// SweepCut rounds a diffusion vector into the minimum-conductance sweep
+// cluster (§3.1).
+func SweepCut(g *Graph, vec *Vector, opts SweepOptions) SweepResult {
+	if opts.Sequential {
+		return core.SweepCutSeq(g, vec)
+	}
+	if opts.SortBased {
+		return core.SweepCutParSort(g, vec, opts.Procs)
+	}
+	return core.SweepCutPar(g, vec, opts.Procs)
+}
+
+// Cluster is the end-to-end result of FindCluster.
+type Cluster struct {
+	// Members are the cluster's vertices in sweep order.
+	Members []uint32
+	// Conductance, Volume and Cut describe the cluster's quality.
+	Conductance float64
+	Volume, Cut uint64
+	// Stats are the diffusion's work counters.
+	Stats Stats
+}
+
+// ClusterOptions configures FindCluster. The zero value runs parallel
+// PR-Nibble with the paper's default parameters followed by a parallel
+// sweep cut.
+type ClusterOptions struct {
+	// Method is one of "prnibble" (default), "nibble", "hkpr", "randhk",
+	// "evolving".
+	Method string
+	// The per-method options; only the one matching Method is consulted.
+	Nibble      NibbleOptions
+	PRNibble    PRNibbleOptions
+	HKPR        HKPROptions
+	RandHKPR    RandHKPROptions
+	EvolvingSet EvolvingSetOptions
+	Sweep       SweepOptions
+}
+
+// FindCluster runs a diffusion from seed and a sweep cut over the result —
+// the complete local clustering pipeline of the paper.
+func FindCluster(g *Graph, seed uint32, opts ClusterOptions) (Cluster, error) {
+	var vec *Vector
+	var st Stats
+	switch opts.Method {
+	case "", "prnibble":
+		vec, st = PRNibble(g, seed, opts.PRNibble)
+	case "nibble":
+		vec, st = Nibble(g, seed, opts.Nibble)
+	case "hkpr":
+		vec, st = HKPR(g, seed, opts.HKPR)
+	case "randhk":
+		vec, st = RandHKPR(g, seed, opts.RandHKPR)
+	case "evolving":
+		// The evolving set process produces a cluster directly (no sweep).
+		res, st := EvolvingSet(g, seed, opts.EvolvingSet, false)
+		return Cluster{
+			Members:     res.Set,
+			Conductance: res.Conductance,
+			Volume:      res.Volume,
+			Cut:         res.Cut,
+			Stats:       st,
+		}, nil
+	default:
+		return Cluster{}, fmt.Errorf("parcluster: unknown method %q (want nibble, prnibble, hkpr, randhk or evolving)", opts.Method)
+	}
+	res := SweepCut(g, vec, opts.Sweep)
+	return Cluster{
+		Members:     res.Cluster,
+		Conductance: res.Conductance,
+		Volume:      res.Volume,
+		Cut:         res.Cut,
+		Stats:       st,
+	}, nil
+}
+
+// NCPOptions configures ComputeNCP; see internal/core.NCPOptions.
+type NCPOptions = core.NCPOptions
+
+// ComputeNCP computes the network community profile of g (§4, Figure 12):
+// the best conductance found at each cluster size over many PR-Nibble runs.
+func ComputeNCP(g *Graph, opts NCPOptions) []NCPPoint { return core.NCP(g, opts) }
+
+// NCPLowerEnvelope buckets NCP points into log-spaced size bins, keeping
+// the per-bin minimum — the curve the paper plots.
+func NCPLowerEnvelope(points []NCPPoint) []NCPPoint { return core.LowerEnvelope(points) }
+
+// PrecisionRecall compares a found cluster against a ground-truth set and
+// returns |found ∩ truth| / |found| and |found ∩ truth| / |truth|.
+func PrecisionRecall(found, truth []uint32) (precision, recall float64) {
+	if len(found) == 0 || len(truth) == 0 {
+		return 0, 0
+	}
+	set := make(map[uint32]bool, len(truth))
+	for _, v := range truth {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range found {
+		if set[v] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(found)), float64(inter) / float64(len(truth))
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two vertex sets.
+func Jaccard(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if set[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// SortedCopy returns a sorted copy of a vertex set — handy when comparing
+// clusters whose sweep orders differ.
+func SortedCopy(s []uint32) []uint32 {
+	out := append([]uint32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -27,6 +27,7 @@ func main() {
 		graphFile = flag.String("graph", "", "graph file")
 		genSpec   = flag.String("gen", "", "generator spec or Table 2 stand-in name")
 		seeds     = flag.Int("seeds", 100, "number of random seed vertices (paper: 1e5)")
+		seedVerts = flag.String("seedvertices", "", "comma-separated explicit seed vertices (overrides -seeds)")
 		alphas    = flag.String("alphas", "0.1,0.01,0.001", "comma-separated PR-Nibble alpha grid")
 		epsilons  = flag.String("epsilons", "1e-5,1e-6,1e-7", "comma-separated PR-Nibble epsilon grid")
 		procs     = flag.Int("procs", 0, "worker count (0 = all cores)")
@@ -35,13 +36,13 @@ func main() {
 		maxSize   = flag.Int("maxsize", 0, "cap recorded cluster size (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*graphFile, *genSpec, *seeds, *alphas, *epsilons, *procs, *seed, *envelope, *maxSize); err != nil {
+	if err := run(*graphFile, *genSpec, *seeds, *seedVerts, *alphas, *epsilons, *procs, *seed, *envelope, *maxSize); err != nil {
 		fmt.Fprintln(os.Stderr, "lgc-ncp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphFile, genSpec string, seeds int, alphas, epsilons string, procs int,
+func run(graphFile, genSpec string, seeds int, seedVerts, alphas, epsilons string, procs int,
 	seed uint64, envelope bool, maxSize int) error {
 	var g *parcluster.Graph
 	var err error
@@ -67,11 +68,21 @@ func run(graphFile, genSpec string, seeds int, alphas, epsilons string, procs in
 	if err != nil {
 		return fmt.Errorf("-epsilons: %w", err)
 	}
+	vertices, err := parseSeedVertices(seedVerts, g)
+	if err != nil {
+		return fmt.Errorf("-seedvertices: %w", err)
+	}
+	runs := seeds
+	if len(vertices) > 0 {
+		runs = len(vertices)
+	} else if runs <= 0 {
+		runs = 100 // NCPOptions defaults Seeds to 100; report what will run
+	}
 	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d; running %d seeds x %d alphas x %d epsilons\n",
-		g.NumVertices(), g.NumEdges(), seeds, len(aGrid), len(eGrid))
+		g.NumVertices(), g.NumEdges(), runs, len(aGrid), len(eGrid))
 	start := time.Now()
 	points := parcluster.ComputeNCP(g, parcluster.NCPOptions{
-		Seeds: seeds, Alphas: aGrid, Epsilons: eGrid,
+		Seeds: seeds, SeedVertices: vertices, Alphas: aGrid, Epsilons: eGrid,
 		Procs: procs, Seed: seed, MaxSize: maxSize,
 	})
 	fmt.Fprintf(os.Stderr, "ncp: %d points in %v\n", len(points), time.Since(start))
@@ -82,6 +93,31 @@ func run(graphFile, genSpec string, seeds int, alphas, epsilons string, procs in
 		fmt.Printf("%d %.6g\n", pt.Size, pt.Conductance)
 	}
 	return nil
+}
+
+// parseSeedVertices parses an explicit seed-vertex list, bounds-checking
+// every entry against the graph before the uint32 conversion — the same
+// guard lgc applies to its -seed flag.
+func parseSeedVertices(s string, g *parcluster.Graph) ([]uint32, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []uint32
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v >= g.NumVertices() {
+			return nil, fmt.Errorf("seed vertex %d out of range [0,%d)", v, g.NumVertices())
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,135 @@
+// Command lgc-serve runs the parcluster query service: a long-lived HTTP
+// daemon that loads each graph once and answers many local-clustering
+// queries against it — the paper's interactive-analyst workload (§1) as a
+// shared service instead of a one-shot CLI.
+//
+// Graphs are registered at startup from files (-graph) or generator specs
+// (-gen), and by default any generator spec or Table 2 stand-in name can
+// also be queried directly (-dynamic); graphs load lazily on first query,
+// concurrent loads are deduplicated, and results are cached in an LRU.
+//
+// Usage:
+//
+//	lgc-serve -addr :8080 -gen web=caveman:cliques=64,k=16 -graph lj=soc-lj.bin
+//	curl -s localhost:8080/v1/cluster -d '{"graph":"web","algo":"prnibble","seeds":[0,16,32]}'
+//	curl -s localhost:8080/v1/ncp -d '{"graph":"web","seeds":50,"envelope":true}'
+//	curl -s localhost:8080/v1/graphs
+//	curl -s localhost:8080/v1/stats
+//
+// Endpoints: POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
+// GET /healthz, GET /debug/vars (expvar).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parcluster/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		procs     = flag.Int("procs", 0, "total worker budget shared by all queries (0 = all cores)")
+		maxQProcs = flag.Int("max-query-procs", 0, "per-query worker clamp (0 = the full budget)")
+		cacheSize = flag.Int("cache", 1024, "result cache capacity in entries (negative = disable)")
+		dynamic   = flag.Bool("dynamic", true, "allow generator specs as graph names in queries (capped at 64 distinct specs)")
+		preload   = flag.String("preload", "", "comma-separated graph names to load before serving")
+	)
+	var graphs, gens multiFlag
+	flag.Var(&graphs, "graph", "register a graph file as name=path (repeatable)")
+	flag.Var(&gens, "gen", "register a generator spec as name=spec (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *procs, *maxQProcs, *cacheSize, *dynamic, *preload, graphs, gens); err != nil {
+		fmt.Fprintln(os.Stderr, "lgc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated name=value flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload string, graphs, gens []string) error {
+	reg := service.NewRegistry(procs, dynamic)
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-graph %q: want name=path", spec)
+		}
+		reg.RegisterFile(name, path)
+	}
+	for _, spec := range gens {
+		name, genSpec, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-gen %q: want name=spec", spec)
+		}
+		if err := reg.RegisterSpec(name, genSpec); err != nil {
+			return fmt.Errorf("-gen %q: %w", spec, err)
+		}
+	}
+
+	eng := service.NewEngine(reg, service.Config{
+		ProcBudget:       procs,
+		MaxProcsPerQuery: maxQProcs,
+		CacheSize:        cacheSize,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if preload != "" {
+		for _, name := range strings.Split(preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			start := time.Now()
+			g, err := reg.Get(ctx, name)
+			if err != nil {
+				return fmt.Errorf("preload %q: %w", name, err)
+			}
+			log.Printf("preloaded %q: n=%d m=%d in %v", name, g.NumVertices(), g.NumEdges(), time.Since(start))
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("lgc-serve listening on %s (%d graphs registered, proc budget %d)",
+			addr, len(reg.List()), eng.Stats().ProcBudget)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

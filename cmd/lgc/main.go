@@ -55,13 +55,17 @@ func run(graphFile, genSpec, algo string, seed, procs int, seq bool, eps, alpha 
 	if g.NumVertices() == 0 {
 		return fmt.Errorf("empty graph")
 	}
-	sv := uint32(seed)
+	var sv uint32
 	if seed < 0 {
 		rep, size := g.LargestComponent()
 		sv = rep
 		fmt.Printf("seed: %d (largest component, %d vertices)\n", sv, size)
-	} else if seed >= g.NumVertices() {
-		return fmt.Errorf("seed %d out of range [0,%d)", seed, g.NumVertices())
+	} else {
+		// Validate before the uint32 conversion: a value past NumVertices()
+		// must be a clear error, never a wrapped-around vertex ID.
+		if sv, err = seedVertex(g, seed); err != nil {
+			return err
+		}
 	}
 
 	opts := parcluster.ClusterOptions{Method: algo}
@@ -108,6 +112,15 @@ func loadGraph(graphFile, genSpec string, procs int) (*parcluster.Graph, error) 
 	default:
 		return nil, fmt.Errorf("pass -graph <file> or -gen <spec> (known recipes: %v)", gen.KnownRecipes())
 	}
+}
+
+// seedVertex bounds-checks a user-supplied seed vertex against the graph
+// before converting it to a vertex ID.
+func seedVertex(g *parcluster.Graph, seed int) (uint32, error) {
+	if seed < 0 || seed >= g.NumVertices() {
+		return 0, fmt.Errorf("seed vertex %d out of range [0,%d)", seed, g.NumVertices())
+	}
+	return uint32(seed), nil
 }
 
 func orDefault(v, def float64) float64 {

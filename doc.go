@@ -29,6 +29,26 @@
 // implementation. All parallel algorithms return clusters with the same
 // quality guarantees as their sequential counterparts.
 //
+// # lgc-serve
+//
+// Command lgc-serve turns the one-shot pipeline into a long-lived query
+// service for the paper's interactive-analyst workload: graphs load once
+// into a shared registry (concurrent loads are deduplicated), queries are
+// dispatched through a bounded worker pool so bursts cannot oversubscribe
+// the machine, and repeated queries are answered from an LRU result cache
+// — graphs are immutable and every algorithm is deterministic given its
+// parameters, so cached results never go stale.
+//
+//	lgc-serve -addr :8080 -gen web=caveman:cliques=64,k=16
+//	curl -s localhost:8080/v1/cluster -d '{"graph":"web","seeds":[0,16,32]}'
+//
+// It exposes POST /v1/cluster (batched multi-seed local clustering),
+// POST /v1/ncp (network community profiles), GET /v1/graphs, GET /v1/stats,
+// GET /healthz, and expvar counters at /debug/vars, all JSON over the
+// standard library's net/http. The request and response types are
+// re-exported by this package (ClusterRequest, ClusterResponse,
+// NCPRequest, ...); see examples/service for an in-process client.
+//
 // The internal packages implement the substrates the paper builds on: a
 // Ligra-style frontier framework, lock-free concurrent hash tables for
 // sparse vectors, and work-efficient parallel primitives (prefix sums,

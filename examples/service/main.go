@@ -1,0 +1,86 @@
+// Example service starts the lgc query service in-process, issues a
+// batched multi-seed clustering query over HTTP with net/http, and prints
+// the per-seed clusters — then repeats the query to show it answered from
+// the result cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"parcluster"
+	"parcluster/internal/service"
+)
+
+func main() {
+	// A registry with one lazily-generated graph: a ring of 32 cliques.
+	reg := service.NewRegistry(0, false)
+	if err := reg.RegisterSpec("demo", "caveman:cliques=32,k=12"); err != nil {
+		log.Fatal(err)
+	}
+	eng := service.NewEngine(reg, service.Config{CacheSize: 128})
+
+	// Serve on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(eng)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// One batched request: five seeds fan out across the worker pool and
+	// come back as five clusters plus aggregate statistics.
+	req := parcluster.ClusterRequest{
+		Graph:      "demo",
+		Algo:       "prnibble",
+		Seeds:      []uint32{0, 48, 96, 144, 192},
+		MaxMembers: 6,
+	}
+	for round := 1; round <= 2; round++ {
+		resp := post(base+"/v1/cluster", req)
+		fmt.Printf("round %d: graph %s (n=%d, m=%d), algo %s\n",
+			round, resp.Graph, resp.Vertices, resp.Edges, resp.Algo)
+		for _, r := range resp.Results {
+			suffix := ""
+			if r.Truncated {
+				suffix = " ..."
+			}
+			fmt.Printf("  seed %3d -> size %3d  phi %.4f  cached=%-5t members %v%s\n",
+				r.Seeds[0], r.Size, r.Conductance, r.Cached, r.Members, suffix)
+		}
+		agg := resp.Aggregate
+		fmt.Printf("  aggregate: %d queries, %d cache hits, best phi %.4f around seed %v, %.1f ms\n\n",
+			agg.Queries, agg.CacheHits, agg.BestConductance, agg.BestSeeds, agg.ElapsedMS)
+	}
+}
+
+// post sends one ClusterRequest and decodes the reply.
+func post(url string, req parcluster.ClusterRequest) parcluster.ClusterResponse {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(httpResp.Body).Decode(&eb)
+		log.Fatalf("POST %s: %s: %s", url, httpResp.Status, eb.Error)
+	}
+	var resp parcluster.ClusterResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}

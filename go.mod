@@ -1,0 +1,3 @@
+module parcluster
+
+go 1.21

@@ -1,0 +1,145 @@
+// Package api defines the wire types of the parcluster query service:
+// the JSON request/response pairs served by cmd/lgc-serve and implemented
+// by internal/service. It lives apart from the service implementation so
+// that the root parcluster package (and any client) can re-export or use
+// these types without pulling in net/http and expvar — importing a types
+// package must not register debug handlers on http.DefaultServeMux as an
+// import side effect.
+package api
+
+import "parcluster/internal/core"
+
+// Params carries the per-algorithm knobs of a ClusterRequest. Zero values
+// select the paper's Table 3 defaults (the same defaults as the top-level
+// parcluster options structs). Only the fields of the requested algorithm
+// are consulted.
+type Params struct {
+	Alpha   float64 `json:"alpha,omitempty"`   // PR-Nibble teleportation (default 0.01)
+	Epsilon float64 `json:"epsilon,omitempty"` // truncation / push threshold (per-algo default)
+	T       int     `json:"t,omitempty"`       // Nibble iteration cap (default 20)
+	HeatT   float64 `json:"heat_t,omitempty"`  // heat kernel temperature (default 10)
+	N       int     `json:"n,omitempty"`       // HK-PR Taylor degree (default 20)
+	K       int     `json:"k,omitempty"`       // rand-HK-PR walk length cap (default 10)
+	Walks   int     `json:"walks,omitempty"`   // rand-HK-PR walk count (default 100000)
+	// WalkSeed drives rand-HK-PR's and the evolving set's randomness; results
+	// are deterministic (and therefore cacheable) for a fixed value.
+	WalkSeed uint64 `json:"walk_seed,omitempty"`
+	// Beta in (0,1) selects PR-Nibble's β-fraction variant (§3.3).
+	Beta float64 `json:"beta,omitempty"`
+	// OriginalRule selects the unoptimized PR-Nibble push rule.
+	OriginalRule bool `json:"original_rule,omitempty"`
+	// MaxIter / TargetPhi / GrowOnly configure the evolving set process.
+	MaxIter   int     `json:"max_iter,omitempty"`
+	TargetPhi float64 `json:"target_phi,omitempty"`
+	GrowOnly  bool    `json:"grow_only,omitempty"`
+}
+
+// ClusterRequest asks for local clusters around one or more seed vertices
+// of a registered graph (POST /v1/cluster).
+type ClusterRequest struct {
+	// Graph names a registry entry (or, when the registry allows dynamic
+	// specs, a generator spec such as "caveman:cliques=16,k=12").
+	Graph string `json:"graph"`
+	// Algo is one of "nibble", "prnibble" (default), "hkpr", "randhk",
+	// "evolving".
+	Algo string `json:"algo,omitempty"`
+	// Seeds is the non-empty list of seed vertices. Each seed is an
+	// independent query fanned across the worker pool, unless SeedSet is
+	// set, in which case the whole list seeds one diffusion (footnote 5).
+	Seeds   []uint32 `json:"seeds"`
+	SeedSet bool     `json:"seed_set,omitempty"`
+	// Procs is this request's worker budget per diffusion; it is clamped
+	// to the engine's per-query maximum (0 = that maximum).
+	Procs int `json:"procs,omitempty"`
+	// NoCache bypasses the result cache (the result is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+	// MaxMembers truncates each result's member list in the response
+	// (0 = return all members). Size always reports the true size.
+	MaxMembers int    `json:"max_members,omitempty"`
+	Params     Params `json:"params,omitempty"`
+}
+
+// ClusterResult is one cluster: the outcome of a single diffusion + sweep
+// (or evolving set run) from Seeds.
+type ClusterResult struct {
+	Seeds       []uint32   `json:"seeds"`
+	Members     []uint32   `json:"members"`
+	Size        int        `json:"size"`
+	Truncated   bool       `json:"truncated,omitempty"`
+	Conductance float64    `json:"conductance"`
+	Volume      uint64     `json:"volume"`
+	Cut         uint64     `json:"cut"`
+	Stats       core.Stats `json:"stats"`
+	Cached      bool       `json:"cached"`
+}
+
+// Aggregate summarizes a batch of results.
+type Aggregate struct {
+	Queries         int      `json:"queries"`
+	CacheHits       int      `json:"cache_hits"`
+	BestConductance float64  `json:"best_conductance"`
+	BestSeeds       []uint32 `json:"best_seeds,omitempty"`
+	MeanSize        float64  `json:"mean_size"`
+	TotalPushes     int64    `json:"total_pushes"`
+	TotalEdges      int64    `json:"total_edges"`
+	ElapsedMS       float64  `json:"elapsed_ms"`
+}
+
+// ClusterResponse is the reply to a ClusterRequest.
+type ClusterResponse struct {
+	Graph     string          `json:"graph"`
+	Vertices  int             `json:"vertices"`
+	Edges     uint64          `json:"edges"`
+	Algo      string          `json:"algo"`
+	Results   []ClusterResult `json:"results"`
+	Aggregate Aggregate       `json:"aggregate"`
+}
+
+// NCPRequest asks for a network community profile of a registered graph
+// (POST /v1/ncp).
+type NCPRequest struct {
+	Graph string `json:"graph"`
+	// Seeds is the number of random seed vertices (default 100); ignored
+	// when SeedVertices is non-empty.
+	Seeds        int       `json:"seeds,omitempty"`
+	SeedVertices []uint32  `json:"seed_vertices,omitempty"`
+	Alphas       []float64 `json:"alphas,omitempty"`
+	Epsilons     []float64 `json:"epsilons,omitempty"`
+	MaxSize      int       `json:"max_size,omitempty"`
+	// Envelope returns the log-binned lower envelope instead of the raw
+	// scatter.
+	Envelope bool   `json:"envelope,omitempty"`
+	Procs    int    `json:"procs,omitempty"`
+	RNGSeed  uint64 `json:"rng_seed,omitempty"`
+}
+
+// NCPResponse is the reply to an NCPRequest.
+type NCPResponse struct {
+	Graph     string          `json:"graph"`
+	Points    []core.NCPPoint `json:"points"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// GraphInfo describes one entry of the service's graph registry
+// (GET /v1/graphs).
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Loaded   bool   `json:"loaded"`
+	Vertices int    `json:"vertices,omitempty"`
+	Edges    uint64 `json:"edges,omitempty"`
+}
+
+// EngineStats is a snapshot of the query engine's counters
+// (GET /v1/stats and the "lgc" expvar).
+type EngineStats struct {
+	Queries      int64   `json:"queries"`
+	Errors       int64   `json:"errors"`
+	InFlight     int64   `json:"in_flight"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	Diffusions   int64   `json:"diffusions"`
+	GraphLoads   int64   `json:"graph_loads"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	ProcBudget   int     `json:"proc_budget"`
+}

@@ -37,13 +37,13 @@ type Stats struct {
 	// Pushes counts vertex push/processing operations. For PR-Nibble this
 	// is exactly the paper's Table 1 push count; for Nibble and HK-PR it
 	// counts frontier-vertex processings; for rand-HK-PR it counts walks.
-	Pushes int64
+	Pushes int64 `json:"pushes"`
 	// Iterations counts parallel rounds (or, for the sequential queue
 	// algorithms, queue pops — which equals Pushes there).
-	Iterations int
+	Iterations int `json:"iterations"`
 	// EdgesTouched counts edge traversals, the quantity the work bounds
 	// (Theorems 2–5) speak about.
-	EdgesTouched int64
+	EdgesTouched int64 `json:"edges_touched"`
 }
 
 func (s Stats) String() string {

@@ -21,6 +21,10 @@ type NCPOptions struct {
 	// Seeds is the number of random seed vertices (the paper uses 10^5 for
 	// Figure 12).
 	Seeds int
+	// SeedVertices, when non-empty, is an explicit list of seed vertices to
+	// profile from instead of Seeds random draws. Out-of-range and isolated
+	// vertices are skipped.
+	SeedVertices []uint32
 	// Alphas and Epsilons are the PR-Nibble parameter grids; every seed is
 	// run with every (alpha, epsilon) combination. Defaults: {0.1, 0.01,
 	// 0.001} and {1e-5, 1e-6, 1e-7}.
@@ -32,6 +36,10 @@ type NCPOptions struct {
 	Procs int
 	// Seed drives the random choice of seed vertices.
 	Seed uint64
+	// Cancel, when non-nil, stops the computation early at the next seed
+	// boundary once closed; the points collected so far are returned. Long
+	// profiles (the paper's 1e5 seeds) would otherwise be unstoppable.
+	Cancel <-chan struct{}
 }
 
 func (o *NCPOptions) defaults() {
@@ -49,8 +57,8 @@ func (o *NCPOptions) defaults() {
 // NCPPoint is one point of the profile: the best (lowest) conductance seen
 // for any swept cluster of exactly Size vertices.
 type NCPPoint struct {
-	Size        int
-	Conductance float64
+	Size        int     `json:"size"`
+	Conductance float64 `json:"conductance"`
 }
 
 // NCP computes the network community profile of g. The returned points are
@@ -69,8 +77,28 @@ func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
 	best := make(map[int]float64)
 	r := rng.New(opts.Seed)
 	procs := parallel.ResolveProcs(opts.Procs)
-	for s := 0; s < opts.Seeds; s++ {
-		seed := uint32(r.Intn(n))
+	runs := opts.Seeds
+	if len(opts.SeedVertices) > 0 {
+		runs = len(opts.SeedVertices)
+	}
+	for s := 0; s < runs; s++ {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return finishNCP(best)
+			default:
+			}
+		}
+		var seed uint32
+		if len(opts.SeedVertices) > 0 {
+			seed = opts.SeedVertices[s]
+			// Compare in uint64: int(seed) can wrap negative on 32-bit.
+			if uint64(seed) >= uint64(n) {
+				continue
+			}
+		} else {
+			seed = uint32(r.Intn(n))
+		}
 		if g.Degree(seed) == 0 {
 			continue // isolated vertices produce no sweepable mass
 		}
@@ -93,6 +121,10 @@ func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
 			}
 		}
 	}
+	return finishNCP(best)
+}
+
+func finishNCP(best map[int]float64) []NCPPoint {
 	points := make([]NCPPoint, 0, len(best))
 	for size, phi := range best {
 		points = append(points, NCPPoint{Size: size, Conductance: phi})

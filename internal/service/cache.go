@@ -1,0 +1,70 @@
+package service
+
+import "container/list"
+
+// lruCache is a fixed-capacity LRU map from cache key to a completed
+// cluster result. Graphs are immutable and the algorithms deterministic
+// given their parameters, so entries never go stale; eviction is purely
+// capacity-driven. The cache itself does no locking: every access —
+// including get, whose recency bump mutates the list — must hold
+// Engine.cacheMu (see Engine.runCached and Engine.Stats).
+type lruCache struct {
+	max   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // value: *lruEntry
+}
+
+type lruEntry struct {
+	key string
+	val *ClusterResult
+}
+
+// newLRUCache returns a cache holding at most max entries; max <= 0
+// returns a nil cache, which get/put treat as disabled.
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		return nil
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache) get(key string) (*ClusterResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) put(key string, val *ClusterResult) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}

@@ -1,0 +1,51 @@
+package service
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	r := func(seed uint32) *ClusterResult { return &ClusterResult{Seeds: []uint32{seed}} }
+	c.put("a", r(1))
+	c.put("b", r(2))
+	c.put("c", r(3)) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, ok := c.get("b"); !ok || v.Seeds[0] != 2 {
+		t.Fatalf("b = (%v, %v), want hit", v, ok)
+	}
+	// b is now most recent, so adding d evicts c.
+	c.put("d", r(4))
+	if _, ok := c.get("c"); ok {
+		t.Fatal("c should have been evicted after b was refreshed")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("b should have survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", &ClusterResult{Size: 1})
+	c.put("a", &ClusterResult{Size: 2})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 after double put", c.len())
+	}
+	if v, _ := c.get("a"); v.Size != 2 {
+		t.Fatalf("Size = %d, want the refreshed value 2", v.Size)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(0) // nil cache
+	c.put("a", &ClusterResult{})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache should never hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache should report len 0")
+	}
+}

@@ -1,0 +1,596 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcluster/internal/api"
+	"parcluster/internal/core"
+	"parcluster/internal/graph"
+	"parcluster/internal/sparse"
+)
+
+// The wire types live in internal/api so that clients (including the root
+// parcluster package) can use them without importing this package's
+// net/http and expvar dependencies; the aliases below keep service.X as
+// the canonical spelling inside the serving layer.
+
+// Params carries the per-algorithm knobs of a ClusterRequest.
+type Params = api.Params
+
+// ClusterRequest asks for local clusters around one or more seed vertices
+// of a registered graph.
+type ClusterRequest = api.ClusterRequest
+
+// ClusterResult is one cluster: the outcome of a single diffusion + sweep
+// (or evolving set run).
+type ClusterResult = api.ClusterResult
+
+// Aggregate summarizes a batch of results.
+type Aggregate = api.Aggregate
+
+// ClusterResponse is the reply to a ClusterRequest.
+type ClusterResponse = api.ClusterResponse
+
+// NCPRequest asks for a network community profile of a registered graph.
+type NCPRequest = api.NCPRequest
+
+// NCPResponse is the reply to an NCPRequest.
+type NCPResponse = api.NCPResponse
+
+// EngineStats is a snapshot of the engine's counters.
+type EngineStats = api.EngineStats
+
+// Config sizes an Engine.
+type Config struct {
+	// ProcBudget is the total worker-token pool shared by all in-flight
+	// diffusions (0 = GOMAXPROCS). A query waits until its budget is free.
+	ProcBudget int
+	// MaxProcsPerQuery clamps a single request's Procs (0 = ProcBudget).
+	MaxProcsPerQuery int
+	// CacheSize is the LRU result-cache capacity in entries (0 = 1024,
+	// negative = disable caching).
+	CacheSize int
+}
+
+// Engine dispatches typed requests to the core algorithms over graphs from
+// a Registry, with results cached in an LRU and concurrency bounded by a
+// proc-token pool. Safe for concurrent use.
+type Engine struct {
+	reg      *Registry
+	pool     *procPool
+	maxProcs int
+
+	cacheMu sync.Mutex
+	cache   *lruCache
+
+	// flights coalesces concurrent cache misses on the same key: the first
+	// arrival computes, later arrivals wait for its result instead of
+	// re-running the diffusion (same singleflight shape as Registry.loads).
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	queries    atomic.Int64
+	errors     atomic.Int64
+	inFlight   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	diffusions atomic.Int64
+	latencyUS  atomic.Int64
+	completed  atomic.Int64
+}
+
+// NewEngine builds an engine over reg.
+func NewEngine(reg *Registry, cfg Config) *Engine {
+	budget := cfg.ProcBudget
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	maxProcs := cfg.MaxProcsPerQuery
+	if maxProcs <= 0 || maxProcs > budget {
+		maxProcs = budget
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 1024
+	}
+	return &Engine{
+		reg:      reg,
+		pool:     newProcPool(budget),
+		maxProcs: maxProcs,
+		cache:    newLRUCache(size), // nil (disabled) when size < 0
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Registry returns the engine's graph registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// resolveProcs maps a request's Procs field to an effective per-diffusion
+// worker count: 0 (or anything out of range) means the per-query maximum,
+// as the request docs promise.
+func (e *Engine) resolveProcs(req int) int {
+	if req <= 0 || req > e.maxProcs {
+		return e.maxProcs
+	}
+	return req
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.cacheMu.Lock()
+	entries := e.cache.len()
+	e.cacheMu.Unlock()
+	s := EngineStats{
+		Queries:      e.queries.Load(),
+		Errors:       e.errors.Load(),
+		InFlight:     e.inFlight.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		CacheEntries: entries,
+		Diffusions:   e.diffusions.Load(),
+		GraphLoads:   e.reg.Loads(),
+		ProcBudget:   e.pool.size,
+	}
+	if n := e.completed.Load(); n > 0 {
+		s.AvgLatencyMS = float64(e.latencyUS.Load()) / float64(n) / 1e3
+	}
+	return s
+}
+
+// resolved holds an algorithm name plus its fully-defaulted parameters;
+// its string form is the canonical cache-key fragment.
+type resolved struct {
+	algo string
+	p    Params
+}
+
+// resolveParams applies the Table 3 defaults and validates the algorithm
+// name.
+func resolveParams(algo string, p Params) (resolved, error) {
+	if algo == "" {
+		algo = "prnibble"
+	}
+	switch algo {
+	case "nibble":
+		if p.Epsilon <= 0 {
+			p.Epsilon = 1e-8
+		}
+		if p.T <= 0 {
+			p.T = 20
+		}
+	case "prnibble":
+		if p.Alpha <= 0 {
+			p.Alpha = 0.01
+		}
+		if p.Epsilon <= 0 {
+			p.Epsilon = 1e-7
+		}
+	case "hkpr":
+		if p.HeatT <= 0 {
+			p.HeatT = 10
+		}
+		if p.N <= 0 {
+			p.N = 20
+		}
+		if p.Epsilon <= 0 {
+			p.Epsilon = 1e-7
+		}
+	case "randhk":
+		if p.HeatT <= 0 {
+			p.HeatT = 10
+		}
+		if p.K <= 0 {
+			p.K = 10
+		}
+		if p.Walks <= 0 {
+			p.Walks = 100000
+		}
+	case "evolving":
+		if p.MaxIter <= 0 {
+			p.MaxIter = 100
+		}
+	default:
+		return resolved{}, fmt.Errorf("%w: unknown algo %q (want nibble, prnibble, hkpr, randhk or evolving)", ErrBadRequest, algo)
+	}
+	return resolved{algo: algo, p: p}, nil
+}
+
+// key builds the canonical cache key for one unit of work. Only parameters
+// the algorithm consults appear, so equivalent requests collide as they
+// should. Procs is deliberately absent: every algorithm returns the same
+// result regardless of worker count.
+func (r resolved) key(graphName string, seeds []uint32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|", graphName, r.algo)
+	p := r.p
+	switch r.algo {
+	case "nibble":
+		fmt.Fprintf(&b, "eps=%g,T=%d", p.Epsilon, p.T)
+	case "prnibble":
+		fmt.Fprintf(&b, "a=%g,eps=%g,beta=%g,orig=%t", p.Alpha, p.Epsilon, p.Beta, p.OriginalRule)
+	case "hkpr":
+		fmt.Fprintf(&b, "t=%g,N=%d,eps=%g", p.HeatT, p.N, p.Epsilon)
+	case "randhk":
+		fmt.Fprintf(&b, "t=%g,K=%d,w=%d,rs=%d", p.HeatT, p.K, p.Walks, p.WalkSeed)
+	case "evolving":
+		fmt.Fprintf(&b, "it=%d,phi=%g,grow=%t,rs=%d", p.MaxIter, p.TargetPhi, p.GrowOnly, p.WalkSeed)
+	}
+	b.WriteString("|s=")
+	for i, s := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+// Cluster answers a ClusterRequest: validate, resolve the graph, fan the
+// units (one per seed, or one for the whole seed set) across the worker
+// pool with cache lookups in front, and aggregate. The context bounds
+// graph-load waits and pool queueing; a diffusion already running is not
+// interrupted.
+func (e *Engine) Cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, error) {
+	start := time.Now()
+	e.queries.Add(1)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+
+	resp, err := e.cluster(ctx, req)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	e.latencyUS.Add(time.Since(start).Microseconds())
+	e.completed.Add(1)
+	resp.Aggregate.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	return resp, nil
+}
+
+// Request-size bounds: a single request must not be able to monopolize the
+// server. maxSeedsPerRequest caps the batch fan-out of one ClusterRequest;
+// maxNCPRuns caps the seed count of one NCPRequest (the paper's own Figure
+// 12 uses 1e5 seeds). Oversized work belongs in multiple requests.
+const (
+	maxSeedsPerRequest = 10000
+	maxNCPRuns         = 100000
+)
+
+func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, error) {
+	if len(req.Seeds) == 0 {
+		return nil, fmt.Errorf("%w: empty seed list", ErrBadRequest)
+	}
+	if len(req.Seeds) > maxSeedsPerRequest {
+		return nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
+	}
+	rp, err := resolveParams(req.Algo, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	if rp.algo == "evolving" && req.SeedSet && len(req.Seeds) > 1 {
+		return nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
+	}
+	g, err := e.reg.Get(ctx, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	for _, s := range req.Seeds {
+		// Compare in uint64: int(s) can wrap negative on 32-bit platforms.
+		if uint64(s) >= uint64(n) {
+			return nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, n)
+		}
+	}
+	procs := e.resolveProcs(req.Procs)
+
+	var units [][]uint32
+	if req.SeedSet {
+		// Canonicalize: the diffusion depends only on the seed *set*, so
+		// sort a copy — permutations of the same set share one cache entry.
+		set := append([]uint32(nil), req.Seeds...)
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		units = [][]uint32{set}
+	} else {
+		units = make([][]uint32, len(req.Seeds))
+		for i, s := range req.Seeds {
+			units[i] = []uint32{s}
+		}
+	}
+
+	// Fan the units over a bounded set of workers: wide enough to keep the
+	// proc pool saturated with single-proc units, but not one goroutine per
+	// seed — a large batch must not burn a stack per unit.
+	workers := e.pool.size
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]ClusterResult, len(units))
+	errs := make([]error, len(units))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				res, err := e.runCached(ctx, g, req.Graph, units[i], rp, procs, req.NoCache)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = trim(res, req.MaxMembers)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	resp := &ClusterResponse{
+		Graph:    req.Graph,
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Algo:     rp.algo,
+		Results:  results,
+	}
+	resp.Aggregate = aggregate(results)
+	return resp, nil
+}
+
+// flight is one in-progress computation of a cache key.
+type flight struct {
+	done chan struct{}
+	res  *ClusterResult
+	err  error
+}
+
+// runCached answers one unit from the cache or runs it, acquiring the
+// unit's proc budget from the pool around the actual computation.
+// Concurrent misses on the same key coalesce into one computation; NoCache
+// requests bypass both the cache and the coalescing (they demand a fresh
+// run) but still store their result.
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, error) {
+	key := rp.key(graphName, seeds)
+	if noCache {
+		res, err := e.compute(ctx, g, key, seeds, rp, procs)
+		if err != nil {
+			return nil, err
+		}
+		out := *res
+		return &out, nil
+	}
+	for {
+		e.cacheMu.Lock()
+		res, ok := e.cache.get(key)
+		e.cacheMu.Unlock()
+		if ok {
+			e.hits.Add(1)
+			hit := *res // callers get a copy; the cached value stays immutable
+			hit.Cached = true
+			return &hit, nil
+		}
+		e.flightMu.Lock()
+		if f, ok := e.flights[key]; ok {
+			e.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					// The leader failed (e.g. its context was cancelled while
+					// queueing); retry from the top rather than inheriting an
+					// error that belongs to another request.
+					continue
+				}
+				e.hits.Add(1) // served without re-running the diffusion
+				hit := *f.res
+				hit.Cached = true
+				return &hit, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		e.flights[key] = f
+		e.flightMu.Unlock()
+		e.misses.Add(1) // only lookups that happened count toward the hit rate
+
+		f.res, f.err = e.compute(ctx, g, key, seeds, rp, procs)
+		e.flightMu.Lock()
+		delete(e.flights, key)
+		e.flightMu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return nil, f.err
+		}
+		out := *f.res
+		return &out, nil
+	}
+}
+
+// compute runs one diffusion under the proc pool and stores the result.
+func (e *Engine) compute(ctx context.Context, g *graph.CSR, key string, seeds []uint32, rp resolved, procs int) (*ClusterResult, error) {
+	if err := e.pool.acquire(ctx, procs); err != nil {
+		return nil, err
+	}
+	res := e.runUnit(g, seeds, rp, procs)
+	e.pool.release(procs)
+	e.cacheMu.Lock()
+	e.cache.put(key, res)
+	e.cacheMu.Unlock()
+	return res, nil
+}
+
+// runUnit executes one diffusion + sweep (or evolving set run).
+func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *ClusterResult {
+	e.diffusions.Add(1)
+	p := rp.p
+	if rp.algo == "evolving" {
+		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
+			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
+			Seed: p.WalkSeed, Procs: procs,
+		})
+		return &ClusterResult{
+			Seeds: seeds, Members: res.Set, Size: len(res.Set),
+			Conductance: res.Conductance, Volume: res.Volume, Cut: res.Cut, Stats: st,
+		}
+	}
+	var vec *sparse.Map
+	var st core.Stats
+	switch rp.algo {
+	case "nibble":
+		vec, st = core.NibbleParFrom(g, seeds, p.Epsilon, p.T, procs)
+	case "prnibble":
+		rule := core.OptimizedRule
+		if p.OriginalRule {
+			rule = core.OriginalRule
+		}
+		vec, st = core.PRNibbleParFrom(g, seeds, p.Alpha, p.Epsilon, rule, procs, p.Beta)
+	case "hkpr":
+		vec, st = core.HKPRParFrom(g, seeds, p.HeatT, p.N, p.Epsilon, procs)
+	case "randhk":
+		vec, st = core.RandHKPRParFrom(g, seeds, p.HeatT, p.K, p.Walks, p.WalkSeed, procs)
+	default:
+		panic("service: unreachable algo " + rp.algo) // resolveParams validated
+	}
+	return sweepResult(g, seeds, procs, vec, st)
+}
+
+// sweepResult rounds a diffusion vector into a ClusterResult.
+func sweepResult(g *graph.CSR, seeds []uint32, procs int, vec *sparse.Map, st core.Stats) *ClusterResult {
+	out := &ClusterResult{Seeds: seeds, Stats: st, Conductance: 1}
+	if vec.Len() == 0 {
+		return out
+	}
+	res := core.SweepCutPar(g, vec, procs)
+	out.Members = res.Cluster
+	out.Size = len(res.Cluster)
+	out.Conductance = res.Conductance
+	out.Volume = res.Volume
+	out.Cut = res.Cut
+	return out
+}
+
+// trim copies res into a response entry, truncating the member list to
+// maxMembers if requested (the cached original keeps all members).
+func trim(res *ClusterResult, maxMembers int) ClusterResult {
+	out := *res
+	if maxMembers > 0 && len(out.Members) > maxMembers {
+		out.Members = out.Members[:maxMembers:maxMembers]
+		out.Truncated = true
+	}
+	return out
+}
+
+// aggregate folds per-unit results into batch statistics.
+func aggregate(results []ClusterResult) Aggregate {
+	agg := Aggregate{Queries: len(results), BestConductance: 2}
+	var sizes int
+	for _, r := range results {
+		if r.Cached {
+			agg.CacheHits++
+		}
+		if r.Conductance < agg.BestConductance {
+			agg.BestConductance = r.Conductance
+			agg.BestSeeds = r.Seeds
+		}
+		sizes += r.Size
+		agg.TotalPushes += r.Stats.Pushes
+		agg.TotalEdges += r.Stats.EdgesTouched
+	}
+	if len(results) > 0 {
+		agg.MeanSize = float64(sizes) / float64(len(results))
+	}
+	if agg.BestConductance > 1 {
+		agg.BestConductance = 1
+	}
+	return agg
+}
+
+// NCP answers an NCPRequest. The whole profile acquires its proc budget
+// once, since the inner loop runs many diffusions back to back.
+func (e *Engine) NCP(ctx context.Context, req *NCPRequest) (*NCPResponse, error) {
+	start := time.Now()
+	e.queries.Add(1)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+
+	resp, err := e.ncp(ctx, req)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	e.latencyUS.Add(time.Since(start).Microseconds())
+	e.completed.Add(1)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	return resp, nil
+}
+
+func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error) {
+	if req.Seeds > maxNCPRuns || len(req.SeedVertices) > maxNCPRuns {
+		return nil, fmt.Errorf("%w: seed count exceeds the per-request maximum %d", ErrBadRequest, maxNCPRuns)
+	}
+	for _, a := range req.Alphas {
+		if a <= 0 || a >= 1 {
+			return nil, fmt.Errorf("%w: alpha %g outside (0,1)", ErrBadRequest, a)
+		}
+	}
+	for _, eps := range req.Epsilons {
+		if eps <= 0 || eps >= 1 {
+			return nil, fmt.Errorf("%w: epsilon %g outside (0,1)", ErrBadRequest, eps)
+		}
+	}
+	g, err := e.reg.Get(ctx, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range req.SeedVertices {
+		if uint64(s) >= uint64(g.NumVertices()) {
+			return nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, g.NumVertices())
+		}
+	}
+	procs := e.resolveProcs(req.Procs)
+	if err := e.pool.acquire(ctx, procs); err != nil {
+		return nil, err
+	}
+	defer e.pool.release(procs)
+
+	points := core.NCP(g, core.NCPOptions{
+		Seeds:        req.Seeds,
+		SeedVertices: req.SeedVertices,
+		Alphas:       req.Alphas,
+		Epsilons:     req.Epsilons,
+		MaxSize:      req.MaxSize,
+		Procs:        procs,
+		Seed:         req.RNGSeed,
+		Cancel:       ctx.Done(),
+	})
+	if err := ctx.Err(); err != nil {
+		// The client went away mid-profile; don't return a partial answer
+		// as if it were complete.
+		return nil, err
+	}
+	if req.Envelope {
+		points = core.LowerEnvelope(points)
+	}
+	if points == nil {
+		points = []core.NCPPoint{} // an empty JSON array, not null
+	}
+	// core.NCP and LowerEnvelope both return points sorted by size.
+	return &NCPResponse{Graph: req.Graph, Points: points}, nil
+}

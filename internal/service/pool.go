@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// procPool is a counting semaphore over worker ("proc") tokens. Every
+// diffusion acquires its proc budget before running and releases it after,
+// so the total number of workers across all in-flight queries never
+// exceeds the pool size — a burst of queries queues up instead of
+// oversubscribing the machine.
+//
+// Waiters are served FIFO: a wide request at the head of the queue blocks
+// narrower requests behind it until it gets its tokens, which trades a
+// little utilization for freedom from starvation.
+type procPool struct {
+	mu      sync.Mutex
+	size    int
+	avail   int
+	waiters []*procWaiter
+}
+
+type procWaiter struct {
+	n       int
+	ready   chan struct{} // closed by release once tokens are assigned
+	granted bool
+}
+
+func newProcPool(size int) *procPool {
+	if size < 1 {
+		size = 1
+	}
+	return &procPool{size: size, avail: size}
+}
+
+// clamp bounds a requested per-query proc count to the pool size so no
+// single request can deadlock waiting for more tokens than exist.
+func (p *procPool) clamp(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.size {
+		n = p.size
+	}
+	return n
+}
+
+// acquire blocks until n tokens (n must be pre-clamped) are available or
+// ctx is done. On success the caller owns the tokens and must release them.
+func (p *procPool) acquire(ctx context.Context, n int) error {
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.avail >= n {
+		p.avail -= n
+		p.mu.Unlock()
+		return nil
+	}
+	w := &procWaiter{n: n, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// release raced with the cancellation and already assigned the
+			// tokens; hand them straight back.
+			p.mu.Unlock()
+			p.release(n)
+			return ctx.Err()
+		}
+		for i, q := range p.waiters {
+			if q == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				break
+			}
+		}
+		// Removing a wide waiter from the head can unblock narrower ones
+		// already satisfiable with the current tokens.
+		p.wakeLocked()
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns n tokens and wakes queued waiters in FIFO order.
+func (p *procPool) release(n int) {
+	p.mu.Lock()
+	p.avail += n
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+// wakeLocked grants tokens to the longest-waiting satisfiable waiters.
+// Callers must hold p.mu.
+func (p *procPool) wakeLocked() {
+	for len(p.waiters) > 0 && p.waiters[0].n <= p.avail {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.avail -= w.n
+		w.granted = true
+		close(w.ready)
+	}
+}

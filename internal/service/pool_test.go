@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProcPoolBoundsConcurrency(t *testing.T) {
+	p := newProcPool(4)
+	var inUse, maxInUse atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.acquire(context.Background(), 2); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			cur := inUse.Add(2)
+			for {
+				old := maxInUse.Load()
+				if cur <= old || maxInUse.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-2)
+			p.release(2)
+		}()
+	}
+	wg.Wait()
+	if got := maxInUse.Load(); got > 4 {
+		t.Fatalf("max tokens in use = %d, exceeds pool size 4", got)
+	}
+	if p.avail != 4 {
+		t.Fatalf("avail = %d after all releases, want 4", p.avail)
+	}
+}
+
+func TestProcPoolCancel(t *testing.T) {
+	p := newProcPool(1)
+	if err := p.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.acquire(ctx, 1); err == nil {
+		t.Fatal("acquire should fail once the context times out")
+	}
+	p.release(1)
+	// The cancelled waiter must not linger and eat the released token.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := p.acquire(ctx2, 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	p.release(1)
+}
+
+func TestProcPoolCancelWakesNarrowerWaiter(t *testing.T) {
+	p := newProcPool(4)
+	if err := p.acquire(context.Background(), 2); err != nil { // A holds 2
+		t.Fatal(err)
+	}
+	// B wants the full pool and queues at the head.
+	bCtx, cancelB := context.WithCancel(context.Background())
+	bErr := make(chan error, 1)
+	go func() { bErr <- p.acquire(bCtx, 4) }()
+	for { // wait until B is queued
+		p.mu.Lock()
+		queued := len(p.waiters) == 1
+		p.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// C wants 2 — satisfiable right now, but FIFO-blocked behind B.
+	cDone := make(chan error, 1)
+	go func() { cDone <- p.acquire(context.Background(), 2) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-cDone:
+		t.Fatal("C acquired past B, breaking FIFO")
+	default:
+	}
+	// Cancelling B must wake C immediately — without waiting for A.
+	cancelB()
+	if err := <-bErr; err == nil {
+		t.Fatal("B should have been cancelled")
+	}
+	select {
+	case err := <-cDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("C still blocked after the head waiter was cancelled")
+	}
+	p.release(2) // C
+	p.release(2) // A
+	if p.avail != 4 {
+		t.Fatalf("avail = %d, want 4", p.avail)
+	}
+}
+
+func TestProcPoolClamp(t *testing.T) {
+	p := newProcPool(4)
+	for in, want := range map[int]int{-3: 1, 0: 1, 3: 3, 9: 4} {
+		if got := p.clamp(in); got != want {
+			t.Errorf("clamp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parcluster/internal/api"
+	"parcluster/internal/gen"
+	"parcluster/internal/graph"
+)
+
+// Source produces a graph on demand. procs is the worker count to use for
+// the (parallel) load or generation.
+type Source func(procs int) (*graph.CSR, error)
+
+// GraphInfo describes one registry entry for listings.
+type GraphInfo = api.GraphInfo
+
+// Registry is a concurrency-safe catalog of graphs. Sources are registered
+// under a name and materialized lazily on first Get; concurrent Gets for
+// the same name share a single load (singleflight), and a successful load
+// is kept forever — graphs are immutable, so every query receives the same
+// *graph.CSR. A failed load is not kept: the error is reported to everyone
+// waiting on that load, and the next Get retries the source.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]Source
+	loads   map[string]*load
+	procs   int
+	dynamic bool
+	// dynamicCount / dynamicLimit bound how many distinct on-the-fly specs
+	// clients can materialize: loaded graphs are pinned forever, so without
+	// a cap dynamic mode would let a client grow the process without bound.
+	dynamicCount int
+	dynamicLimit int
+
+	loadCount atomic.Int64 // completed successful loads, for tests and stats
+}
+
+// maxDynamicGraphs caps the number of distinct client-supplied generator
+// specs a dynamic registry will materialize. Operator-registered graphs
+// are not counted.
+const maxDynamicGraphs = 64
+
+// load is one singleflight slot: the first Get for a name creates it and
+// runs the source; everyone else waits on done.
+type load struct {
+	done chan struct{}
+	g    *graph.CSR
+	err  error
+}
+
+// NewRegistry returns an empty registry. procs is the worker count passed
+// to sources (<= 0 = all cores). If dynamic is true, a Get for an
+// unregistered name is interpreted as a generator spec (e.g.
+// "caveman:cliques=16,k=12" or a Table 2 stand-in name) and generated on
+// the fly; the materialized graph is then cached like any other entry.
+func NewRegistry(procs int, dynamic bool) *Registry {
+	return &Registry{
+		sources:      make(map[string]Source),
+		loads:        make(map[string]*load),
+		procs:        procs,
+		dynamic:      dynamic,
+		dynamicLimit: maxDynamicGraphs,
+	}
+}
+
+// Register adds a named source. Re-registering a name replaces the source
+// but does not invalidate an already-loaded graph.
+func (r *Registry) Register(name string, src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[name] = src
+}
+
+// RegisterGraph adds an already-materialized graph.
+func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[name] = func(int) (*graph.CSR, error) { return g, nil }
+	r.loads[name] = &load{done: closedChan, g: g}
+}
+
+// RegisterFile adds a graph file source (.adj, .bin, or edge list; see
+// graph.LoadFile). The file is read on first query.
+func (r *Registry) RegisterFile(name, path string) {
+	r.Register(name, func(p int) (*graph.CSR, error) { return graph.LoadFile(p, path) })
+}
+
+// RegisterSpec adds a generator-spec source ("barbell:k=20", "soc-LJ", ...).
+// The spec is parsed now (so typos fail at registration time) but generated
+// on first query.
+func (r *Registry) RegisterSpec(name, spec string) error {
+	s, err := gen.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	r.Register(name, func(p int) (*graph.CSR, error) { return gen.Generate(p, s) })
+	return nil
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Get resolves name to its graph, loading it if necessary. Concurrent
+// calls for the same unloaded name perform one load between them. The
+// context only bounds this caller's wait — an in-flight load itself is
+// never abandoned, since another waiter may still want it.
+func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
+	r.mu.Lock()
+	if l, ok := r.loads[name]; ok {
+		r.mu.Unlock()
+		return l.wait(ctx)
+	}
+	src, ok := r.sources[name]
+	isDynamic := false
+	if !ok {
+		if !r.dynamic {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+		}
+		if r.dynamicCount >= r.dynamicLimit {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: dynamic graph limit reached (%d specs materialized); register graphs at startup instead", ErrBadRequest, r.dynamicLimit)
+		}
+		spec, err := gen.ParseSpec(name)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
+		}
+		isDynamic = true
+		src = func(p int) (*graph.CSR, error) {
+			g, err := gen.Generate(p, spec)
+			if err != nil {
+				// An unparseable or unknown recipe is "no such graph", not a
+				// server fault.
+				return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
+			}
+			return g, nil
+		}
+	}
+	l := &load{done: make(chan struct{})}
+	r.loads[name] = l
+	if isDynamic {
+		r.dynamicCount++
+	}
+	r.mu.Unlock()
+
+	l.g, l.err = src(r.procs)
+	if l.err != nil {
+		r.mu.Lock()
+		delete(r.loads, name) // let the next Get retry
+		if isDynamic {
+			r.dynamicCount--
+		}
+		r.mu.Unlock()
+	} else {
+		r.loadCount.Add(1)
+	}
+	close(l.done)
+	return l.g, l.err
+}
+
+func (l *load) wait(ctx context.Context) (*graph.CSR, error) {
+	select {
+	case <-l.done:
+		return l.g, l.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Loads returns the number of successful graph loads performed — with
+// singleflight dedup this stays at one per distinct graph no matter how
+// many concurrent queries raced on it.
+func (r *Registry) Loads() int64 { return r.loadCount.Load() }
+
+// List describes every registered or materialized graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.sources)+len(r.loads))
+	var out []GraphInfo
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		info := GraphInfo{Name: name}
+		if l, ok := r.loads[name]; ok {
+			select {
+			case <-l.done:
+				if l.err == nil {
+					info.Loaded = true
+					info.Vertices = l.g.NumVertices()
+					info.Edges = l.g.NumEdges()
+				}
+			default: // load in flight; report as not yet loaded
+			}
+		}
+		out = append(out, info)
+	}
+	for name := range r.sources {
+		add(name)
+	}
+	for name := range r.loads {
+		add(name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

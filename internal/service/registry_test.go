@@ -1,0 +1,153 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parcluster/internal/gen"
+	"parcluster/internal/graph"
+)
+
+func TestRegistrySingleflight(t *testing.T) {
+	reg := NewRegistry(1, false)
+	var calls atomic.Int64
+	reg.Register("g", func(int) (*graph.CSR, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond) // widen the race window
+		return gen.Caveman(4, 6), nil
+	})
+
+	const clients = 16
+	got := make([]*graph.CSR, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := reg.Get(context.Background(), "g")
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("source called %d times, want 1 (singleflight)", n)
+	}
+	if reg.Loads() != 1 {
+		t.Fatalf("Loads() = %d, want 1", reg.Loads())
+	}
+	for i := 1; i < clients; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("client %d got a different *CSR than client 0", i)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	reg := NewRegistry(1, false)
+	if _, err := reg.Get(context.Background(), "nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRegistryDynamicSpec(t *testing.T) {
+	reg := NewRegistry(1, true)
+	g, err := reg.Get(context.Background(), "caveman:cliques=4,k=6")
+	if err != nil {
+		t.Fatalf("dynamic Get: %v", err)
+	}
+	if g.NumVertices() != 24 {
+		t.Fatalf("n = %d, want 24", g.NumVertices())
+	}
+	// A second Get reuses the materialized graph.
+	g2, err := reg.Get(context.Background(), "caveman:cliques=4,k=6")
+	if err != nil || g2 != g {
+		t.Fatalf("second Get = (%p, %v), want cached %p", g2, err, g)
+	}
+	if reg.Loads() != 1 {
+		t.Fatalf("Loads() = %d, want 1", reg.Loads())
+	}
+	if _, err := reg.Get(context.Background(), "nosuchrecipe"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown recipe err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRegistryDynamicLimit(t *testing.T) {
+	reg := NewRegistry(1, true)
+	reg.dynamicLimit = 2
+	for _, spec := range []string{"caveman:cliques=2,k=3", "barbell:k=4"} {
+		if _, err := reg.Get(context.Background(), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Get(context.Background(), "star:n=5"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("over-limit dynamic Get: err = %v, want ErrBadRequest", err)
+	}
+	// Already-materialized dynamic graphs and registered names still work.
+	if _, err := reg.Get(context.Background(), "barbell:k=4"); err != nil {
+		t.Fatalf("cached dynamic graph rejected: %v", err)
+	}
+	reg.RegisterGraph("pinned", gen.Caveman(2, 4))
+	if _, err := reg.Get(context.Background(), "pinned"); err != nil {
+		t.Fatalf("registered graph rejected at dynamic limit: %v", err)
+	}
+}
+
+func TestRegistryRetryAfterError(t *testing.T) {
+	reg := NewRegistry(1, false)
+	var calls atomic.Int64
+	reg.Register("flaky", func(int) (*graph.CSR, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return gen.Caveman(2, 4), nil
+	})
+	if _, err := reg.Get(context.Background(), "flaky"); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	g, err := reg.Get(context.Background(), "flaky")
+	if err != nil || g == nil {
+		t.Fatalf("second Get = (%v, %v), want success", g, err)
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	reg := NewRegistry(1, false)
+	if err := reg.RegisterSpec("lazy", "barbell:k=8"); err != nil {
+		t.Fatal(err)
+	}
+	reg.RegisterGraph("eager", gen.Caveman(2, 4))
+	infos := reg.List()
+	if len(infos) != 2 {
+		t.Fatalf("List len = %d, want 2", len(infos))
+	}
+	byName := map[string]GraphInfo{}
+	for _, gi := range infos {
+		byName[gi.Name] = gi
+	}
+	if gi := byName["eager"]; !gi.Loaded || gi.Vertices != 8 {
+		t.Fatalf("eager = %+v, want loaded with 8 vertices", gi)
+	}
+	if gi := byName["lazy"]; gi.Loaded {
+		t.Fatalf("lazy = %+v, want not loaded before first Get", gi)
+	}
+	if _, err := reg.Get(context.Background(), "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	for _, gi := range reg.List() {
+		if gi.Name == "lazy" && !gi.Loaded {
+			t.Fatalf("lazy still unloaded after Get: %+v", gi)
+		}
+	}
+	if err := reg.RegisterSpec("bad", "barbell:k=oops"); err == nil {
+		t.Fatal("RegisterSpec should reject an unparseable spec")
+	}
+}

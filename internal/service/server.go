@@ -1,0 +1,237 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; a cluster request is a few KB even
+// with thousands of seeds, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP/JSON front end over an Engine. It serves
+//
+//	POST /v1/cluster  — ClusterRequest -> ClusterResponse
+//	POST /v1/ncp      — NCPRequest -> NCPResponse
+//	GET  /v1/graphs   — registry listing
+//	GET  /v1/stats    — EngineStats
+//	GET  /healthz     — liveness probe
+//	GET  /debug/vars  — expvar (aggregated over all engines in-process)
+//
+// Errors come back as {"error": "..."} with 400 for invalid requests,
+// 404 for unknown graphs and 405 for wrong methods. Build one with
+// NewServer and mount it as an http.Handler.
+type Server struct {
+	eng     *Engine
+	mux     *http.ServeMux
+	started time.Time
+	// Logf receives one line per failed request (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps eng in an HTTP handler and registers it with the
+// process-wide expvar export.
+func NewServer(eng *Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("/v1/ncp", s.handleNCP)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	publishExpvar(eng)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close detaches the server's engine from the process-wide expvar export.
+// A long-lived daemon never needs it; embedders that build and discard
+// servers (per tenant, per config reload) must call it, or the global
+// export pins the engine — and with it the registry's loaded graphs —
+// for the life of the process.
+func (s *Server) Close() {
+	expMu.Lock()
+	defer expMu.Unlock()
+	for i, e := range expEngines {
+		if e == s.eng {
+			expEngines = append(expEngines[:i], expEngines[i+1:]...)
+			return
+		}
+	}
+}
+
+// expvar's registry is process-global and panics on duplicate names, so
+// all engines (tests build several) share one "lgc" Func that sums their
+// counters at read time. Server.Close removes an engine from the export.
+var (
+	expOnce    sync.Once
+	expMu      sync.Mutex
+	expEngines []*Engine
+)
+
+func publishExpvar(e *Engine) {
+	expMu.Lock()
+	expEngines = append(expEngines, e)
+	expMu.Unlock()
+	expOnce.Do(func() {
+		expvar.Publish("lgc", expvar.Func(func() any {
+			expMu.Lock()
+			engines := append([]*Engine(nil), expEngines...)
+			expMu.Unlock()
+			var total EngineStats
+			var latW float64
+			for _, e := range engines {
+				st := e.Stats()
+				total.Queries += st.Queries
+				total.Errors += st.Errors
+				total.InFlight += st.InFlight
+				total.CacheHits += st.CacheHits
+				total.CacheMisses += st.CacheMisses
+				total.CacheEntries += st.CacheEntries
+				total.Diffusions += st.Diffusions
+				total.GraphLoads += st.GraphLoads
+				total.ProcBudget += st.ProcBudget
+				latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
+			}
+			if done := total.Queries - total.Errors; done > 0 {
+				total.AvgLatencyMS = latW / float64(done)
+			}
+			return total
+		}))
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// decode reads a JSON body into dst, rejecting unknown fields and
+// trailing garbage so malformed requests fail loudly instead of running a
+// default query.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("lgc-serve: encoding response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps engine errors to HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, http.ErrHandlerTimeout):
+		status = http.StatusServiceUnavailable
+	case r.Context().Err() != nil:
+		// The client went away; the status is moot but pick one anyway.
+		status = http.StatusServiceUnavailable
+	}
+	if status == http.StatusInternalServerError {
+		s.logf("lgc-serve: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	// Strip the sentinel prefix; the status code already carries it.
+	msg := strings.TrimPrefix(err.Error(), ErrBadRequest.Error()+": ")
+	s.writeJSON(w, status, errorBody{Error: msg})
+}
+
+// requireMethod writes a 405 and returns false when the method mismatches.
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "method " + r.Method + " not allowed"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ClusterRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp, err := s.eng.Cluster(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNCP(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req NCPRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp, err := s.eng.NCP(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}{Graphs: s.eng.Registry().List()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}{Status: "ok", Uptime: time.Since(s.started).Seconds()})
+}

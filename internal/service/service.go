@@ -1,0 +1,42 @@
+// Package service is the serving layer of parcluster: it turns the one-shot
+// clustering pipeline (diffusion + sweep cut) into a long-lived query engine
+// suitable for the paper's interactive-analyst workload (§1), where many
+// cheap local queries are issued against a huge shared graph.
+//
+// The package provides four pieces:
+//
+//   - Registry: a concurrency-safe graph catalog that loads or generates
+//     each graph exactly once (concurrent requests for the same graph are
+//     deduplicated, singleflight style) and hands the immutable CSR out to
+//     every query.
+//   - Engine: a query engine dispatching typed ClusterRequest / NCPRequest
+//     values to the core algorithms. Per-request proc budgets are enforced
+//     by a bounded token pool, so a burst of queries cannot oversubscribe
+//     the machine: at most Config.ProcBudget workers run across all
+//     in-flight queries, and excess queries wait their turn (FIFO).
+//   - an LRU result cache keyed on (graph, algorithm, parameters, seeds).
+//     Graphs are immutable and every algorithm is deterministic given its
+//     parameters (rand-HK-PR and the evolving set process take explicit
+//     RNG seeds), so a cached result is exactly the result a re-run would
+//     produce.
+//   - Server: an HTTP/JSON front end (see cmd/lgc-serve) exposing
+//     POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
+//     GET /healthz and expvar counters, using only the standard library.
+//
+// Batched multi-seed queries: a ClusterRequest carries a list of seed
+// vertices. By default each seed is an independent query fanned across the
+// worker pool (per-seed clusters plus aggregate statistics come back
+// together); with SeedSet the whole list instead seeds a single diffusion
+// (footnote 5 of the paper).
+package service
+
+import "errors"
+
+// ErrUnknownGraph reports a request against a graph name the registry
+// cannot resolve. The HTTP layer maps it to 404.
+var ErrUnknownGraph = errors.New("unknown graph")
+
+// ErrBadRequest reports a request that is syntactically valid JSON but
+// semantically invalid (unknown algorithm, out-of-range seed, ...). The
+// HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("bad request")

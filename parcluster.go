@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"parcluster/internal/api"
 	"parcluster/internal/core"
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
@@ -442,6 +443,47 @@ func Jaccard(a, b []uint32) float64 {
 	union := len(a) + len(b) - inter
 	return float64(inter) / float64(union)
 }
+
+// The serving layer (internal/service, exposed over HTTP by cmd/lgc-serve)
+// answers many clustering queries against shared, load-once graphs with an
+// LRU result cache and a bounded worker pool. Its wire types live in
+// internal/api — deliberately free of net/http and expvar, so importing
+// this package has no serving side effects — and are re-exported here so
+// clients and embedders can speak the service's wire format with the
+// library's own types.
+
+// ClusterRequest asks the query service for local clusters around one or
+// more seed vertices of a registered graph (POST /v1/cluster).
+type ClusterRequest = api.ClusterRequest
+
+// ClusterResponse is the service's reply to a ClusterRequest: per-seed
+// clusters plus aggregate statistics.
+type ClusterResponse = api.ClusterResponse
+
+// ClusterResult is one cluster within a ClusterResponse.
+type ClusterResult = api.ClusterResult
+
+// ClusterParams carries the per-algorithm parameters of a ClusterRequest;
+// zero values select the paper's Table 3 defaults.
+type ClusterParams = api.Params
+
+// ClusterAggregate summarizes a batched multi-seed query.
+type ClusterAggregate = api.Aggregate
+
+// NCPRequest asks the query service for a network community profile
+// (POST /v1/ncp).
+type NCPRequest = api.NCPRequest
+
+// NCPResponse is the service's reply to an NCPRequest.
+type NCPResponse = api.NCPResponse
+
+// GraphCatalogInfo describes one entry of the service's graph registry
+// (GET /v1/graphs).
+type GraphCatalogInfo = api.GraphInfo
+
+// ServiceStats is a snapshot of the query engine's counters
+// (GET /v1/stats and the "lgc" expvar).
+type ServiceStats = api.EngineStats
 
 // SortedCopy returns a sorted copy of a vertex set — handy when comparing
 // clusters whose sweep orders differ.

@@ -19,6 +19,7 @@ package parcluster
 //	A1       -> BenchmarkA1RandHKPR{Sorted,Contended}
 //	A2       -> BenchmarkA2Sweep{Bucket,ThmOneSort}
 //	A3       -> BenchmarkA3BetaFraction
+//	A4       -> BenchmarkFrontierMode (sparse vs dense vs auto)
 import (
 	"fmt"
 	"runtime"
@@ -293,5 +294,39 @@ func BenchmarkMeshNoClusters(b *testing.B) {
 	seed, _ := fixGrid.LargestComponent()
 	for i := 0; i < b.N; i++ {
 		core.PRNibblePar(fixGrid, seed, benchAlpha, benchEps, core.OptimizedRule, 0, 1)
+	}
+}
+
+// --- A4: adaptive sparse/dense frontier engine --------------------------
+
+// BenchmarkFrontierMode compares the frontier engine's representations in
+// the large-frontier regime the dense path targets: a 64-vertex seed set
+// (footnote 5) and a low epsilon keep |F| + vol(F) above Ligra's direction
+// threshold for most iterations. Expected shape: dense beats sparse, auto
+// tracks the winner (see DESIGN.md ablation A4). The cross-mode determinism
+// suite in internal/core proves all three return identical clusters.
+func BenchmarkFrontierMode(b *testing.B) {
+	fixtures()
+	seeds := []uint32{fixSeed}
+	for _, v := range fixSocial.Neighbors(fixSeed) {
+		if len(seeds) >= 64 {
+			break
+		}
+		seeds = append(seeds, v)
+	}
+	const lowEps = benchEps / 10
+	for _, tc := range []struct {
+		name string
+		mode core.FrontierMode
+	}{
+		{"sparse", core.FrontierSparse},
+		{"dense", core.FrontierDense},
+		{"auto", core.FrontierAuto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PRNibbleParFrom(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 0, 1, tc.mode)
+			}
+		})
 	}
 }

@@ -18,6 +18,12 @@
 //
 // Endpoints: POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
 // GET /healthz, GET /debug/vars (expvar).
+//
+// The -frontier flag sets the server-wide default frontier-representation
+// mode for diffusions ("auto", "sparse" or "dense"; auto switches per
+// iteration via Ligra's direction heuristic). Requests can override it per
+// query with params.frontier, and GET /v1/stats reports how many diffusions
+// ran under each mode. Results are identical in every mode.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"parcluster/internal/core"
 	"parcluster/internal/service"
 )
 
@@ -44,13 +51,14 @@ func main() {
 		cacheSize = flag.Int("cache", 1024, "result cache capacity in entries (negative = disable)")
 		dynamic   = flag.Bool("dynamic", true, "allow generator specs as graph names in queries (capped at 64 distinct specs)")
 		preload   = flag.String("preload", "", "comma-separated graph names to load before serving")
+		frontier  = flag.String("frontier", "auto", "default frontier representation: auto, sparse, dense (requests may override)")
 	)
 	var graphs, gens multiFlag
 	flag.Var(&graphs, "graph", "register a graph file as name=path (repeatable)")
 	flag.Var(&gens, "gen", "register a generator spec as name=spec (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *procs, *maxQProcs, *cacheSize, *dynamic, *preload, graphs, gens); err != nil {
+	if err := run(*addr, *procs, *maxQProcs, *cacheSize, *dynamic, *preload, *frontier, graphs, gens); err != nil {
 		fmt.Fprintln(os.Stderr, "lgc-serve:", err)
 		os.Exit(1)
 	}
@@ -62,7 +70,11 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload string, graphs, gens []string) error {
+func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload, frontier string, graphs, gens []string) error {
+	mode, err := core.ParseFrontierMode(frontier)
+	if err != nil {
+		return fmt.Errorf("-frontier: %w", err)
+	}
 	reg := service.NewRegistry(procs, dynamic)
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
@@ -85,6 +97,7 @@ func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload str
 		ProcBudget:       procs,
 		MaxProcsPerQuery: maxQProcs,
 		CacheSize:        cacheSize,
+		DefaultFrontier:  mode,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

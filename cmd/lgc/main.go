@@ -8,6 +8,12 @@
 //	lgc -gen barbell:k=20 -algo prnibble -seed 0
 //	lgc -graph web.adj -algo hkpr -seed 12345 -procs 8
 //	lgc -gen soc-LJ -algo nibble -seed -1        # -1 = largest component
+//	lgc -gen soc-LJ -eps 1e-8 -frontier dense    # pin the dense frontier path
+//
+// The -frontier flag selects the diffusion engine's frontier representation:
+// "auto" (default) switches between the sparse ID-list and dense bitmap
+// representations per iteration via Ligra's direction heuristic, "sparse"
+// and "dense" pin one. All modes return identical clusters.
 package main
 
 import (
@@ -35,18 +41,23 @@ func main() {
 		hkN       = flag.Int("N", 20, "HK-PR Taylor degree")
 		walks     = flag.Int("walks", 100000, "rand-HK-PR walk count")
 		walkLen   = flag.Int("K", 10, "rand-HK-PR maximum walk length")
+		frontier  = flag.String("frontier", "auto", "frontier representation: auto, sparse, dense")
 		maxPrint  = flag.Int("print", 20, "print at most this many cluster members")
 	)
 	flag.Parse()
 	if err := run(*graphFile, *genSpec, *algo, *seed, *procs, *seq, *eps, *alpha,
-		*tIter, *hkT, *hkN, *walks, *walkLen, *maxPrint); err != nil {
+		*tIter, *hkT, *hkN, *walks, *walkLen, *frontier, *maxPrint); err != nil {
 		fmt.Fprintln(os.Stderr, "lgc:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphFile, genSpec, algo string, seed, procs int, seq bool, eps, alpha float64,
-	tIter int, hkT float64, hkN, walks, walkLen, maxPrint int) error {
+	tIter int, hkT float64, hkN, walks, walkLen int, frontier string, maxPrint int) error {
+	fmode, err := parcluster.ParseFrontierMode(frontier)
+	if err != nil {
+		return err
+	}
 	g, err := loadGraph(graphFile, genSpec, procs)
 	if err != nil {
 		return err
@@ -69,10 +80,11 @@ func run(graphFile, genSpec, algo string, seed, procs int, seq bool, eps, alpha 
 	}
 
 	opts := parcluster.ClusterOptions{Method: algo}
-	opts.Nibble = parcluster.NibbleOptions{Epsilon: orDefault(eps, 1e-8), T: tIter, Procs: procs, Sequential: seq}
-	opts.PRNibble = parcluster.PRNibbleOptions{Alpha: alpha, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq}
-	opts.HKPR = parcluster.HKPROptions{T: hkT, N: hkN, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq}
+	opts.Nibble = parcluster.NibbleOptions{Epsilon: orDefault(eps, 1e-8), T: tIter, Procs: procs, Sequential: seq, Frontier: fmode}
+	opts.PRNibble = parcluster.PRNibbleOptions{Alpha: alpha, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq, Frontier: fmode}
+	opts.HKPR = parcluster.HKPROptions{T: hkT, N: hkN, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq, Frontier: fmode}
 	opts.RandHKPR = parcluster.RandHKPROptions{T: hkT, K: walkLen, Walks: walks, Procs: procs, Sequential: seq}
+	opts.EvolvingSet = parcluster.EvolvingSetOptions{Procs: procs, Frontier: fmode}
 	opts.Sweep = parcluster.SweepOptions{Procs: procs, Sequential: seq}
 
 	start := time.Now()

@@ -29,6 +29,27 @@
 // implementation. All parallel algorithms return clusters with the same
 // quality guarantees as their sequential counterparts.
 //
+// # Frontier modes
+//
+// The parallel diffusions run on an adaptive sparse/dense frontier engine
+// modeled on the real Ligra framework's direction switching. Each
+// iteration's frontier is traversed either sparsely (an ID list with a
+// degree prefix sum — work proportional to the frontier and its incident
+// edges only) or densely (a bitmap-membership scan over the whole CSR —
+// O(n + vol(F)) with a much smaller constant per edge), and the
+// residual/mass vectors likewise promote from per-iteration-sized hash
+// tables to flat arrays once their support crosses a fraction of n.
+//
+// The Frontier option on NibbleOptions, PRNibbleOptions, HKPROptions and
+// EvolvingSetOptions selects the strategy: FrontierAuto (the default)
+// switches per iteration via Ligra's heuristic — dense when
+// |F| + vol(F) > (n + 2m)/20, i.e. when the frontier's incident edges are a
+// sizable fraction of the graph, as happens with low epsilons, deep NCP
+// sweeps, or large multi-vertex seed sets — while FrontierSparse and
+// FrontierDense pin one. All modes perform the same pushes with the same
+// values: clusters and Stats are identical, only the constants change. The
+// lgc and lgc-serve commands expose the knob as -frontier.
+//
 // # lgc-serve
 //
 // Command lgc-serve turns the one-shot pipeline into a long-lived query
@@ -50,9 +71,11 @@
 // NCPRequest, ...); see examples/service for an in-process client.
 //
 // The internal packages implement the substrates the paper builds on: a
-// Ligra-style frontier framework, lock-free concurrent hash tables for
-// sparse vectors, and work-efficient parallel primitives (prefix sums,
-// filter, comparison and integer sorting). See DESIGN.md for the full
-// system inventory and EXPERIMENTS.md for the reproduction of every table
-// and figure in the paper's evaluation.
+// Ligra-style frontier framework with dual sparse/dense vertex subsets,
+// lock-free concurrent hash tables and flat touched-list arrays for sparse
+// vectors, and work-efficient parallel primitives (prefix sums, filter,
+// comparison and integer sorting). See DESIGN.md for the full system
+// inventory, the frontier-engine design (§4), and the experiment index
+// behind the reproduction of every table and figure in the paper's
+// evaluation.
 package parcluster

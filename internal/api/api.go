@@ -26,6 +26,11 @@ type Params struct {
 	WalkSeed uint64 `json:"walk_seed,omitempty"`
 	// Beta in (0,1) selects PR-Nibble's β-fraction variant (§3.3).
 	Beta float64 `json:"beta,omitempty"`
+	// Frontier overrides the engine's frontier-representation mode for this
+	// request: "auto", "sparse" or "dense" ("" = the server default).
+	// Results are identical in every mode — the knob trades constant
+	// factors only — so it does not participate in the cache key.
+	Frontier string `json:"frontier,omitempty"`
 	// OriginalRule selects the unoptimized PR-Nibble push rule.
 	OriginalRule bool `json:"original_rule,omitempty"`
 	// MaxIter / TargetPhi / GrowOnly configure the evolving set process.
@@ -129,17 +134,26 @@ type GraphInfo struct {
 	Edges    uint64 `json:"edges,omitempty"`
 }
 
+// FrontierModeCounts breaks the executed diffusions down by the frontier
+// mode they ran under (cache hits run no diffusion and are not counted).
+type FrontierModeCounts struct {
+	Auto   int64 `json:"auto"`
+	Sparse int64 `json:"sparse"`
+	Dense  int64 `json:"dense"`
+}
+
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
-	Queries      int64   `json:"queries"`
-	Errors       int64   `json:"errors"`
-	InFlight     int64   `json:"in_flight"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheEntries int     `json:"cache_entries"`
-	Diffusions   int64   `json:"diffusions"`
-	GraphLoads   int64   `json:"graph_loads"`
-	AvgLatencyMS float64 `json:"avg_latency_ms"`
-	ProcBudget   int     `json:"proc_budget"`
+	Queries       int64              `json:"queries"`
+	Errors        int64              `json:"errors"`
+	InFlight      int64              `json:"in_flight"`
+	CacheHits     int64              `json:"cache_hits"`
+	CacheMisses   int64              `json:"cache_misses"`
+	CacheEntries  int                `json:"cache_entries"`
+	Diffusions    int64              `json:"diffusions"`
+	FrontierModes FrontierModeCounts `json:"frontier_modes"`
+	GraphLoads    int64              `json:"graph_loads"`
+	AvgLatencyMS  float64            `json:"avg_latency_ms"`
+	ProcBudget    int                `json:"proc_budget"`
 }

@@ -181,12 +181,13 @@ func (w *Workspace) experiments() map[string]func() error {
 		"A1":     w.AblationRandHKAggregation,
 		"A2":     w.AblationSweepStrategy,
 		"A3":     w.AblationBetaFraction,
+		"A4":     w.AblationFrontierMode,
 	}
 }
 
 // ExperimentIDs lists the available experiment IDs in run order.
 func ExperimentIDs() []string {
-	ids := []string{"table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "A1", "A2", "A3"}
+	ids := []string{"table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "A1", "A2", "A3", "A4"}
 	return ids
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strconv"
 	"time"
 
@@ -421,6 +422,57 @@ func (w *Workspace) AblationBetaFraction() error {
 		w.printf("%8.2f %12s %12d %12d %10.4f\n", beta, seconds(d), st.Pushes, st.Iterations, phi)
 	}
 	w.printf("expected shape: smaller beta -> fewer pushes per round, more rounds; quality similar\n")
+	return nil
+}
+
+// AblationFrontierMode compares the sparse, dense, and auto frontier
+// representations of the diffusion engine (DESIGN.md ablation A4) in the
+// large-frontier regime: a multi-vertex seed set (footnote 5) and a
+// tightened epsilon inflate |F| + vol(F) past Ligra's direction-heuristic
+// threshold, where the bitmap-scan edge phase and flat-array vectors should
+// beat hash tables. All modes must return identical clusters; the table
+// prints the per-mode wall time and the shared conductance.
+func (w *Workspace) AblationFrontierMode() error {
+	g, err := w.Graph("soc-LJ")
+	if err != nil {
+		return err
+	}
+	seed, _ := w.Seed("soc-LJ")
+	// Seed set: the representative plus its first 63 neighbors.
+	seeds := []uint32{seed}
+	for _, v := range g.Neighbors(seed) {
+		if len(seeds) >= 64 {
+			break
+		}
+		seeds = append(seeds, v)
+	}
+	pr := w.params
+	eps := pr.PREps / 10
+	w.header("A4", "PR-Nibble frontier modes on soc-LJ (big seed set, low eps)")
+	w.printf("alpha=%g eps=%g seeds=%d\n", pr.PRAlpha, eps, len(seeds))
+	w.printf("%8s %12s %12s %12s %10s\n", "mode", "time (s)", "pushes", "iterations", "phi")
+	var basePhi float64
+	var baseSize int
+	for i, mode := range []core.FrontierMode{core.FrontierSparse, core.FrontierDense, core.FrontierAuto} {
+		var vec *sparse.Map
+		var st core.Stats
+		d := w.timeIt(func() {
+			vec, st = core.PRNibbleParFrom(g, seeds, pr.PRAlpha, eps, core.OptimizedRule, w.cfg.Procs, 1, mode)
+		})
+		res := core.SweepCutPar(g, vec, w.cfg.Procs)
+		w.printf("%8s %12s %12d %12d %10.4f\n", mode, seconds(d), st.Pushes, st.Iterations, res.Conductance)
+		if i == 0 {
+			basePhi, baseSize = res.Conductance, len(res.Cluster)
+		} else if math.Abs(res.Conductance-basePhi) > 1e-9 || len(res.Cluster) != baseSize {
+			// Surface a divergence without killing the run: on large
+			// generated inputs a near-tied sweep value can move by an ULP
+			// between accumulation orders (the strict equality contract is
+			// enforced by the core determinism suite on its fixtures).
+			w.printf("WARNING: mode %v diverged from sparse (phi %v size %d, want %v %d)\n",
+				mode, res.Conductance, len(res.Cluster), basePhi, baseSize)
+		}
+	}
+	w.printf("expected shape: dense beats sparse here; auto tracks the winner per iteration\n")
 	return nil
 }
 

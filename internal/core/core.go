@@ -88,10 +88,10 @@ func growTo(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// vecFromConcurrent snapshots a concurrent table into the sequential sparse
-// map the sweep cut consumes, dropping explicit zeros (entries whose mass
-// cancelled exactly, e.g. a residual fully pushed out).
-func vecFromConcurrent(t *sparse.ConcurrentMap) *sparse.Map {
+// vecFromTable snapshots a concurrent table (hash or dense) into the
+// sequential sparse map the sweep cut consumes, dropping explicit zeros
+// (entries whose mass cancelled exactly, e.g. a residual fully pushed out).
+func vecFromTable(t sparse.Vector) *sparse.Map {
 	out := sparse.NewMap(t.Len())
 	t.ForEach(func(k uint32, v float64) {
 		if v != 0 {

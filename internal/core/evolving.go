@@ -5,7 +5,6 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/rng"
-	"parcluster/internal/sparse"
 )
 
 // evolving.go implements the evolving set process of Andersen and Peres
@@ -49,6 +48,10 @@ type EvolvingSetOptions struct {
 	Seed uint64
 	// Procs is the worker count for the parallel version.
 	Procs int
+	// Frontier selects the parallel version's frontier representation
+	// (FrontierAuto switches per iteration; the trajectory is identical in
+	// every mode).
+	Frontier FrontierMode
 }
 
 func (o *EvolvingSetOptions) defaults() {
@@ -168,30 +171,30 @@ func EvolvingSetSeq(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 }
 
 // EvolvingSetPar is the data-parallel evolving set process: the neighbor
-// counts are an edgeMap with integer fetch-and-add, and the membership
-// filter is a vertexFilter over S and its touched boundary.
+// counts are an edge phase with integer fetch-and-add (driven by the shared
+// frontier engine, which auto-selects the sparse or dense traversal per
+// step), and the membership filter is a vertexFilter over S and its touched
+// boundary.
 func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (EvolvingSetResult, Stats) {
 	checkSeed(g, seed)
 	opts.defaults()
 	procs := parallel.ResolveProcs(opts.Procs)
 	var st Stats
 	r := rng.New(opts.Seed)
+	n := g.NumVertices()
 	S := ligra.FromVertices(seed)
-	inS := sparse.NewConcurrent(4)
+	inS := newVec(n, opts.Frontier, 4)
 	inS.Add(seed, 1)
 	walk := seed
-	counts := sparse.NewConcurrent(4)
+	counts := newVec(n, opts.Frontier, 4)
+	eng := newFrontierEngine(g, procs, opts.Frontier, &st)
 	best := bestTracker{g: g}
 	best.update(S.IDs())
 	totalVol := g.TotalVolume()
 	for step := 0; step < opts.MaxIter; step++ {
-		vol := S.Volume(procs, g)
-		st.EdgesTouched += int64(vol)
-		st.Pushes += int64(S.Size())
-		st.Iterations++
-		counts.Reset(procs, S.Size()+int(vol))
-		ligra.EdgeMap(procs, g, S, func(s, d uint32) bool {
-			return counts.Add(d, 1)
+		touched := eng.round(S, roundSpec{
+			scratch: counts,
+			source:  func(int, uint32) float64 { return 1 },
 		})
 		walk = esWalkStep(g, walk, &r)
 		qx := counts.Get(walk) / (2 * float64(max32(g.Degree(walk), 1)))
@@ -200,9 +203,9 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 		}
 		u := esThreshold(&r, qx, opts.GrowOnly)
 		// Candidates: current members plus every vertex that received a
-		// count. Membership and counts are exact integers, so the
-		// comparison below matches the sequential version bit for bit.
-		candidates := ligra.FromIDs(counts.Keys(procs))
+		// count (the engine round's touched set). Membership and counts are
+		// exact integers, so the comparison below matches the sequential
+		// version bit for bit, in every frontier mode.
 		qAbove := func(v uint32) bool {
 			q := counts.Get(v) / (2 * float64(g.Degree(v)))
 			if inS.Get(v) != 0 {
@@ -210,7 +213,7 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 			}
 			return q >= u
 		}
-		nextMembers := ligra.VertexFilter(procs, candidates, qAbove)
+		nextMembers := eng.filter(touched, qAbove)
 		// Members with no incident S-edge (possible only for isolated
 		// oddities) would be missed by the counts table; S's vertices all
 		// have Q >= 1/2 contribution checked through candidates because
@@ -228,7 +231,7 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 			res.Steps = step + 1
 			return res, st
 		}
-		inS.Reset(procs, S.Size())
+		inS.reset(procs, S.Size())
 		ligra.VertexMap(procs, S, func(v uint32) { inS.Add(v, 1) })
 		best.update(S.IDs())
 		if opts.TargetPhi > 0 && best.phi <= opts.TargetPhi {

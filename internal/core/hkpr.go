@@ -125,11 +125,15 @@ func HKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64) (*
 // per the surrounding text the condition must select the *last* round, and
 // this implementation follows the text.
 func HKPRPar(g *graph.CSR, seed uint32, t float64, N int, eps float64, procs int) (*sparse.Map, Stats) {
-	return HKPRParFrom(g, []uint32{seed}, t, N, eps, procs)
+	return HKPRParFrom(g, []uint32{seed}, t, N, eps, procs, FrontierAuto)
 }
 
-// HKPRParFrom is HKPRPar with a multi-vertex seed set.
-func HKPRParFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int) (*sparse.Map, Stats) {
+// HKPRParFrom is HKPRPar with a multi-vertex seed set and an explicit
+// frontier mode. The level loop rides the shared frontier engine
+// (engine.go): each level is one engine round pushing tOverJ-scaled shares
+// into the next level's residual table, with the r/r' double buffer
+// swapped between rounds.
+func HKPRParFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs = parallel.ResolveProcs(procs)
 	if N < 1 {
@@ -137,53 +141,50 @@ func HKPRParFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, pr
 	}
 	var st Stats
 	psi := psiTable(t, N)
-	r := sparse.NewConcurrent(len(seeds))
+	n := g.NumVertices()
+	r := newVec(n, mode, len(seeds))
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		r.Add(s, w)
 	}
-	p := sparse.NewConcurrent(16)
+	p := newVec(n, mode, 16)
 	frontier := ligra.FromIDs(seeds)
-	rNext := sparse.NewConcurrent(4)
-	var shares []float64
+	rNext := newVec(n, mode, 4)
+	eng := newFrontierEngine(g, procs, mode, &st)
 	for j := 0; !frontier.IsEmpty(); j++ {
-		vol := frontier.Volume(procs, g)
-		st.Pushes += int64(frontier.Size())
-		st.EdgesTouched += int64(vol)
-		st.Iterations++
-		p.Reserve(frontier.Size() + int(vol))
 		last := j+1 >= N
 		tOverJ := t / float64(j+1)
-		shares = growTo(shares, frontier.Size())
-		ligra.VertexMapIndexed(procs, frontier, func(i int, v uint32) {
-			rv := r.Get(v)
-			p.Add(v, rv)
-			if last {
-				shares[i] = rv / float64(g.Degree(v))
-			} else {
-				shares[i] = tOverJ * rv / float64(g.Degree(v))
-			}
-		})
 		if last {
-			// Last round: spread the remaining residual into p directly.
-			ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
-				p.Add(d, shares[i])
-				return false
+			// Last round: spread the remaining residual into p directly,
+			// accumulating on top of the earlier levels' mass.
+			eng.round(frontier, roundSpec{
+				scratch:     p,
+				accumulate:  true,
+				skipTouched: true,
+				source: func(_ int, v uint32) float64 {
+					rv := r.Get(v)
+					p.Add(v, rv)
+					return rv / float64(g.Degree(v))
+				},
 			})
 			break
 		}
-		rNext.Reset(procs, int(vol))
-		ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
-			return rNext.Add(d, shares[i])
+		touched := eng.round(frontier, roundSpec{
+			scratch: rNext,
+			before:  func(size int, vol uint64) { p.reserve(size + int(vol)) },
+			source: func(_ int, v uint32) float64 {
+				rv := r.Get(v)
+				p.Add(v, rv)
+				return tOverJ * rv / float64(g.Degree(v))
+			},
 		})
-		touched := ligra.FromIDs(rNext.Keys(procs))
 		jn := j + 1
-		frontier = ligra.VertexFilter(procs, touched, func(v uint32) bool {
+		frontier = eng.filter(touched, func(v uint32) bool {
 			return rNext.Get(v) >= hkThreshold(t, eps, N, psi, g.Degree(v), jn)
 		})
 		r, rNext = rNext, r
 	}
-	out := vecFromConcurrent(p)
+	out := vecFromTable(p)
 	scaleMap(out, math.Exp(-t))
 	return out, st
 }

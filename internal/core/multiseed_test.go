@@ -59,7 +59,7 @@ func TestMultiSeedMassConservation(t *testing.T) {
 	if sum := vec.Sum(); sum > 1+1e-9 || sum < 1-eps*twoM-1e-9 {
 		t.Fatalf("multi-seed PR-Nibble mass %v out of range", sum)
 	}
-	pv, _ := PRNibbleParFrom(g, seeds, 0.1, eps, OptimizedRule, 4, 1)
+	pv, _ := PRNibbleParFrom(g, seeds, 0.1, eps, OptimizedRule, 4, 1, FrontierAuto)
 	if sum := pv.Sum(); sum > 1+1e-9 || sum < 1-eps*twoM-1e-9 {
 		t.Fatalf("parallel multi-seed mass %v out of range", sum)
 	}
@@ -69,7 +69,7 @@ func TestMultiSeedSeqParAgreement(t *testing.T) {
 	g := gen.Barbell(20)
 	seeds := []uint32{0, 5, 10}
 	sv, sSt := NibbleSeqFrom(g, seeds, 1e-6, 15)
-	pv, pSt := NibbleParFrom(g, seeds, 1e-6, 15, 4)
+	pv, pSt := NibbleParFrom(g, seeds, 1e-6, 15, 4, FrontierAuto)
 	if sSt.Pushes != pSt.Pushes {
 		t.Fatalf("nibble pushes differ: %d vs %d", sSt.Pushes, pSt.Pushes)
 	}
@@ -79,7 +79,7 @@ func TestMultiSeedSeqParAgreement(t *testing.T) {
 		}
 	})
 	hs, hsSt := HKPRSeqFrom(g, seeds, 5, 15, 1e-6)
-	hp, hpSt := HKPRParFrom(g, seeds, 5, 15, 1e-6, 4)
+	hp, hpSt := HKPRParFrom(g, seeds, 5, 15, 1e-6, 4, FrontierAuto)
 	if hsSt.Pushes != hpSt.Pushes {
 		t.Fatalf("hkpr pushes differ: %d vs %d", hsSt.Pushes, hpSt.Pushes)
 	}
@@ -103,7 +103,7 @@ func TestMultiSeedRecoversUnionOfCommunities(t *testing.T) {
 	// cliques (or one of them) — never a high-conductance blend.
 	g := gen.Caveman(12, 8) // cliques of 8: IDs [0,8), [8,16), ...
 	seeds := []uint32{1, 9} // adjacent cliques in the ring
-	vec, _ := PRNibbleParFrom(g, seeds, 0.05, 1e-6, OptimizedRule, 0, 1)
+	vec, _ := PRNibbleParFrom(g, seeds, 0.05, 1e-6, OptimizedRule, 0, 1, FrontierAuto)
 	res := SweepCutPar(g, vec, 0)
 	if res.Conductance > 0.1 {
 		t.Fatalf("multi-seed cluster conductance %v", res.Conductance)
@@ -118,8 +118,8 @@ func TestMultiSeedIncreasesParallelWork(t *testing.T) {
 	// iteration processes k vertices instead of 1.
 	g := gen.RandLocal(1, 5000, 5, 3)
 	seeds := []uint32{0, 1000, 2000, 3000, 4000}
-	_, one := NibbleParFrom(g, seeds[:1], 1e-4, 1, 2)
-	_, many := NibbleParFrom(g, seeds, 1e-4, 1, 2)
+	_, one := NibbleParFrom(g, seeds[:1], 1e-4, 1, 2, FrontierAuto)
+	_, many := NibbleParFrom(g, seeds, 1e-4, 1, 2, FrontierAuto)
 	if many.Pushes != int64(len(seeds)) || one.Pushes != 1 {
 		t.Fatalf("first-iteration pushes: one=%d many=%d", one.Pushes, many.Pushes)
 	}

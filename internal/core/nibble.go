@@ -73,52 +73,45 @@ func NibbleSeqFrom(g *graph.CSR, seeds []uint32, eps float64, T int) (*sparse.Ma
 // the rest with fetch-and-add, and a filter over the touched vertices forms
 // the next frontier.
 func NibblePar(g *graph.CSR, seed uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
-	return NibbleParFrom(g, []uint32{seed}, eps, T, procs)
+	return NibbleParFrom(g, []uint32{seed}, eps, T, procs, FrontierAuto)
 }
 
-// NibbleParFrom is NibblePar with a multi-vertex seed set; larger seed sets
-// grow the frontiers and, as the paper notes, the available parallelism.
-func NibbleParFrom(g *graph.CSR, seeds []uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
+// NibbleParFrom is NibblePar with a multi-vertex seed set and an explicit
+// frontier mode; larger seed sets grow the frontiers and, as the paper
+// notes, the available parallelism. The iteration skeleton — the
+// |frontier| + vol table bound (the locality guarantee: every entry of the
+// next vector is a frontier vertex or one of its neighbors), the
+// per-source share hoisting, the sparse/dense edge traversal, and the
+// threshold filter — lives in the shared frontier engine (engine.go).
+func NibbleParFrom(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs = parallel.ResolveProcs(procs)
 	var st Stats
-	p := sparse.NewConcurrent(len(seeds))
+	n := g.NumVertices()
+	p := newVec(n, mode, len(seeds))
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		p.Add(s, w)
 	}
 	frontier := ligra.FromIDs(seeds)
-	next := sparse.NewConcurrent(len(seeds) + int(frontier.Volume(procs, g)))
-	var shares []float64
+	next := newVec(n, mode, len(seeds))
+	eng := newFrontierEngine(g, procs, mode, &st)
 	for t := 1; t <= T; t++ {
-		vol := frontier.Volume(procs, g)
-		// Every entry of the next vector is a frontier vertex or one of its
-		// neighbors: |frontier| + vol bounds the table, keeping this
-		// iteration's work O(|frontier| + vol) — the locality guarantee.
-		next.Reset(procs, frontier.Size()+int(vol))
-		// The per-neighbor share is computed once per frontier vertex into
-		// a dense array, so the edge map costs one array read per edge
-		// instead of a sparse lookup.
-		shares = growTo(shares, frontier.Size())
-		ligra.VertexMapIndexed(procs, frontier, func(i int, v uint32) {
-			pv := p.Get(v)
-			next.Add(v, pv/2)
-			shares[i] = pv / (2 * float64(g.Degree(v)))
+		touched := eng.round(frontier, roundSpec{
+			scratch: next,
+			source: func(_ int, v uint32) float64 {
+				pv := p.Get(v)
+				next.Add(v, pv/2)
+				return pv / (2 * float64(g.Degree(v)))
+			},
 		})
-		ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
-			return next.Add(d, shares[i])
-		})
-		st.Pushes += int64(frontier.Size())
-		st.EdgesTouched += int64(vol)
-		st.Iterations++
-		touched := ligra.FromIDs(next.Keys(procs))
-		frontier = ligra.VertexFilter(procs, touched, func(v uint32) bool {
+		frontier = eng.filter(touched, func(v uint32) bool {
 			return next.Get(v) >= eps*float64(g.Degree(v))
 		})
 		if frontier.IsEmpty() {
-			return vecFromConcurrent(p), st
+			return vecFromTable(p), st
 		}
 		p, next = next, p
 	}
-	return vecFromConcurrent(p), st
+	return vecFromTable(p), st
 }

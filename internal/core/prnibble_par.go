@@ -22,19 +22,26 @@ import (
 // the prose semantics of §3.3 ("r' is set to r at the beginning of an
 // iteration") without copying r, preserving both mass and the per-iteration
 // locality bound. See DESIGN.md §1 note 1.
+//
+// The iteration skeleton (volume bound, delta reset, share hoisting, edge
+// push, delta merge, threshold filter) lives in the shared frontier engine
+// (engine.go), which also auto-selects the sparse or dense edge traversal
+// and vector representation per FrontierMode.
 
 // PRNibblePar runs parallel PR-Nibble from seed using procs workers.
 // beta in (0, 1] selects the β-fraction variant from the end of §3.3: each
 // iteration processes only the top β-fraction of above-threshold vertices
 // by r(v)/d(v) (beta = 1 processes all of them, the Figure 5/6 algorithm).
 func PRNibblePar(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
-	return PRNibbleParFrom(g, []uint32{seed}, alpha, eps, rule, procs, beta)
+	return PRNibbleParFrom(g, []uint32{seed}, alpha, eps, rule, procs, beta, FrontierAuto)
 }
 
-// PRNibbleParFrom is PRNibblePar with a multi-vertex seed set; per the
-// paper's footnote 5, larger seed sets increase the frontier sizes at each
-// iteration, and with them the available parallelism.
-func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
+// PRNibbleParFrom is PRNibblePar with a multi-vertex seed set and an
+// explicit frontier mode; per the paper's footnote 5, larger seed sets
+// increase the frontier sizes at each iteration, and with them the
+// available parallelism — exactly the regime where the dense frontier
+// representation pays off.
+func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs = parallel.ResolveProcs(procs)
 	if beta <= 0 || beta > 1 {
@@ -42,8 +49,9 @@ func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule Push
 	}
 	var st Stats
 	pGain, edgeShare, selfKeep := rule.coefficients(alpha)
-	p := sparse.NewConcurrent(16)
-	r := sparse.NewConcurrent(len(seeds))
+	n := g.NumVertices()
+	p := newVec(n, mode, 16)
+	r := newVec(n, mode, len(seeds))
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		r.Add(s, w)
@@ -53,48 +61,37 @@ func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule Push
 		return d > 0 && r.Get(v) >= eps*float64(d)
 	}
 	frontier := ligra.VertexFilter(procs, ligra.FromIDs(seeds), above)
-	delta := sparse.NewConcurrent(16)
-	var shares []float64
+	delta := newVec(n, mode, 16)
+	eng := newFrontierEngine(g, procs, mode, &st)
 	for !frontier.IsEmpty() {
 		if beta < 1 && frontier.Size() > 1 {
 			frontier = topBetaFraction(procs, g, r, frontier, beta)
 		}
-		vol := frontier.Volume(procs, g)
-		delta.Reset(procs, frontier.Size()+int(vol))
-		p.Reserve(frontier.Size())
-		shares = growTo(shares, frontier.Size())
-		ligra.VertexMapIndexed(procs, frontier, func(i int, v uint32) {
-			rv := r.Get(v)
-			p.Add(v, pGain*rv)
-			// Self-update as a commutative delta: r[v] becomes
-			// selfKeep*rv, i.e. changes by (selfKeep-1)*rv.
-			delta.Add(v, (selfKeep-1)*rv)
-			shares[i] = edgeShare * rv / float64(g.Degree(v))
+		touched := eng.round(frontier, roundSpec{
+			scratch: delta,
+			before:  func(size int, _ uint64) { p.reserve(size) },
+			source: func(_ int, v uint32) float64 {
+				rv := r.Get(v)
+				p.Add(v, pGain*rv)
+				// Self-update as a commutative delta: r[v] becomes
+				// selfKeep*rv, i.e. changes by (selfKeep-1)*rv.
+				delta.Add(v, (selfKeep-1)*rv)
+				return edgeShare * rv / float64(g.Degree(v))
+			},
 		})
-		ligra.EdgeMapIndexed(procs, g, frontier, func(i int, s, d uint32) bool {
-			return delta.Add(d, shares[i])
-		})
-		st.Pushes += int64(frontier.Size())
-		st.EdgesTouched += int64(vol)
-		st.Iterations++
 		// Merge the deltas into r; only touched entries change, so the next
-		// frontier is a filter over exactly the delta keys.
-		touched := delta.Keys(procs)
-		r.Reserve(len(touched))
-		parallel.For(procs, len(touched), 512, func(i int) {
-			v := touched[i]
-			r.Add(v, delta.Get(v))
-		})
-		frontier = ligra.VertexFilter(procs, ligra.FromIDs(touched), above)
+		// frontier is a filter over exactly the touched keys.
+		eng.merge(r, touched, delta)
+		frontier = eng.filter(touched, above)
 	}
-	return vecFromConcurrent(p), st
+	return vecFromTable(p), st
 }
 
 // topBetaFraction returns the ceil(beta*|frontier|) vertices with the
 // largest r(v)/d(v), implementing the β-fraction work/parallelism trade-off
 // of §3.3. Ties break toward the smaller vertex ID so the schedule is
 // deterministic.
-func topBetaFraction(procs int, g *graph.CSR, r *sparse.ConcurrentMap, frontier ligra.VertexSubset, beta float64) ligra.VertexSubset {
+func topBetaFraction(procs int, g *graph.CSR, r sparse.Vector, frontier ligra.VertexSubset, beta float64) ligra.VertexSubset {
 	ids := append([]uint32(nil), frontier.IDs()...)
 	keep := int(beta*float64(len(ids)) + 0.999999)
 	if keep < 1 {

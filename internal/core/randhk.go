@@ -163,7 +163,7 @@ func RandHKPRParContended(g *graph.CSR, seed uint32, t float64, K, N int, walkSe
 	st.Pushes = int64(N)
 	st.Iterations = N
 	st.EdgesTouched = parallel.Sum(procs, steps)
-	p := vecFromConcurrent(table)
+	p := vecFromTable(table)
 	scaleMap(p, 1/float64(N))
 	return p, st
 }

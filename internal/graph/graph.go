@@ -21,6 +21,7 @@ type CSR struct {
 	offsets []uint64 // len n+1; offsets[v]..offsets[v+1] index adj
 	adj     []uint32
 	m       uint64 // number of unique undirected edges; len(adj) == 2m
+	maxDeg  uint32 // cached at build time; see MaxDegree
 }
 
 // NumVertices returns n.
@@ -55,14 +56,41 @@ func (g *CSR) HasEdge(u, v uint32) bool {
 }
 
 // MaxDegree returns the largest degree in the graph (0 for an empty graph).
-func (g *CSR) MaxDegree() uint32 {
-	var maxDeg uint32
-	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.Degree(uint32(v)); d > maxDeg {
-			maxDeg = d
+// The value is computed once, in parallel, when the graph is built.
+func (g *CSR) MaxDegree() uint32 { return g.maxDeg }
+
+// Offsets returns the CSR offset array (length n+1): vertex v's adjacency
+// occupies adj indices [offsets[v], offsets[v+1]). The slice aliases the
+// graph's storage and must not be modified. Dense (bitmap-frontier) edge
+// traversals use it to edge-balance their scan over the whole graph without
+// rebuilding a degree prefix sum per iteration.
+func (g *CSR) Offsets() []uint64 { return g.offsets }
+
+// maxDegreeOf computes the largest offsets[v+1]-offsets[v] gap with p
+// workers — the build-time scan behind MaxDegree.
+func maxDegreeOf(p int, offsets []uint64) uint32 {
+	n := len(offsets) - 1
+	if n <= 0 {
+		return 0
+	}
+	const grain = 4096
+	maxes := make([]uint32, (n+grain-1)/grain)
+	parallel.ForRange(p, n, grain, func(lo, hi int) {
+		var m uint32
+		for v := lo; v < hi; v++ {
+			if d := uint32(offsets[v+1] - offsets[v]); d > m {
+				m = d
+			}
+		}
+		maxes[lo/grain] = m
+	})
+	var m uint32
+	for _, v := range maxes {
+		if v > m {
+			m = v
 		}
 	}
-	return maxDeg
+	return m
 }
 
 // Edge is one undirected edge for the builder. Orientation is irrelevant.
@@ -170,14 +198,14 @@ func FromEdges(p, n int, edges []Edge) *CSR {
 			}
 		}
 	})
-	return &CSR{offsets: newOffsets, adj: newAdj, m: m2 / 2}
+	return &CSR{offsets: newOffsets, adj: newAdj, m: m2 / 2, maxDeg: maxDegreeOf(p, newOffsets)}
 }
 
 // FromAdjacency builds a CSR directly from pre-validated offsets and
 // adjacency storage. The caller asserts the representation invariants
 // (sorted, symmetric, loop- and duplicate-free); Validate can check them.
 func FromAdjacency(offsets []uint64, adj []uint32) *CSR {
-	return &CSR{offsets: offsets, adj: adj, m: uint64(len(adj)) / 2}
+	return &CSR{offsets: offsets, adj: adj, m: uint64(len(adj)) / 2, maxDeg: maxDegreeOf(0, offsets)}
 }
 
 // Validate checks the CSR invariants: monotone offsets covering adj,

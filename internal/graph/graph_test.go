@@ -190,6 +190,46 @@ func TestMaxDegree(t *testing.T) {
 	if got := g.MaxDegree(); got != 4 {
 		t.Fatalf("MaxDegree = %d, want 4 (vertex D)", got)
 	}
+	if got := FromEdges(1, 0, nil).MaxDegree(); got != 0 {
+		t.Fatalf("empty graph MaxDegree = %d, want 0", got)
+	}
+	// The cached value must match a direct degree scan on a graph big
+	// enough to take the parallel build path, for both builders.
+	var edges []Edge
+	const n = 60000
+	for i := uint32(1); i < n; i++ {
+		edges = append(edges, Edge{U: i % 97, V: i}) // heavy hubs 0..96
+	}
+	g2 := FromEdges(0, 0, edges)
+	want := uint32(0)
+	for v := 0; v < g2.NumVertices(); v++ {
+		if d := g2.Degree(uint32(v)); d > want {
+			want = d
+		}
+	}
+	if got := g2.MaxDegree(); got != want {
+		t.Fatalf("cached MaxDegree = %d, scan says %d", got, want)
+	}
+	g3 := FromAdjacency(g2.Offsets(), g2.adj)
+	if got := g3.MaxDegree(); got != want {
+		t.Fatalf("FromAdjacency MaxDegree = %d, want %d", got, want)
+	}
+}
+
+func TestOffsetsAccessor(t *testing.T) {
+	g := figure1(t)
+	offs := g.Offsets()
+	if len(offs) != g.NumVertices()+1 {
+		t.Fatalf("Offsets length %d, want n+1 = %d", len(offs), g.NumVertices()+1)
+	}
+	if offs[0] != 0 || offs[g.NumVertices()] != g.TotalVolume() {
+		t.Fatalf("Offsets endpoints %d..%d, want 0..%d", offs[0], offs[g.NumVertices()], g.TotalVolume())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if uint32(offs[v+1]-offs[v]) != g.Degree(uint32(v)) {
+			t.Fatalf("offset gap at %d disagrees with Degree", v)
+		}
+	}
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {

@@ -1,27 +1,72 @@
 // Package ligra implements the subset of the Ligra shared-memory graph
 // processing framework [41] that the paper's algorithms use (§2 "Ligra
-// Framework"): a sparse vertexSubset and the data-parallel vertexMap and
-// edgeMap operators.
+// Framework"): a dual-representation vertexSubset and the data-parallel
+// vertexMap and edgeMap operators.
 //
-// Both operators do work proportional to the input subset (and, for
-// EdgeMap, its incident edges) only — the property that makes the
-// implementations "local" in the paper's sense. EdgeMap is edge-balanced:
-// the frontier's incident edges are partitioned into equal-size chunks via a
-// prefix sum over degrees, so a single high-degree vertex (common in the
-// power-law graphs the paper evaluates) cannot serialize an iteration.
+// Like the real Ligra framework, a VertexSubset has two representations — a
+// sparse ID list and a dense bitmap over [0, n) — and EdgeMap has two
+// traversal strategies to match. The sparse path does work proportional to
+// the input subset and its incident edges only (the property that makes the
+// implementations "local" in the paper's sense), at the cost of a per-call
+// degree prefix sum and per-chunk binary searches. The dense path scans the
+// whole CSR once with a bitmap membership test per vertex — O(n + vol(F))
+// with a much smaller constant per edge — which wins once the frontier's
+// incident edges are a sizable fraction of the graph. The crossover follows
+// Ligra's direction heuristic: go dense when |F| + vol(F) > (n + 2m)/k with
+// k = DenseThresholdFrac.
+//
+// Both EdgeMap paths are edge-balanced, so a single high-degree vertex
+// (common in the power-law graphs the paper evaluates) cannot serialize an
+// iteration: the sparse path partitions the frontier's incident edges into
+// equal-size chunks via a prefix sum over degrees; the dense path chunks the
+// graph's edge array directly through the CSR offsets.
 package ligra
 
 import (
+	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"parcluster/internal/graph"
 	"parcluster/internal/parallel"
 )
 
-// VertexSubset is a sparse set of vertex IDs (Ligra's vertexSubset). The
-// zero value is the empty subset.
+// Mode selects an EdgeMap traversal strategy.
+type Mode uint8
+
+const (
+	// Auto picks sparse or dense per call via the Ligra direction
+	// heuristic (OverDenseThreshold).
+	Auto Mode = iota
+	// ForceSparse always uses the sparse (ID-list) traversal.
+	ForceSparse
+	// ForceDense always uses the dense (bitmap-scan) traversal.
+	ForceDense
+)
+
+// DenseThresholdFrac is the k in Ligra's direction heuristic: the dense
+// traversal is selected when |F| + vol(F) > (n + 2m)/k. Ligra uses m/20 for
+// out-degree frontiers; with our undirected 2m edge slots and the n term
+// covering the per-vertex bitmap tests, (n + 2m)/20 is the equivalent.
+const DenseThresholdFrac = 20
+
+// OverDenseThreshold reports whether a frontier of the given size and
+// volume crosses the dense-traversal threshold for g.
+func OverDenseThreshold(g *graph.CSR, size int, vol uint64) bool {
+	return uint64(size)+vol > (uint64(g.NumVertices())+g.TotalVolume())/DenseThresholdFrac
+}
+
+// VertexSubset is a set of vertex IDs (Ligra's vertexSubset) in one or both
+// of two representations: a sparse ID list and a dense bitmap over the
+// vertex universe [0, n). The zero value is the empty subset. Conversion is
+// lazy — a representation is materialized only when an operation needs it
+// (ToSparse, WithBitmap) — and subsets are immutable values: conversions
+// return a new subset sharing the already-built representation.
 type VertexSubset struct {
-	ids []uint32
+	ids   []uint32 // sparse representation; may be nil if bits is set
+	bits  []uint64 // dense bitmap; may be nil
+	n     int      // universe size; meaningful when bits != nil
+	count int      // Size() when ids == nil
 }
 
 // FromVertices builds a subset from explicit vertex IDs. The caller asserts
@@ -33,19 +78,168 @@ func FromVertices(vs ...uint32) VertexSubset {
 // FromIDs wraps an existing distinct-ID slice without copying.
 func FromIDs(ids []uint32) VertexSubset { return VertexSubset{ids: ids} }
 
+// FromBitmap wraps a bitmap over [0, n) with the given population count,
+// without copying. The caller asserts count matches the set bits.
+func FromBitmap(bits []uint64, n, count int) VertexSubset {
+	return VertexSubset{bits: bits, n: n, count: count}
+}
+
 // Size returns the number of vertices in the subset.
-func (s VertexSubset) Size() int { return len(s.ids) }
+func (s VertexSubset) Size() int {
+	if s.ids != nil {
+		return len(s.ids)
+	}
+	return s.count
+}
 
 // IsEmpty reports whether the subset is empty.
-func (s VertexSubset) IsEmpty() bool { return len(s.ids) == 0 }
+func (s VertexSubset) IsEmpty() bool { return s.Size() == 0 }
 
-// IDs returns the underlying ID slice. It must not be modified.
-func (s VertexSubset) IDs() []uint32 { return s.ids }
+// IsDense reports whether the subset carries a dense bitmap.
+func (s VertexSubset) IsDense() bool { return s.bits != nil }
+
+// Bits returns the underlying bitmap, or nil if none has been built. It
+// must not be modified.
+func (s VertexSubset) Bits() []uint64 { return s.bits }
+
+// Has reports whether v is in the subset: O(1) against the bitmap when one
+// is present, otherwise a linear scan of the ID list.
+func (s VertexSubset) Has(v uint32) bool {
+	if s.bits != nil {
+		w := int(v >> 6)
+		return w < len(s.bits) && s.bits[w]&(1<<(v&63)) != 0
+	}
+	for _, u := range s.ids {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the subset's ID slice, converting from the bitmap
+// sequentially if the sparse representation was never materialized (use
+// ToSparse for a parallel conversion). The result must not be modified.
+func (s VertexSubset) IDs() []uint32 {
+	if s.ids == nil && s.bits != nil {
+		return s.ToSparse(1).ids
+	}
+	return s.ids
+}
+
+// ToSparse returns the subset with its sparse ID list materialized (in
+// increasing vertex order), using p workers for the conversion.
+func (s VertexSubset) ToSparse(p int) VertexSubset {
+	if s.ids != nil || s.bits == nil {
+		return s
+	}
+	idx := parallel.FilterIndex(p, s.n, func(i int) bool {
+		return s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+	})
+	ids := make([]uint32, len(idx))
+	parallel.For(p, len(idx), 4096, func(i int) { ids[i] = uint32(idx[i]) })
+	s.ids = ids
+	return s
+}
+
+// setBit sets bit v of bits with a CAS loop (several writers may share a
+// word) and reports whether this call flipped it.
+func setBit(bits []uint64, v uint32) bool {
+	addr := &bits[v>>6]
+	mask := uint64(1) << (v & 63)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// WithBitmap returns the subset carrying a dense bitmap over [0, n), built
+// with p workers. buf, if it has sufficient capacity, is cleared and reused
+// as the bitmap storage — callers that convert every iteration (the
+// frontier engine) pass the previous iteration's buffer to avoid
+// reallocating. Pass nil to allocate fresh.
+func (s VertexSubset) WithBitmap(p, n int, buf []uint64) VertexSubset {
+	if s.bits != nil {
+		return s
+	}
+	words := (n + 63) / 64
+	if cap(buf) >= words {
+		buf = buf[:words]
+		parallel.ForRange(p, words, 8192, func(lo, hi int) {
+			clear(buf[lo:hi])
+		})
+	} else {
+		buf = make([]uint64, words)
+	}
+	ids := s.ids
+	parallel.For(p, len(ids), 2048, func(i int) {
+		setBit(buf, ids[i])
+	})
+	s.bits = buf
+	s.n = n
+	s.count = len(ids)
+	return s
+}
+
+// popcount returns the number of set bits using p workers.
+func popcount(p int, words []uint64) int {
+	const grain = 8192
+	if len(words) < 2*grain || parallel.ResolveProcs(p) == 1 {
+		c := 0
+		for _, w := range words {
+			c += bits.OnesCount64(w)
+		}
+		return c
+	}
+	counts := make([]int, (len(words)+grain-1)/grain)
+	parallel.ForRange(p, len(words), grain, func(lo, hi int) {
+		c := 0
+		for _, w := range words[lo:hi] {
+			c += bits.OnesCount64(w)
+		}
+		counts[lo/grain] = c
+	})
+	c := 0
+	for _, v := range counts {
+		c += v
+	}
+	return c
+}
 
 // Volume returns the sum of the degrees of the subset's vertices in g,
 // computed with p workers. This is the per-iteration edge bound the
-// algorithms use to size their sparse tables.
+// algorithms use to size their sparse tables and drive the sparse/dense
+// decision.
 func (s VertexSubset) Volume(p int, g *graph.CSR) uint64 {
+	if s.ids == nil && s.bits != nil {
+		// Dense-only subset: sum degrees straight off the bitmap.
+		offs := g.Offsets()
+		words := len(s.bits)
+		const grain = 2048
+		vols := make([]uint64, (words+grain-1)/grain)
+		parallel.ForRange(p, words, grain, func(lo, hi int) {
+			var vol uint64
+			for w := lo; w < hi; w++ {
+				word := s.bits[w]
+				for word != 0 {
+					v := uint32(w<<6) + uint32(bits.TrailingZeros64(word))
+					vol += offs[v+1] - offs[v]
+					word &= word - 1
+				}
+			}
+			vols[lo/grain] = vol
+		})
+		var vol uint64
+		for _, v := range vols {
+			vol += v
+		}
+		return vol
+	}
 	n := len(s.ids)
 	if n == 0 {
 		return 0
@@ -66,18 +260,21 @@ func (s VertexSubset) Volume(p int, g *graph.CSR) uint64 {
 // (Ligra's vertexMap). fn may side-effect shared structures and must be
 // safe for concurrent calls on distinct vertices.
 func VertexMap(p int, s VertexSubset, fn func(v uint32)) {
+	s = s.ToSparse(p)
 	parallel.For(p, len(s.ids), 512, func(i int) { fn(s.ids[i]) })
 }
 
 // VertexMapIndexed is VertexMap with the vertex's position in the subset
 // passed to fn, pairing with EdgeMapIndexed for per-source state arrays.
 func VertexMapIndexed(p int, s VertexSubset, fn func(i int, v uint32)) {
+	s = s.ToSparse(p)
 	parallel.For(p, len(s.ids), 512, func(i int) { fn(i, s.ids[i]) })
 }
 
 // VertexFilter returns the sub-subset for which pred holds, preserving
 // order (Ligra's vertexFilter). pred must be pure or safe under concurrency.
 func VertexFilter(p int, s VertexSubset, pred func(v uint32) bool) VertexSubset {
+	s = s.ToSparse(p)
 	return VertexSubset{ids: parallel.Filter(p, s.ids, pred)}
 }
 
@@ -86,7 +283,9 @@ const edgeMapGrain = 2048
 
 // EdgeMap applies update(u, v) to every edge (u, v) with u in the subset
 // (Ligra's edgeMap), in parallel over edge-balanced chunks, and returns the
-// subset of targets v for which update returned true.
+// subset of targets v for which update returned true. This entry point
+// always uses the sparse traversal; EdgeMapMode adds the dense path and the
+// automatic switch.
 //
 // update must be thread-safe: multiple frontier vertices may push to the
 // same target concurrently (the paper resolves this with fetch-and-add).
@@ -100,6 +299,30 @@ func EdgeMap(p int, g *graph.CSR, s VertexSubset, update func(src, dst uint32) b
 	return EdgeMapIndexed(p, g, s, func(_ int, src, dst uint32) bool { return update(src, dst) })
 }
 
+// EdgeMapMode is EdgeMap with an explicit traversal mode: Auto applies the
+// Ligra direction heuristic (dense when |F| + vol(F) > (n + 2m)/k), and the
+// Force modes pin a strategy. The dense path returns a bitmap-representation
+// subset (each qualifying target set exactly once); the sparse path returns
+// an ID-list subset with EdgeMap's usual multiplicity contract.
+func EdgeMapMode(p int, g *graph.CSR, s VertexSubset, mode Mode, update func(src, dst uint32) bool) VertexSubset {
+	dense := mode == ForceDense
+	if mode == Auto {
+		// The volume pass is only needed when the heuristic decides.
+		dense = OverDenseThreshold(g, s.Size(), s.Volume(p, g))
+	}
+	if !dense {
+		return EdgeMap(p, g, s.ToSparse(p), update)
+	}
+	sb := s.WithBitmap(p, g.NumVertices(), nil)
+	out := make([]uint64, (g.NumVertices()+63)/64)
+	EdgeApplyDense(p, g, sb, func(src, dst uint32) {
+		if update(src, dst) {
+			setBit(out, dst)
+		}
+	})
+	return FromBitmap(out, g.NumVertices(), popcount(p, out))
+}
+
 // EdgeMapIndexed is EdgeMap with the source's position in the subset passed
 // to the update function. The diffusion algorithms use the index to read
 // per-source state (the pushed share, precomputed once per frontier vertex
@@ -107,6 +330,7 @@ func EdgeMap(p int, g *graph.CSR, s VertexSubset, update func(src, dst uint32) b
 // the same source-value hoisting the paper's Ligra implementation gets for
 // free from its dense vertex arrays.
 func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int, src, dst uint32) bool) VertexSubset {
+	s = s.ToSparse(p)
 	nf := len(s.ids)
 	if nf == 0 {
 		return VertexSubset{}
@@ -137,4 +361,73 @@ func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int,
 		outs[elo/edgeMapGrain] = out
 	})
 	return VertexSubset{ids: parallel.Concat(p, outs)}
+}
+
+// EdgeApplyIndexed applies fn to every edge (u, v) with u in the sparse
+// subset, edge-balanced like EdgeMapIndexed, but collects no output
+// frontier. The diffusion engine uses it when the next frontier is derived
+// from an accumulator's touched-key set instead of EdgeMap's return value,
+// saving the per-chunk output allocation and concat.
+func EdgeApplyIndexed(p int, g *graph.CSR, s VertexSubset, fn func(srcIdx int, src, dst uint32)) {
+	s = s.ToSparse(p)
+	nf := len(s.ids)
+	if nf == 0 {
+		return
+	}
+	degs := make([]uint64, nf)
+	parallel.For(p, nf, 0, func(i int) { degs[i] = uint64(g.Degree(s.ids[i])) })
+	offs := make([]uint64, nf)
+	total := parallel.ScanExclusive(p, degs, offs)
+	if total == 0 {
+		return
+	}
+	parallel.ForRange(p, int(total), edgeMapGrain, func(elo, ehi int) {
+		i := sort.Search(nf, func(i int) bool { return offs[i] > uint64(elo) }) - 1
+		for e := elo; e < ehi; i++ {
+			v := s.ids[i]
+			ns := g.Neighbors(v)
+			for j := e - int(offs[i]); j < len(ns) && e < ehi; j++ {
+				fn(i, v, ns[j])
+				e++
+			}
+		}
+	})
+}
+
+// EdgeApplyDense applies fn to every edge (u, v) with u in the subset,
+// using the dense traversal: the graph's edge array is chunked directly
+// through the CSR offsets (no per-call prefix sum) and each covered vertex
+// pays one bitmap membership test. The subset must carry a bitmap
+// (WithBitmap). Work is O(n + vol(F)) regardless of how the frontier's
+// edges are distributed, and chunks are edge-balanced so high-degree
+// vertices split across workers.
+func EdgeApplyDense(p int, g *graph.CSR, s VertexSubset, fn func(src, dst uint32)) {
+	if s.bits == nil {
+		panic("ligra: EdgeApplyDense requires a bitmap subset (call WithBitmap)")
+	}
+	offs := g.Offsets()
+	n := g.NumVertices()
+	total := int(g.TotalVolume())
+	if total == 0 || s.IsEmpty() {
+		return
+	}
+	parallel.ForRange(p, total, edgeMapGrain, func(elo, ehi int) {
+		// First vertex whose edge range extends past elo (skipping any run
+		// of zero-degree vertices at the boundary).
+		v := sort.Search(n, func(i int) bool { return offs[i+1] > uint64(elo) })
+		for e := elo; e < ehi && v < n; v++ {
+			if offs[v+1] == offs[v] {
+				continue
+			}
+			if !s.Has(uint32(v)) {
+				e = int(offs[v+1]) // skip the whole adjacency in O(1)
+				continue
+			}
+			ns := g.Neighbors(uint32(v))
+			for j := e - int(offs[v]); j < len(ns) && e < ehi; j++ {
+				fn(uint32(v), ns[j])
+				e++
+			}
+		}
+	})
 }

@@ -203,3 +203,150 @@ func TestEdgeMapEdgeBalancedOnSkewedDegrees(t *testing.T) {
 		}
 	}
 }
+
+// --- dual representation / dense traversal ---
+
+func TestBitmapRoundTrip(t *testing.T) {
+	const n = 1000
+	ids := []uint32{3, 64, 65, 127, 128, 999}
+	for _, p := range procsUnderTest() {
+		s := FromIDs(ids).WithBitmap(p, n, nil)
+		if !s.IsDense() || s.Size() != len(ids) {
+			t.Fatalf("p=%d: WithBitmap lost representation or size", p)
+		}
+		for _, v := range ids {
+			if !s.Has(v) {
+				t.Fatalf("p=%d: Has(%d) = false", p, v)
+			}
+		}
+		if s.Has(4) || s.Has(998) {
+			t.Fatalf("p=%d: Has reports absent vertices", p)
+		}
+		// Dense-only subset converts back to sorted sparse IDs.
+		dense := FromBitmap(s.Bits(), n, len(ids))
+		back := dense.ToSparse(p)
+		got := back.IDs()
+		if len(got) != len(ids) {
+			t.Fatalf("p=%d: round trip size %d, want %d", p, len(got), len(ids))
+		}
+		want := append([]uint32(nil), ids...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: round trip = %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+func TestWithBitmapReusesBuffer(t *testing.T) {
+	const n = 500
+	buf := make([]uint64, (n+63)/64)
+	buf[0] = ^uint64(0) // stale bits must be cleared
+	s := FromIDs([]uint32{200}).WithBitmap(2, n, buf)
+	if &s.Bits()[0] != &buf[0] {
+		t.Fatal("sufficient buffer was not reused")
+	}
+	if s.Has(0) || s.Has(63) || !s.Has(200) {
+		t.Fatal("stale buffer bits survived the rebuild")
+	}
+}
+
+func TestVolumeDenseMatchesSparse(t *testing.T) {
+	g := gen.Grid3D(0, 12)
+	n := g.NumVertices()
+	ids := make([]uint32, 0, n/3)
+	for v := 0; v < n; v += 3 {
+		ids = append(ids, uint32(v))
+	}
+	sparseSub := FromIDs(ids)
+	denseSub := FromBitmap(sparseSub.WithBitmap(0, n, nil).Bits(), n, len(ids))
+	for _, p := range procsUnderTest() {
+		if a, b := sparseSub.Volume(p, g), denseSub.Volume(p, g); a != b {
+			t.Fatalf("p=%d: dense volume %d != sparse volume %d", p, b, a)
+		}
+	}
+}
+
+func TestEdgeApplyDenseMatchesSparse(t *testing.T) {
+	// The dense traversal must visit exactly the frontier's edges, once
+	// each, on a skewed graph (star: chunk boundaries split the hub).
+	graphs := map[string]*graph.CSR{
+		"figure1": gen.Figure1(),
+		"star":    gen.Star(5000),
+		"grid":    gen.Grid3D(0, 8),
+	}
+	for name, g := range graphs {
+		n := g.NumVertices()
+		ids := make([]uint32, 0, n/2+1)
+		for v := 0; v < n; v += 2 {
+			ids = append(ids, uint32(v))
+		}
+		frontier := FromIDs(ids)
+		for _, p := range procsUnderTest() {
+			wantCounts := make([]int64, n)
+			EdgeApplyIndexed(p, g, frontier, func(_ int, _, dst uint32) {
+				atomic.AddInt64(&wantCounts[dst], 1)
+			})
+			gotCounts := make([]int64, n)
+			fb := frontier.WithBitmap(p, n, nil)
+			EdgeApplyDense(p, g, fb, func(src, dst uint32) {
+				if !fb.Has(src) {
+					t.Errorf("%s p=%d: dense scan pushed from non-member %d", name, p, src)
+				}
+				atomic.AddInt64(&gotCounts[dst], 1)
+			})
+			for v := range wantCounts {
+				if gotCounts[v] != wantCounts[v] {
+					t.Fatalf("%s p=%d: vertex %d received %d pushes, want %d",
+						name, p, v, gotCounts[v], wantCounts[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeMapModeAgreesAcrossStrategies(t *testing.T) {
+	g := gen.Grid3D(0, 10)
+	n := g.NumVertices()
+	ids := make([]uint32, 0, n/2)
+	for v := 0; v < n; v += 2 {
+		ids = append(ids, uint32(v))
+	}
+	frontier := FromIDs(ids)
+	for _, p := range procsUnderTest() {
+		collect := func(mode Mode) []uint32 {
+			table := sparse.NewConcurrent(n)
+			out := EdgeMapMode(p, g, frontier, mode, func(_, d uint32) bool {
+				return table.Add(d, 1)
+			})
+			got := append([]uint32(nil), out.ToSparse(p).IDs()...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			return got
+		}
+		sparseOut := collect(ForceSparse)
+		denseOut := collect(ForceDense)
+		autoOut := collect(Auto)
+		if len(sparseOut) != len(denseOut) || len(sparseOut) != len(autoOut) {
+			t.Fatalf("p=%d: output sizes differ: %d / %d / %d",
+				p, len(sparseOut), len(denseOut), len(autoOut))
+		}
+		for i := range sparseOut {
+			if sparseOut[i] != denseOut[i] || sparseOut[i] != autoOut[i] {
+				t.Fatalf("p=%d: outputs differ at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestOverDenseThreshold(t *testing.T) {
+	g := gen.Clique(64) // n=64, 2m = 64*63
+	// Tiny frontier: below (n+2m)/20.
+	if OverDenseThreshold(g, 1, 63) {
+		t.Fatal("single vertex crossed the dense threshold")
+	}
+	// Half the clique: vol = 32*63 >> (64+4032)/20.
+	if !OverDenseThreshold(g, 32, 32*63) {
+		t.Fatal("half the clique did not cross the dense threshold")
+	}
+}

@@ -57,15 +57,19 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries (0 = 1024,
 	// negative = disable caching).
 	CacheSize int
+	// DefaultFrontier is the frontier-representation mode used for requests
+	// that do not set Params.Frontier (zero value = FrontierAuto).
+	DefaultFrontier core.FrontierMode
 }
 
 // Engine dispatches typed requests to the core algorithms over graphs from
 // a Registry, with results cached in an LRU and concurrency bounded by a
 // proc-token pool. Safe for concurrent use.
 type Engine struct {
-	reg      *Registry
-	pool     *procPool
-	maxProcs int
+	reg             *Registry
+	pool            *procPool
+	maxProcs        int
+	defaultFrontier core.FrontierMode
 
 	cacheMu sync.Mutex
 	cache   *lruCache
@@ -84,6 +88,8 @@ type Engine struct {
 	diffusions atomic.Int64
 	latencyUS  atomic.Int64
 	completed  atomic.Int64
+	// Executed diffusions by frontier mode (indexed by core.FrontierMode).
+	modeCounts [3]atomic.Int64
 }
 
 // NewEngine builds an engine over reg.
@@ -101,11 +107,12 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		size = 1024
 	}
 	return &Engine{
-		reg:      reg,
-		pool:     newProcPool(budget),
-		maxProcs: maxProcs,
-		cache:    newLRUCache(size), // nil (disabled) when size < 0
-		flights:  make(map[string]*flight),
+		reg:             reg,
+		pool:            newProcPool(budget),
+		maxProcs:        maxProcs,
+		defaultFrontier: cfg.DefaultFrontier,
+		cache:           newLRUCache(size), // nil (disabled) when size < 0
+		flights:         make(map[string]*flight),
 	}
 }
 
@@ -135,8 +142,13 @@ func (e *Engine) Stats() EngineStats {
 		CacheMisses:  e.misses.Load(),
 		CacheEntries: entries,
 		Diffusions:   e.diffusions.Load(),
-		GraphLoads:   e.reg.Loads(),
-		ProcBudget:   e.pool.size,
+		FrontierModes: api.FrontierModeCounts{
+			Auto:   e.modeCounts[core.FrontierAuto].Load(),
+			Sparse: e.modeCounts[core.FrontierSparse].Load(),
+			Dense:  e.modeCounts[core.FrontierDense].Load(),
+		},
+		GraphLoads: e.reg.Loads(),
+		ProcBudget: e.pool.size,
 	}
 	if n := e.completed.Load(); n > 0 {
 		s.AvgLatencyMS = float64(e.latencyUS.Load()) / float64(n) / 1e3
@@ -144,18 +156,28 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
-// resolved holds an algorithm name plus its fully-defaulted parameters;
-// its string form is the canonical cache-key fragment.
+// resolved holds an algorithm name plus its fully-defaulted parameters and
+// the frontier mode the diffusion will run under; the algorithm and
+// parameters form the canonical cache-key fragment (the mode does not —
+// results are mode-independent, like Procs).
 type resolved struct {
-	algo string
-	p    Params
+	algo     string
+	p        Params
+	frontier core.FrontierMode
 }
 
-// resolveParams applies the Table 3 defaults and validates the algorithm
-// name.
-func resolveParams(algo string, p Params) (resolved, error) {
+// resolveParams applies the Table 3 defaults, validates the algorithm name,
+// and resolves the frontier mode against the engine default.
+func resolveParams(algo string, p Params, defaultFrontier core.FrontierMode) (resolved, error) {
 	if algo == "" {
 		algo = "prnibble"
+	}
+	frontier := defaultFrontier
+	if p.Frontier != "" {
+		var err error
+		if frontier, err = core.ParseFrontierMode(p.Frontier); err != nil {
+			return resolved{}, fmt.Errorf("%w: frontier mode %q (want auto, sparse or dense)", ErrBadRequest, p.Frontier)
+		}
 	}
 	switch algo {
 	case "nibble":
@@ -199,7 +221,7 @@ func resolveParams(algo string, p Params) (resolved, error) {
 	default:
 		return resolved{}, fmt.Errorf("%w: unknown algo %q (want nibble, prnibble, hkpr, randhk or evolving)", ErrBadRequest, algo)
 	}
-	return resolved{algo: algo, p: p}, nil
+	return resolved{algo: algo, p: p, frontier: frontier}, nil
 }
 
 // key builds the canonical cache key for one unit of work. Only parameters
@@ -270,7 +292,7 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 	if len(req.Seeds) > maxSeedsPerRequest {
 		return nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
 	}
-	rp, err := resolveParams(req.Algo, req.Params)
+	rp, err := resolveParams(req.Algo, req.Params, e.defaultFrontier)
 	if err != nil {
 		return nil, err
 	}
@@ -439,11 +461,16 @@ func (e *Engine) compute(ctx context.Context, g *graph.CSR, key string, seeds []
 // runUnit executes one diffusion + sweep (or evolving set run).
 func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *ClusterResult {
 	e.diffusions.Add(1)
+	if rp.algo != "randhk" {
+		// rand-HK-PR aggregates walk endpoints and never touches the
+		// frontier engine, so it does not count toward the mode stats.
+		e.modeCounts[rp.frontier].Add(1)
+	}
 	p := rp.p
 	if rp.algo == "evolving" {
 		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
 			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
-			Seed: p.WalkSeed, Procs: procs,
+			Seed: p.WalkSeed, Procs: procs, Frontier: rp.frontier,
 		})
 		return &ClusterResult{
 			Seeds: seeds, Members: res.Set, Size: len(res.Set),
@@ -454,15 +481,15 @@ func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *
 	var st core.Stats
 	switch rp.algo {
 	case "nibble":
-		vec, st = core.NibbleParFrom(g, seeds, p.Epsilon, p.T, procs)
+		vec, st = core.NibbleParFrom(g, seeds, p.Epsilon, p.T, procs, rp.frontier)
 	case "prnibble":
 		rule := core.OptimizedRule
 		if p.OriginalRule {
 			rule = core.OriginalRule
 		}
-		vec, st = core.PRNibbleParFrom(g, seeds, p.Alpha, p.Epsilon, rule, procs, p.Beta)
+		vec, st = core.PRNibbleParFrom(g, seeds, p.Alpha, p.Epsilon, rule, procs, p.Beta, rp.frontier)
 	case "hkpr":
-		vec, st = core.HKPRParFrom(g, seeds, p.HeatT, p.N, p.Epsilon, procs)
+		vec, st = core.HKPRParFrom(g, seeds, p.HeatT, p.N, p.Epsilon, procs, rp.frontier)
 	case "randhk":
 		vec, st = core.RandHKPRParFrom(g, seeds, p.HeatT, p.K, p.Walks, p.WalkSeed, procs)
 	default:

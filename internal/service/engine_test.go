@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"parcluster/internal/core"
 )
 
 // testEngine builds an engine over a small caveman graph (16 cliques of
@@ -312,5 +314,92 @@ func TestEngineResolveProcs(t *testing.T) {
 		if got := e.resolveProcs(in); got != want {
 			t.Errorf("resolveProcs(%d) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+func TestEngineFrontierModes(t *testing.T) {
+	e := testEngine(t)
+	ctx := context.Background()
+
+	// Default mode (auto) counts under "auto".
+	if _, err := e.Cluster(ctx, &ClusterRequest{Graph: "test", Seeds: []uint32{0}}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.FrontierModes.Auto != 1 || s.FrontierModes.Sparse != 0 || s.FrontierModes.Dense != 0 {
+		t.Fatalf("mode counts after auto query: %+v", s.FrontierModes)
+	}
+
+	// Per-request override runs (and counts) under the requested mode, and
+	// returns the same cluster: mode is representation-only, so it shares
+	// the cache key — force a fresh run with NoCache.
+	base, err := e.Cluster(ctx, &ClusterRequest{Graph: "test", Seeds: []uint32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := e.Cluster(ctx, &ClusterRequest{
+		Graph: "test", Seeds: []uint32{0}, NoCache: true,
+		Params: Params{Frontier: "dense"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Results[0].Size != base.Results[0].Size ||
+		dense.Results[0].Conductance != base.Results[0].Conductance {
+		t.Fatalf("dense mode changed the result: %+v vs %+v", dense.Results[0], base.Results[0])
+	}
+	sparse, err := e.Cluster(ctx, &ClusterRequest{
+		Graph: "test", Seeds: []uint32{0}, NoCache: true,
+		Params: Params{Frontier: "sparse"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Results[0].Size != base.Results[0].Size {
+		t.Fatalf("sparse mode changed the result")
+	}
+	s = e.Stats()
+	if s.FrontierModes.Dense != 1 || s.FrontierModes.Sparse != 1 || s.FrontierModes.Auto != 1 {
+		t.Fatalf("mode counts after overrides: %+v", s.FrontierModes)
+	}
+
+	// A same-key cached request runs no diffusion and counts nothing.
+	if _, err := e.Cluster(ctx, &ClusterRequest{Graph: "test", Seeds: []uint32{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().FrontierModes; got != s.FrontierModes {
+		t.Fatalf("cache hit changed mode counts: %+v vs %+v", got, s.FrontierModes)
+	}
+
+	// rand-HK-PR never touches the frontier engine, so it must not count.
+	if _, err := e.Cluster(ctx, &ClusterRequest{
+		Graph: "test", Seeds: []uint32{0}, Algo: "randhk",
+		Params: Params{Walks: 1000, Frontier: "dense"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().FrontierModes; got != s.FrontierModes {
+		t.Fatalf("randhk changed mode counts: %+v vs %+v", got, s.FrontierModes)
+	}
+
+	// Invalid mode is a bad request.
+	if _, err := e.Cluster(ctx, &ClusterRequest{
+		Graph: "test", Seeds: []uint32{0}, Params: Params{Frontier: "bitmap"},
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("invalid frontier mode error = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestEngineDefaultFrontierConfig(t *testing.T) {
+	reg := NewRegistry(2, false)
+	if err := reg.RegisterSpec("test", "caveman:cliques=16,k=12"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, DefaultFrontier: core.FrontierDense})
+	if _, err := e.Cluster(context.Background(), &ClusterRequest{Graph: "test", Seeds: []uint32{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.FrontierModes.Dense != 1 || s.FrontierModes.Auto != 0 {
+		t.Fatalf("server default mode not honored: %+v", s.FrontierModes)
 	}
 }

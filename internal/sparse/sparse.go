@@ -22,9 +22,59 @@ package sparse
 
 import (
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"parcluster/internal/parallel"
+)
+
+// Vector is the minimal read interface over sparse (vertex, float64)
+// vectors, shared by Map, ConcurrentMap and Dense. The sweep cut and the
+// snapshot/compare helpers only need these three methods, so they accept any
+// representation.
+type Vector interface {
+	// Get returns the value for k, or 0 if absent (⊥ = 0).
+	Get(k uint32) float64
+	// Len returns the number of entries.
+	Len() int
+	// ForEach calls fn for every entry, in unspecified order. Must not run
+	// concurrently with writers.
+	ForEach(fn func(k uint32, v float64))
+}
+
+// Table is the concurrent accumulator interface the diffusion frontier
+// engine drives: phase-concurrent Add/Set/Get with capacity management at
+// phase boundaries. It is implemented by ConcurrentMap (open-addressing hash
+// table, work proportional to the per-phase bound) and by Dense (flat
+// graph-sized array plus a touched list, work proportional to the entries
+// actually touched). The engine promotes from the former to the latter when
+// a vector's support bound crosses a fraction of n.
+type Table interface {
+	Vector
+	// Add atomically accumulates delta into k's value and reports whether
+	// this call created the entry.
+	Add(k uint32, delta float64) (created bool)
+	// Set atomically overwrites k's value and reports whether this call
+	// created the entry.
+	Set(k uint32, v float64) (created bool)
+	// Keys returns all present keys using p workers, in unspecified order.
+	// Must not run concurrently with writers.
+	Keys(p int) []uint32
+	// Sum returns the sum of all values using p workers. Must not run
+	// concurrently with writers.
+	Sum(p int) float64
+	// Reset clears the table and ensures capacity for at least capacity
+	// entries (phase boundary only).
+	Reset(p, capacity int)
+	// Reserve grows the table so that extra more entries fit (phase
+	// boundary only).
+	Reserve(extra int)
+}
+
+var (
+	_ Vector = (*Map)(nil)
+	_ Table  = (*ConcurrentMap)(nil)
+	_ Table  = (*Dense)(nil)
 )
 
 // emptyKey marks an unoccupied slot. Vertex IDs must be < MaxUint32.
@@ -186,7 +236,11 @@ func (m *ConcurrentMap) Cap() int { return len(m.keys) / 2 }
 // is not present. created reports whether this call inserted k.
 func (m *ConcurrentMap) findOrClaim(k uint32) (slot uint32, created bool) {
 	i := hash32(k) & m.mask
-	for probes := 0; ; probes++ {
+	// Every pass — including a lost-CAS re-read of the same slot — counts
+	// toward the probe bound, so the hard-overflow backstop fires even if
+	// the loop stops advancing. A slot costs at most two passes (one lost
+	// CAS plus one re-read), hence the 2x margin.
+	for probes := 0; probes <= 2*len(m.keys); probes++ {
 		cur := atomic.LoadUint32(&m.keys[i])
 		if cur == k {
 			return i, false
@@ -200,13 +254,10 @@ func (m *ConcurrentMap) findOrClaim(k uint32) (slot uint32, created bool) {
 			continue
 		}
 		i = (i + 1) & m.mask
-		if probes > len(m.keys) {
-			// The hard-overflow backstop: the soft capacity discipline is
-			// that callers Reserve/Reset with a per-phase bound, so hitting
-			// a full table means that bound was wrong.
-			panic("sparse: ConcurrentMap overflow; Reserve was not called with a sufficient bound")
-		}
 	}
+	// The soft capacity discipline is that callers Reserve/Reset with a
+	// per-phase bound, so hitting a full table means that bound was wrong.
+	panic("sparse: ConcurrentMap overflow; Reserve was not called with a sufficient bound")
 }
 
 // find returns the slot of k, or -1 if absent.
@@ -382,16 +433,19 @@ func NewIDMap(capacity int) *IDMap {
 // assignment order is nondeterministic under concurrency.
 func (m *IDMap) Assign(k uint32) int32 {
 	i := hash32(k) & m.mask
-	for probes := 0; ; probes++ {
+	for probes := 0; probes <= 2*len(m.keys); probes++ {
 		cur := atomic.LoadUint32(&m.keys[i])
 		if cur == k {
 			// The ID may not be published yet if the claimer is between its
-			// two stores; spin until it is (ids are stored as id+1 so 0
-			// means unpublished).
+			// two stores; wait until it is (ids are stored as id+1 so 0
+			// means unpublished). Yield to the scheduler between reads: on
+			// GOMAXPROCS=1 the claimer cannot run — and publish — until this
+			// goroutine gives up the processor, so a raw spin would livelock.
 			for {
 				if id := atomic.LoadInt32(&m.ids[i]); id != 0 {
 					return id - 1
 				}
+				runtime.Gosched()
 			}
 		}
 		if cur == emptyKey {
@@ -403,13 +457,13 @@ func (m *IDMap) Assign(k uint32) int32 {
 				}
 				return id
 			}
+			// Lost the race; re-read this slot. Counts as a probe so the
+			// full-table backstop below stays reachable.
 			continue
 		}
 		i = (i + 1) & m.mask
-		if probes > len(m.keys) {
-			panic("sparse: IDMap full")
-		}
 	}
+	panic("sparse: IDMap full")
 }
 
 // Count returns the number of distinct keys assigned so far.

@@ -383,3 +383,163 @@ func BenchmarkMapAdd(b *testing.B) {
 		m.Add(uint32(r.Intn(1<<19)), 1)
 	}
 }
+
+// --- Dense flat vector ---
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(100)
+	if d.Len() != 0 || d.Get(5) != 0 || d.Has(5) {
+		t.Fatal("fresh Dense not empty")
+	}
+	if created := d.Add(5, 1.5); !created {
+		t.Fatal("first Add should create")
+	}
+	if created := d.Add(5, 1.0); created {
+		t.Fatal("second Add should not create")
+	}
+	if d.Get(5) != 2.5 || d.Len() != 1 || !d.Has(5) {
+		t.Fatalf("Get/Len/Has after adds: %v %d", d.Get(5), d.Len())
+	}
+	if created := d.Set(7, 3.0); !created {
+		t.Fatal("Set of new key should create")
+	}
+	d.Set(7, 4.0)
+	if d.Get(7) != 4.0 || d.Len() != 2 {
+		t.Fatalf("Set overwrite: %v len=%d", d.Get(7), d.Len())
+	}
+	if s := d.Sum(1); s != 6.5 {
+		t.Fatalf("Sum = %v, want 6.5", s)
+	}
+	keys := d.Keys(1)
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	// Zero values remain present entries (⊥ = absent only).
+	d.Set(9, 0)
+	if !d.Has(9) || d.Len() != 3 {
+		t.Fatal("explicit zero entry not tracked")
+	}
+	d.Reset(1, 0)
+	if d.Len() != 0 || d.Get(5) != 0 || d.Has(7) || d.Has(9) {
+		t.Fatal("Reset did not clear touched entries")
+	}
+	// Reusable after reset.
+	d.Add(11, 1)
+	if d.Len() != 1 || d.Get(11) != 1 {
+		t.Fatal("Dense unusable after Reset")
+	}
+}
+
+func TestDenseConcurrentAddsMatchConcurrentMap(t *testing.T) {
+	const n = 4096
+	const workers = 8
+	const perWorker = 20000
+	d := NewDense(n)
+	cm := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := uint32(w*2654435761 + 1)
+			for i := 0; i < perWorker; i++ {
+				r = r*1664525 + 1013904223
+				k := r % n
+				d.Add(k, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Replay sequentially into the hash table and compare.
+	for w := 0; w < workers; w++ {
+		r := uint32(w*2654435761 + 1)
+		for i := 0; i < perWorker; i++ {
+			r = r*1664525 + 1013904223
+			cm.Add(r%n, 1)
+		}
+	}
+	if d.Len() != cm.Len() {
+		t.Fatalf("support %d != %d", d.Len(), cm.Len())
+	}
+	cm.ForEach(func(k uint32, v float64) {
+		if d.Get(k) != v {
+			t.Fatalf("d[%d] = %v, want %v", k, d.Get(k), v)
+		}
+	})
+	if ds, cs := d.Sum(4), cm.Sum(4); ds != cs {
+		t.Fatalf("sums differ: %v vs %v", ds, cs)
+	}
+	// Each touched key appears exactly once in the touched list.
+	seen := map[uint32]bool{}
+	for _, k := range d.Keys(2) {
+		if seen[k] {
+			t.Fatalf("key %d recorded twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPromoteToDense(t *testing.T) {
+	cm := NewConcurrent(16)
+	cm.Add(1, 0.5)
+	cm.Add(300, 1.5)
+	d := PromoteToDense(1000, cm)
+	if d.Len() != 2 || d.Get(1) != 0.5 || d.Get(300) != 1.5 {
+		t.Fatalf("promotion lost entries: len=%d", d.Len())
+	}
+	if d.Universe() != 1000 {
+		t.Fatalf("Universe = %d", d.Universe())
+	}
+}
+
+func TestDenseResetIsTouchedProportional(t *testing.T) {
+	// Reset must clear only touched entries: untouched slots keep working
+	// and the touched list restarts.
+	d := NewDense(1 << 16)
+	for i := uint32(0); i < 100; i++ {
+		d.Add(i*601, float64(i))
+	}
+	d.Reset(4, 0)
+	for i := uint32(0); i < 100; i++ {
+		if d.Get(i*601) != 0 {
+			t.Fatalf("slot %d survived reset", i*601)
+		}
+	}
+	d.Add(42, 1)
+	if ks := d.Keys(1); len(ks) != 1 || ks[0] != 42 {
+		t.Fatalf("touched list after reset: %v", ks)
+	}
+}
+
+// TestIDMapAssignSingleProc exercises the Assign publish-wait under
+// GOMAXPROCS-constrained contention: with the Gosched in the spin loop the
+// waiters always let the claimer publish.
+func TestIDMapAssignSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	m := NewIDMap(256)
+	var wg sync.WaitGroup
+	ids := make([][]int32, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int32, 128)
+			for k := uint32(0); k < 128; k++ {
+				out[k] = m.Assign(k)
+			}
+			ids[w] = out
+		}(w)
+	}
+	wg.Wait()
+	if m.Count() != 128 {
+		t.Fatalf("Count = %d, want 128", m.Count())
+	}
+	for w := 1; w < 4; w++ {
+		for k := range ids[0] {
+			if ids[w][k] != ids[0][k] {
+				t.Fatalf("worker %d got id %d for key %d, worker 0 got %d",
+					w, ids[w][k], k, ids[0][k])
+			}
+		}
+	}
+}

@@ -40,6 +40,25 @@ const (
 	OptimizedRule = core.OptimizedRule
 )
 
+// FrontierMode selects the diffusion engine's frontier representation
+// strategy: FrontierAuto switches between the sparse (ID-list, hash-table)
+// and dense (bitmap-scan, flat-array) representations per iteration using
+// Ligra's direction heuristic; the other two pin a representation. Every
+// mode returns identical clusters and Stats — the knob trades constant
+// factors only.
+type FrontierMode = core.FrontierMode
+
+// The frontier modes.
+const (
+	FrontierAuto   = core.FrontierAuto
+	FrontierSparse = core.FrontierSparse
+	FrontierDense  = core.FrontierDense
+)
+
+// ParseFrontierMode converts "auto" (or ""), "sparse" or "dense" to a
+// FrontierMode.
+func ParseFrontierMode(s string) (FrontierMode, error) { return core.ParseFrontierMode(s) }
+
 // NCPPoint is one point of a network community profile.
 type NCPPoint = core.NCPPoint
 
@@ -106,6 +125,9 @@ type NibbleOptions struct {
 	// Sequential selects the paper's reference sequential implementation
 	// instead of the parallel one.
 	Sequential bool
+	// Frontier selects the parallel version's frontier representation
+	// (default FrontierAuto).
+	Frontier FrontierMode
 }
 
 func (o *NibbleOptions) defaults() {
@@ -124,7 +146,7 @@ func Nibble(g *Graph, seed uint32, opts NibbleOptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.NibbleSeq(g, seed, opts.Epsilon, opts.T)
 	}
-	return core.NibblePar(g, seed, opts.Epsilon, opts.T, opts.Procs)
+	return core.NibbleParFrom(g, []uint32{seed}, opts.Epsilon, opts.T, opts.Procs, opts.Frontier)
 }
 
 // PRNibbleOptions configures PRNibble. Zero values select the paper's
@@ -144,6 +166,9 @@ type PRNibbleOptions struct {
 	// PriorityQueue additionally switches it to the priority-queue variant.
 	Sequential    bool
 	PriorityQueue bool
+	// Frontier selects the parallel version's frontier representation
+	// (default FrontierAuto).
+	Frontier FrontierMode
 }
 
 func (o *PRNibbleOptions) defaults() {
@@ -170,7 +195,7 @@ func PRNibble(g *Graph, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
 		}
 		return core.PRNibbleSeq(g, seed, opts.Alpha, opts.Epsilon, opts.Rule)
 	}
-	return core.PRNibblePar(g, seed, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta)
+	return core.PRNibbleParFrom(g, []uint32{seed}, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta, opts.Frontier)
 }
 
 // HKPROptions configures HKPR. Zero values select the paper's Table 3
@@ -181,6 +206,9 @@ type HKPROptions struct {
 	Epsilon    float64 // residual threshold; default 1e-7
 	Procs      int
 	Sequential bool
+	// Frontier selects the parallel version's frontier representation
+	// (default FrontierAuto).
+	Frontier FrontierMode
 }
 
 func (o *HKPROptions) defaults() {
@@ -202,7 +230,7 @@ func HKPR(g *Graph, seed uint32, opts HKPROptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.HKPRSeq(g, seed, opts.T, opts.N, opts.Epsilon)
 	}
-	return core.HKPRPar(g, seed, opts.T, opts.N, opts.Epsilon, opts.Procs)
+	return core.HKPRParFrom(g, []uint32{seed}, opts.T, opts.N, opts.Epsilon, opts.Procs, opts.Frontier)
 }
 
 // RandHKPROptions configures RandHKPR. Zero values select t = 10, K = 10,
@@ -259,7 +287,7 @@ func NibbleFrom(g *Graph, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.NibbleSeqFrom(g, seeds, opts.Epsilon, opts.T)
 	}
-	return core.NibbleParFrom(g, seeds, opts.Epsilon, opts.T, opts.Procs)
+	return core.NibbleParFrom(g, seeds, opts.Epsilon, opts.T, opts.Procs, opts.Frontier)
 }
 
 // PRNibbleFrom runs PR-Nibble from a multi-vertex seed set.
@@ -268,7 +296,7 @@ func PRNibbleFrom(g *Graph, seeds []uint32, opts PRNibbleOptions) (*Vector, Stat
 	if opts.Sequential {
 		return core.PRNibbleSeqFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule)
 	}
-	return core.PRNibbleParFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta)
+	return core.PRNibbleParFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta, opts.Frontier)
 }
 
 // HKPRFrom runs HK-PR from a multi-vertex seed set.
@@ -277,7 +305,7 @@ func HKPRFrom(g *Graph, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.HKPRSeqFrom(g, seeds, opts.T, opts.N, opts.Epsilon)
 	}
-	return core.HKPRParFrom(g, seeds, opts.T, opts.N, opts.Epsilon, opts.Procs)
+	return core.HKPRParFrom(g, seeds, opts.T, opts.N, opts.Epsilon, opts.Procs, opts.Frontier)
 }
 
 // RandHKPRFrom runs rand-HK-PR from a multi-vertex seed set (each walk

@@ -29,6 +29,7 @@ import (
 	"parcluster/internal/core"
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
+	"parcluster/internal/workspace"
 )
 
 var (
@@ -329,4 +330,47 @@ func BenchmarkFrontierMode(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Workspace pool: steady-state allocation behaviour -------------------
+
+// BenchmarkWorkspacePool measures the allocation profile of repeated
+// dense-mode queries against one graph — the lgc-serve steady state —
+// with and without the per-graph workspace pool. The pooled variant's
+// allocs/op and B/op exclude all graph-sized state (the three ~16
+// bytes/vertex flat vectors, the share array, the frontier bitmap and ID
+// buffers all come from the pool); what remains is work-proportional
+// (per-round hash tables in sparse phases, the result snapshot, the sweep).
+// Before/after numbers are recorded in DESIGN.md §5. The determinism suite
+// in internal/core proves pooled and unpooled results are identical.
+func BenchmarkWorkspacePool(b *testing.B) {
+	fixtures()
+	seeds := []uint32{fixSeed}
+	for _, v := range fixSocial.Neighbors(fixSeed) {
+		if len(seeds) >= 64 {
+			break
+		}
+		seeds = append(seeds, v)
+	}
+	const lowEps = benchEps / 10
+	run := func(b *testing.B, pool *core.RunConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, *pool)
+		}
+	}
+	b.Run("unpooled", func(b *testing.B) {
+		cfg := core.RunConfig{Frontier: core.FrontierDense}
+		run(b, &cfg)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		cfg := core.RunConfig{Frontier: core.FrontierDense, Workspace: workspace.NewPool(fixSocial.NumVertices())}
+		// Warm the pool so b.N = 1 already measures the steady state.
+		core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, cfg)
+		before := cfg.Workspace.Stats().BytesRecycled
+		b.ResetTimer()
+		run(b, &cfg)
+		recycled := cfg.Workspace.Stats().BytesRecycled - before
+		b.ReportMetric(float64(recycled)/float64(b.N), "recycled-B/op")
+	})
 }

@@ -79,7 +79,9 @@ func run(graphFile, genSpec, algo string, seed, procs int, seq bool, eps, alpha 
 		}
 	}
 
-	opts := parcluster.ClusterOptions{Method: algo}
+	// One query only borrows from the pool once, but wiring it keeps the CLI
+	// on the same code path the batch and serving layers exercise.
+	opts := parcluster.ClusterOptions{Method: algo, Workspace: parcluster.NewWorkspacePool(g)}
 	opts.Nibble = parcluster.NibbleOptions{Epsilon: orDefault(eps, 1e-8), T: tIter, Procs: procs, Sequential: seq, Frontier: fmode}
 	opts.PRNibble = parcluster.PRNibbleOptions{Alpha: alpha, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq, Frontier: fmode}
 	opts.HKPR = parcluster.HKPROptions{T: hkT, N: hkN, Epsilon: orDefault(eps, 1e-7), Procs: procs, Sequential: seq, Frontier: fmode}

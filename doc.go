@@ -21,13 +21,15 @@
 // # Quick start
 //
 //	g := parcluster.MustGenerate("caveman", map[string]int{"cliques": 16, "k": 12})
-//	cluster := parcluster.FindCluster(g, 0, parcluster.ClusterOptions{})
+//	cluster, err := parcluster.FindCluster(g, 0, parcluster.ClusterOptions{})
 //	fmt.Println(cluster.Members, cluster.Conductance)
 //
 // Every algorithm accepts a worker count (0 = all cores) and has a
 // Sequential switch selecting the paper's reference sequential
 // implementation. All parallel algorithms return clusters with the same
-// quality guarantees as their sequential counterparts.
+// quality guarantees as their sequential counterparts. The Example
+// functions in this package are executed by go test, so they always
+// compile and print exactly what the current code produces.
 //
 // # Frontier modes
 //
@@ -50,6 +52,31 @@
 // values: clusters and Stats are identical, only the constants change. The
 // lgc and lgc-serve commands expose the knob as -frontier.
 //
+// # Workspace pooling
+//
+// A dense-mode diffusion needs graph-sized scratch state: three ~16
+// bytes/vertex flat vectors plus a share array, a frontier bitmap, and
+// frontier ID buffers. Allocating these per call is fine for a one-shot
+// query and pure GC pressure for a batch or serving workload, so the
+// diffusions can instead borrow them from a per-graph WorkspacePool:
+//
+//	pool := parcluster.NewWorkspacePool(g)
+//	opts := parcluster.ClusterOptions{Workspace: pool}
+//	for _, seed := range seeds {
+//		cluster, err := parcluster.FindCluster(g, seed, opts)
+//		...
+//	}
+//
+// Steady-state pooled runs perform zero graph-sized allocations (DESIGN.md
+// §5 records the measured numbers), results are bit-identical with and
+// without a pool, and a pool is safe for concurrent use — parallel queries
+// check out distinct workspaces. Every algorithm options struct carries the
+// same Workspace field, NCP pools its inner loop automatically, and
+// lgc-serve gives every loaded graph its own pool, reporting hit/miss and
+// bytes-recycled counters under "workspace" in GET /v1/stats. The borrowing
+// rules (who acquires, who releases, what happens on panic) are documented
+// in docs/ARCHITECTURE.md.
+//
 // # lgc-serve
 //
 // Command lgc-serve turns the one-shot pipeline into a long-lived query
@@ -68,7 +95,8 @@
 // GET /healthz, and expvar counters at /debug/vars, all JSON over the
 // standard library's net/http. The request and response types are
 // re-exported by this package (ClusterRequest, ClusterResponse,
-// NCPRequest, ...); see examples/service for an in-process client.
+// NCPRequest, ...); see examples/service for an in-process client and
+// cmd/lgc-serve/README.md for the endpoint reference with curl examples.
 //
 // The internal packages implement the substrates the paper builds on: a
 // Ligra-style frontier framework with dual sparse/dense vertex subsets,

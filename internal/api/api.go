@@ -142,6 +142,42 @@ type FrontierModeCounts struct {
 	Dense  int64 `json:"dense"`
 }
 
+// WorkspaceStats aggregates the per-graph diffusion workspace pools: each
+// loaded graph owns a pool of recyclable graph-sized scratch arenas (flat
+// diffusion vectors, share arrays, frontier bitmaps and ID buffers), and
+// these counters report how much allocation the pools absorbed. A healthy
+// steady state shows Hits approaching Acquires and BytesRecycled growing
+// with traffic.
+type WorkspaceStats struct {
+	// Pools is the number of per-graph pools (one per loaded graph).
+	Pools int `json:"pools"`
+	// Acquires counts workspace checkouts across all pools (Hits + Misses).
+	Acquires int64 `json:"acquires"`
+	// Hits counts checkouts served by recycling a released workspace.
+	Hits int64 `json:"hits"`
+	// Misses counts checkouts that allocated a fresh workspace (first use,
+	// pool drained by concurrent queries, or GC-cleared under pressure).
+	Misses int64 `json:"misses"`
+	// Releases counts workspaces returned to their pool.
+	Releases int64 `json:"releases"`
+	// BytesRecycled totals the graph-sized array bytes runs actually
+	// borrowed from recycled arenas instead of the allocator — the GC
+	// pressure avoided.
+	BytesRecycled int64 `json:"bytes_recycled"`
+}
+
+// Add accumulates o into w. Every aggregation site (the registry's per-pool
+// sum, the expvar cross-engine sum) goes through this method so a new
+// counter cannot be summed in one place and silently dropped in another.
+func (w *WorkspaceStats) Add(o WorkspaceStats) {
+	w.Pools += o.Pools
+	w.Acquires += o.Acquires
+	w.Hits += o.Hits
+	w.Misses += o.Misses
+	w.Releases += o.Releases
+	w.BytesRecycled += o.BytesRecycled
+}
+
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
@@ -154,6 +190,7 @@ type EngineStats struct {
 	Diffusions    int64              `json:"diffusions"`
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
 	GraphLoads    int64              `json:"graph_loads"`
+	Workspace     WorkspaceStats     `json:"workspace"`
 	AvgLatencyMS  float64            `json:"avg_latency_ms"`
 	ProcBudget    int                `json:"proc_budget"`
 }

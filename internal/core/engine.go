@@ -7,6 +7,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // engine.go implements the shared frontier engine behind the synchronous
@@ -78,6 +79,39 @@ func ParseFrontierMode(s string) (FrontierMode, error) {
 	return FrontierAuto, fmt.Errorf("core: unknown frontier mode %q (want auto, sparse or dense)", s)
 }
 
+// RunConfig bundles the execution environment of one parallel diffusion:
+// the worker count, the frontier representation strategy, and the workspace
+// pool to borrow graph-sized scratch state from. The zero value runs with
+// all cores, the auto frontier mode, and per-run (unpooled) scratch
+// allocation — exactly the pre-workspace behaviour.
+type RunConfig struct {
+	// Procs is the worker count (<= 0 = all cores; 1 = the paper's T1
+	// sequential schedule of the parallel algorithm).
+	Procs int
+	// Frontier selects the engine's frontier representation strategy.
+	Frontier FrontierMode
+	// Workspace, when non-nil, is the pool the run borrows its graph-sized
+	// scratch state (flat vectors, share array, frontier bitmap and ID
+	// buffers) from instead of allocating per call. The pool must match the
+	// graph's vertex count; a mismatched pool is ignored (the run falls
+	// back to fresh allocation) rather than corrupting someone else's
+	// arenas. Results are bit-identical with and without a pool.
+	Workspace *workspace.Pool
+}
+
+// acquireWorkspace checks a workspace for a universe of n vertices out of
+// pool, falling back to a fresh unpooled workspace when no (or a
+// wrong-universe) pool is configured. The caller owns the result and must
+// Release it on the non-panicking path only: a workspace abandoned by a
+// panic mid-phase may hold half-claimed entries whose reset would be
+// incomplete, so it is left to the GC instead of being recycled.
+func acquireWorkspace(pool *workspace.Pool, n int) *workspace.Workspace {
+	if pool == nil || pool.Universe() != n {
+		return workspace.New(n)
+	}
+	return pool.Acquire()
+}
+
 // vecPromoteFrac is the vector promotion threshold denominator: an adaptive
 // vector switches from hash table to flat array when its support bound
 // exceeds n/vecPromoteFrac. At that point the hash table would occupy a
@@ -89,19 +123,23 @@ const vecPromoteFrac = 8
 // phase-concurrent hash table and, in auto mode, promotes (sticky) to a
 // flat Dense array once a reset/reserve bound crosses n/vecPromoteFrac.
 // All phase-concurrent operations delegate to the embedded Table; reset and
-// reserve are the phase boundaries where promotion may happen.
+// reserve are the phase boundaries where promotion may happen. Dense
+// backings are borrowed from the run's workspace, so in the pooled steady
+// state promotion (and dense-mode construction) allocates nothing.
 type vec struct {
 	sparse.Table
 	n    int
 	mode FrontierMode
+	ws   *workspace.Workspace
 }
 
-// newVec builds an adaptive vector for a graph with n vertices.
-func newVec(n int, mode FrontierMode, capacity int) *vec {
+// newVec builds an adaptive vector for a graph with n vertices, borrowing
+// any dense backing from ws.
+func newVec(n int, mode FrontierMode, capacity int, ws *workspace.Workspace) *vec {
 	if mode == FrontierDense {
-		return &vec{Table: sparse.NewDense(n), n: n, mode: mode}
+		return &vec{Table: ws.Dense(), n: n, mode: mode, ws: ws}
 	}
-	return &vec{Table: sparse.NewConcurrent(capacity), n: n, mode: mode}
+	return &vec{Table: sparse.NewConcurrent(capacity), n: n, mode: mode, ws: ws}
 }
 
 // shouldPromote reports whether a support bound warrants switching the
@@ -117,10 +155,10 @@ func (v *vec) shouldPromote(bound int) bool {
 // reset clears the vector and ensures capacity for the per-phase bound,
 // promoting first when the bound crosses the threshold (phase boundary
 // only). A reset-promotion discards the old entries anyway, so it installs
-// a fresh empty Dense instead of copying them.
+// an empty borrowed Dense instead of copying them.
 func (v *vec) reset(p, bound int) {
 	if v.shouldPromote(bound) {
-		v.Table = sparse.NewDense(v.n)
+		v.Table = v.ws.Dense()
 		return
 	}
 	v.Table.Reset(p, bound)
@@ -131,26 +169,31 @@ func (v *vec) reset(p, bound int) {
 // crosses the threshold (phase boundary only).
 func (v *vec) reserve(extra int) {
 	if v.shouldPromote(v.Table.Len() + extra) {
-		v.Table = sparse.PromoteToDense(v.n, v.Table.(*sparse.ConcurrentMap))
+		v.Table = sparse.PromoteToDenseInto(v.ws.Dense(), v.Table.(*sparse.ConcurrentMap))
 		return
 	}
 	v.Table.Reserve(extra)
 }
 
 // frontierEngine drives the shared per-round bookkeeping for one diffusion
-// run. It is not safe for concurrent use; each diffusion creates its own.
+// run. It is not safe for concurrent use; each diffusion creates its own,
+// wired to the run's workspace, from which all graph-sized scratch (the
+// vertex-indexed share array, the frontier bitmap, the filter ID buffer) is
+// borrowed lazily — a run that never goes dense never pays for any of it.
 type frontierEngine struct {
-	g       *graph.CSR
-	procs   int
-	mode    FrontierMode
-	st      *Stats
-	shares  []float64 // per-source state, frontier-indexed (sparse rounds)
-	sharesV []float64 // per-source state, vertex-indexed (dense rounds)
-	bits    []uint64  // reused frontier-bitmap buffer (dense rounds)
+	g         *graph.CSR
+	procs     int
+	mode      FrontierMode
+	st        *Stats
+	ws        *workspace.Workspace
+	shares    []float64 // per-source state, frontier-indexed (sparse rounds)
+	sharesV   []float64 // per-source state, vertex-indexed (dense rounds)
+	bits      []uint64  // reused frontier-bitmap buffer (dense rounds)
+	wentDense bool      // some round took the dense path (filter-buffer policy)
 }
 
-func newFrontierEngine(g *graph.CSR, procs int, mode FrontierMode, st *Stats) *frontierEngine {
-	return &frontierEngine{g: g, procs: procs, mode: mode, st: st}
+func newFrontierEngine(g *graph.CSR, procs int, mode FrontierMode, st *Stats, ws *workspace.Workspace) *frontierEngine {
+	return &frontierEngine{g: g, procs: procs, mode: mode, st: st, ws: ws}
 }
 
 // useDense resolves the engine's mode to a per-round traversal decision.
@@ -208,14 +251,18 @@ func (e *frontierEngine) round(frontier ligra.VertexSubset, spec roundSpec) []ui
 	}
 	scratch := spec.scratch
 	if e.useDense(size, vol) {
+		e.wentDense = true
 		n := e.g.NumVertices()
-		if len(e.sharesV) < n {
-			e.sharesV = make([]float64, n)
+		if e.sharesV == nil {
+			e.sharesV = e.ws.Floats()
 		}
 		sharesV := e.sharesV
 		ligra.VertexMapIndexed(e.procs, frontier, func(i int, v uint32) {
 			sharesV[v] = spec.source(i, v)
 		})
+		if e.bits == nil {
+			e.bits = e.ws.Bits()
+		}
 		fb := frontier.WithBitmap(e.procs, n, e.bits)
 		e.bits = fb.Bits()
 		ligra.EdgeApplyDense(e.procs, e.g, fb, func(src, dst uint32) {
@@ -249,7 +296,15 @@ func (e *frontierEngine) merge(dst *vec, touched []uint32, delta *vec) {
 }
 
 // filter builds the next frontier: the touched vertices satisfying keep,
-// in touched order.
+// in touched order. Once a run has gone dense — or when a recycled
+// workspace already carries the buffer — the output is written into the
+// workspace's frontier ID buffer instead of a fresh allocation. The single
+// buffer alternates safely: its previous contents (the current frontier)
+// are dead by the time filter runs, and the filter input is an
+// accumulator's touched-key list, which never aliases the buffer.
 func (e *frontierEngine) filter(touched []uint32, keep func(v uint32) bool) ligra.VertexSubset {
+	if e.wentDense || e.ws.HasIDs() {
+		return ligra.VertexFilterInto(e.procs, ligra.FromIDs(touched), e.ws.IDs(), keep)
+	}
 	return ligra.VertexFilter(e.procs, ligra.FromIDs(touched), keep)
 }

@@ -5,6 +5,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/rng"
+	"parcluster/internal/workspace"
 )
 
 // evolving.go implements the evolving set process of Andersen and Peres
@@ -52,6 +53,10 @@ type EvolvingSetOptions struct {
 	// (FrontierAuto switches per iteration; the trajectory is identical in
 	// every mode).
 	Frontier FrontierMode
+	// Workspace, when non-nil, is the pool the parallel version borrows its
+	// graph-sized scratch state from (see core.RunConfig.Workspace). The
+	// trajectory is identical with and without a pool.
+	Workspace *workspace.Pool
 }
 
 func (o *EvolvingSetOptions) defaults() {
@@ -179,15 +184,25 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 	checkSeed(g, seed)
 	opts.defaults()
 	procs := parallel.ResolveProcs(opts.Procs)
+	ws := acquireWorkspace(opts.Workspace, g.NumVertices())
+	res, st := evolvingSetSteps(g, seed, opts, procs, ws)
+	// Release only on the non-panicking path (see acquireWorkspace).
+	ws.Release(procs)
+	return res, st
+}
+
+// evolvingSetSteps is the evolution loop proper, run entirely against
+// scratch state borrowed from ws.
+func evolvingSetSteps(g *graph.CSR, seed uint32, opts EvolvingSetOptions, procs int, ws *workspace.Workspace) (EvolvingSetResult, Stats) {
 	var st Stats
 	r := rng.New(opts.Seed)
 	n := g.NumVertices()
 	S := ligra.FromVertices(seed)
-	inS := newVec(n, opts.Frontier, 4)
+	inS := newVec(n, opts.Frontier, 4, ws)
 	inS.Add(seed, 1)
 	walk := seed
-	counts := newVec(n, opts.Frontier, 4)
-	eng := newFrontierEngine(g, procs, opts.Frontier, &st)
+	counts := newVec(n, opts.Frontier, 4, ws)
+	eng := newFrontierEngine(g, procs, opts.Frontier, &st, ws)
 	best := bestTracker{g: g}
 	best.update(S.IDs())
 	totalVol := g.TotalVolume()

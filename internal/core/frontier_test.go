@@ -20,6 +20,7 @@ import (
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 func frontierModes() []FrontierMode {
@@ -175,14 +176,15 @@ func TestNibbleFrontierModeDeterminism(t *testing.T) {
 // also crosses the auto threshold on its first round.
 func TestDenseModeForcesDenseStructures(t *testing.T) {
 	g := gen.Barbell(20)
-	eng := newFrontierEngine(g, 2, FrontierDense, &Stats{})
+	ws := workspace.New(g.NumVertices())
+	eng := newFrontierEngine(g, 2, FrontierDense, &Stats{}, ws)
 	if !eng.useDense(1, 1) {
 		t.Fatal("FrontierDense engine chose the sparse path")
 	}
-	if eng2 := newFrontierEngine(g, 2, FrontierSparse, &Stats{}); eng2.useDense(1<<20, 1<<40) {
+	if eng2 := newFrontierEngine(g, 2, FrontierSparse, &Stats{}, ws); eng2.useDense(1<<20, 1<<40) {
 		t.Fatal("FrontierSparse engine chose the dense path")
 	}
-	v := newVec(g.NumVertices(), FrontierDense, 4)
+	v := newVec(g.NumVertices(), FrontierDense, 4, ws)
 	if _, ok := v.Table.(*sparse.Dense); !ok {
 		t.Fatalf("FrontierDense vec backed by %T, want *sparse.Dense", v.Table)
 	}
@@ -193,7 +195,7 @@ func TestDenseModeForcesDenseStructures(t *testing.T) {
 // n/vecPromoteFrac, and a sparse-mode vector never does.
 func TestVecPromotion(t *testing.T) {
 	const n = 1024
-	v := newVec(n, FrontierAuto, 4)
+	v := newVec(n, FrontierAuto, 4, workspace.New(n))
 	v.Add(7, 1.5)
 	v.Add(9, 2.5)
 	if _, ok := v.Table.(*sparse.ConcurrentMap); !ok {
@@ -211,7 +213,7 @@ func TestVecPromotion(t *testing.T) {
 		t.Fatalf("promotion lost entries: %v %v len=%d", v.Get(7), v.Get(9), v.Len())
 	}
 	// Reset with a large bound promotes too, but starts empty.
-	v2 := newVec(n, FrontierAuto, 4)
+	v2 := newVec(n, FrontierAuto, 4, workspace.New(n))
 	v2.Add(3, 1)
 	v2.reset(2, n)
 	if _, ok := v2.Table.(*sparse.Dense); !ok {
@@ -221,7 +223,7 @@ func TestVecPromotion(t *testing.T) {
 		t.Fatalf("reset-promotion must clear: len=%d", v2.Len())
 	}
 	// Sparse mode never promotes.
-	vs := newVec(n, FrontierSparse, 4)
+	vs := newVec(n, FrontierSparse, 4, workspace.New(n))
 	vs.reset(2, 4*n)
 	if _, ok := vs.Table.(*sparse.ConcurrentMap); !ok {
 		t.Fatalf("sparse-mode vec promoted to %T", vs.Table)

@@ -7,6 +7,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // hkpr.go implements the deterministic heat kernel PageRank algorithm of
@@ -134,23 +135,40 @@ func HKPRPar(g *graph.CSR, seed uint32, t float64, N int, eps float64, procs int
 // into the next level's residual table, with the r/r' double buffer
 // swapped between rounds.
 func HKPRParFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode) (*sparse.Map, Stats) {
+	return HKPRRun(g, seeds, t, N, eps, RunConfig{Procs: procs, Frontier: mode})
+}
+
+// HKPRRun is HKPRParFrom with a RunConfig, the entry point that can
+// additionally borrow all graph-sized scratch state from a workspace pool.
+// Results are bit-identical with and without a pool.
+func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
-	procs = parallel.ResolveProcs(procs)
+	procs := parallel.ResolveProcs(cfg.Procs)
+	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
+	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws)
+	// Release only on the non-panicking path (see acquireWorkspace).
+	ws.Release(procs)
+	return vec, st
+}
+
+// hkprRelax is the level-synchronous coordinate-relaxation loop proper,
+// run entirely against scratch state borrowed from ws.
+func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
 	if N < 1 {
 		N = 1
 	}
 	var st Stats
 	psi := psiTable(t, N)
 	n := g.NumVertices()
-	r := newVec(n, mode, len(seeds))
+	r := newVec(n, mode, len(seeds), ws)
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		r.Add(s, w)
 	}
-	p := newVec(n, mode, 16)
+	p := newVec(n, mode, 16, ws)
 	frontier := ligra.FromIDs(seeds)
-	rNext := newVec(n, mode, 4)
-	eng := newFrontierEngine(g, procs, mode, &st)
+	rNext := newVec(n, mode, 4, ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for j := 0; !frontier.IsEmpty(); j++ {
 		last := j+1 >= N
 		tOverJ := t / float64(j+1)

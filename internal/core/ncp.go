@@ -6,6 +6,7 @@ import (
 	"parcluster/internal/graph"
 	"parcluster/internal/parallel"
 	"parcluster/internal/rng"
+	"parcluster/internal/workspace"
 )
 
 // ncp.go computes network community profile (NCP) plots (§4, Figure 12; the
@@ -40,6 +41,12 @@ type NCPOptions struct {
 	// boundary once closed; the points collected so far are returned. Long
 	// profiles (the paper's 1e5 seeds) would otherwise be unstoppable.
 	Cancel <-chan struct{}
+	// Workspace, when non-nil, is the pool the inner PR-Nibble runs borrow
+	// their graph-sized scratch state from. When nil, NCP creates a private
+	// pool for the profile: the inner loop runs seeds x alphas x epsilons
+	// diffusions back to back, exactly the steady-state regime the pool
+	// exists for.
+	Workspace *workspace.Pool
 }
 
 func (o *NCPOptions) defaults() {
@@ -77,6 +84,10 @@ func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
 	best := make(map[int]float64)
 	r := rng.New(opts.Seed)
 	procs := parallel.ResolveProcs(opts.Procs)
+	pool := opts.Workspace
+	if pool == nil || pool.Universe() != n {
+		pool = workspace.NewPool(n)
+	}
 	runs := opts.Seeds
 	if len(opts.SeedVertices) > 0 {
 		runs = len(opts.SeedVertices)
@@ -104,7 +115,8 @@ func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
 		}
 		for _, alpha := range opts.Alphas {
 			for _, eps := range opts.Epsilons {
-				vec, _ := PRNibblePar(g, seed, alpha, eps, OptimizedRule, procs, 1)
+				vec, _ := PRNibbleRun(g, []uint32{seed}, alpha, eps, OptimizedRule, 1,
+					RunConfig{Procs: procs, Workspace: pool})
 				if vec.Len() == 0 {
 					continue
 				}

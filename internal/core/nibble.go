@@ -5,6 +5,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // nibble.go implements the Nibble algorithm of Spielman and Teng [44, 45]
@@ -84,18 +85,35 @@ func NibblePar(g *graph.CSR, seed uint32, eps float64, T, procs int) (*sparse.Ma
 // per-source share hoisting, the sparse/dense edge traversal, and the
 // threshold filter — lives in the shared frontier engine (engine.go).
 func NibbleParFrom(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode) (*sparse.Map, Stats) {
+	return NibbleRun(g, seeds, eps, T, RunConfig{Procs: procs, Frontier: mode})
+}
+
+// NibbleRun is NibbleParFrom with a RunConfig, the entry point that can
+// additionally borrow all graph-sized scratch state from a workspace pool.
+// Results are bit-identical with and without a pool.
+func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
-	procs = parallel.ResolveProcs(procs)
+	procs := parallel.ResolveProcs(cfg.Procs)
+	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
+	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws)
+	// Release only on the non-panicking path (see acquireWorkspace).
+	ws.Release(procs)
+	return vec, st
+}
+
+// nibbleWalk is the truncated-walk loop proper, run entirely against
+// scratch state borrowed from ws.
+func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
 	var st Stats
 	n := g.NumVertices()
-	p := newVec(n, mode, len(seeds))
+	p := newVec(n, mode, len(seeds), ws)
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		p.Add(s, w)
 	}
 	frontier := ligra.FromIDs(seeds)
-	next := newVec(n, mode, len(seeds))
-	eng := newFrontierEngine(g, procs, mode, &st)
+	next := newVec(n, mode, len(seeds), ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for t := 1; t <= T; t++ {
 		touched := eng.round(frontier, roundSpec{
 			scratch: next,

@@ -5,6 +5,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // prnibble_par.go implements the parallel PR-Nibble of §3.3 (Figures 5–6):
@@ -42,16 +43,34 @@ func PRNibblePar(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule, p
 // available parallelism — exactly the regime where the dense frontier
 // representation pays off.
 func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode) (*sparse.Map, Stats) {
+	return PRNibbleRun(g, seeds, alpha, eps, rule, beta, RunConfig{Procs: procs, Frontier: mode})
+}
+
+// PRNibbleRun is PRNibbleParFrom with a RunConfig, the entry point that can
+// additionally borrow all graph-sized scratch state from a workspace pool.
+// Results are bit-identical with and without a pool.
+func PRNibbleRun(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, beta float64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
-	procs = parallel.ResolveProcs(procs)
+	procs := parallel.ResolveProcs(cfg.Procs)
+	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
+	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws)
+	// Release only on the non-panicking path (see acquireWorkspace); the
+	// result vector was snapshotted out of the workspace by the body.
+	ws.Release(procs)
+	return vec, st
+}
+
+// prNibblePush is the PR-Nibble push loop proper, run entirely against
+// scratch state borrowed from ws.
+func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}
 	var st Stats
 	pGain, edgeShare, selfKeep := rule.coefficients(alpha)
 	n := g.NumVertices()
-	p := newVec(n, mode, 16)
-	r := newVec(n, mode, len(seeds))
+	p := newVec(n, mode, 16, ws)
+	r := newVec(n, mode, len(seeds), ws)
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
 		r.Add(s, w)
@@ -61,8 +80,8 @@ func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule Push
 		return d > 0 && r.Get(v) >= eps*float64(d)
 	}
 	frontier := ligra.VertexFilter(procs, ligra.FromIDs(seeds), above)
-	delta := newVec(n, mode, 16)
-	eng := newFrontierEngine(g, procs, mode, &st)
+	delta := newVec(n, mode, 16, ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for !frontier.IsEmpty() {
 		if beta < 1 && frontier.Size() > 1 {
 			frontier = topBetaFraction(procs, g, r, frontier, beta)

@@ -278,6 +278,16 @@ func VertexFilter(p int, s VertexSubset, pred func(v uint32) bool) VertexSubset 
 	return VertexSubset{ids: parallel.Filter(p, s.ids, pred)}
 }
 
+// VertexFilterInto is VertexFilter writing the kept IDs into buf's storage
+// when its capacity suffices (see parallel.FilterInto). buf must not
+// overlap s's ID storage; the diffusion engine satisfies this by filtering
+// an accumulator's touched-key list into a separate recycled frontier
+// buffer.
+func VertexFilterInto(p int, s VertexSubset, buf []uint32, pred func(v uint32) bool) VertexSubset {
+	s = s.ToSparse(p)
+	return VertexSubset{ids: parallel.FilterInto(p, s.ids, buf, pred)}
+}
+
 // edgeMapGrain is the number of edges per EdgeMap work chunk.
 const edgeMapGrain = 2048
 

@@ -289,10 +289,23 @@ func ScanExclusive[T Number](p int, x, out []T) T {
 // Filter returns the elements of x satisfying pred, preserving their order
 // (the paper's filter primitive). The result is freshly allocated.
 func Filter[T any](p int, x []T, pred func(T) bool) []T {
+	return FilterInto(p, x, nil, pred)
+}
+
+// FilterInto is Filter writing into buf's storage when its capacity
+// suffices (buf's length is ignored), allocating only otherwise. The
+// returned slice holds the kept elements in order; it aliases buf on the
+// reuse path, so buf must not overlap x. Callers with a recycled buffer
+// (the diffusion engine's frontier ID buffer) use it to keep steady-state
+// filters allocation-free.
+func FilterInto[T any](p int, x, buf []T, pred func(T) bool) []T {
 	n := len(x)
 	p = ResolveProcs(p)
 	if p == 1 || n < 2*DefaultGrain {
-		out := make([]T, 0, 16)
+		out := buf[:0]
+		if cap(out) == 0 {
+			out = make([]T, 0, 16)
+		}
 		for _, v := range x {
 			if pred(v) {
 				out = append(out, v)
@@ -317,7 +330,12 @@ func Filter[T any](p int, x []T, pred func(T) bool) []T {
 		counts[b] = total
 		total += c
 	}
-	out := make([]T, total)
+	out := buf[:0]
+	if cap(out) >= total {
+		out = out[:total]
+	} else {
+		out = make([]T, total)
+	}
 	ForRange(p, n, size, func(lo, hi int) {
 		o := counts[lo/size]
 		for _, v := range x[lo:hi] {

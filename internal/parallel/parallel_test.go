@@ -417,3 +417,42 @@ func BenchmarkRadixSortParallel(b *testing.B) {
 		RadixSortUint64(0, x, 32)
 	}
 }
+
+func TestFilterInto(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 10, 100000} {
+		x := make([]int, n)
+		for i := range x {
+			x[i] = r.Intn(1000)
+		}
+		pred := func(v int) bool { return v%3 == 0 }
+		want := Filter(1, x, pred)
+		for _, p := range procsUnderTest() {
+			// A buffer with enough capacity must be reused in place...
+			buf := make([]int, 0, n+1)
+			got := FilterInto(p, x, buf, pred)
+			if len(got) != len(want) {
+				t.Fatalf("p=%d n=%d: len=%d want %d", p, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("p=%d n=%d: order not preserved at %d", p, n, i)
+				}
+			}
+			if len(got) > 0 && &got[0] != &buf[:1][0] {
+				t.Fatalf("p=%d n=%d: sufficient buffer was not reused", p, n)
+			}
+			// ...and an undersized buffer must trigger a clean allocation.
+			small := make([]int, 0, 1)
+			got2 := FilterInto(p, x, small, pred)
+			if len(got2) != len(want) {
+				t.Fatalf("p=%d n=%d: undersized-buffer len=%d want %d", p, n, len(got2), len(want))
+			}
+			for i := range got2 {
+				if got2[i] != want[i] {
+					t.Fatalf("p=%d n=%d: undersized-buffer mismatch at %d", p, n, i)
+				}
+			}
+		}
+	}
+}

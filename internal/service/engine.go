@@ -14,6 +14,7 @@ import (
 	"parcluster/internal/core"
 	"parcluster/internal/graph"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // The wire types live in internal/api so that clients (including the root
@@ -148,6 +149,7 @@ func (e *Engine) Stats() EngineStats {
 			Dense:  e.modeCounts[core.FrontierDense].Load(),
 		},
 		GraphLoads: e.reg.Loads(),
+		Workspace:  e.reg.WorkspaceStats(),
 		ProcBudget: e.pool.size,
 	}
 	if n := e.completed.Load(); n > 0 {
@@ -299,7 +301,7 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 	if rp.algo == "evolving" && req.SeedSet && len(req.Seeds) > 1 {
 		return nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
 	}
-	g, err := e.reg.Get(ctx, req.Graph)
+	g, wsPool, err := e.reg.GetWithWorkspace(ctx, req.Graph)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +351,7 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 				if i >= len(units) {
 					return
 				}
-				res, err := e.runCached(ctx, g, req.Graph, units[i], rp, procs, req.NoCache)
+				res, err := e.runCached(ctx, g, wsPool, req.Graph, units[i], rp, procs, req.NoCache)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -388,10 +390,10 @@ type flight struct {
 // Concurrent misses on the same key coalesce into one computation; NoCache
 // requests bypass both the cache and the coalescing (they demand a fresh
 // run) but still store their result.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, error) {
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, error) {
 	key := rp.key(graphName, seeds)
 	if noCache {
-		res, err := e.compute(ctx, g, key, seeds, rp, procs)
+		res, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -432,7 +434,7 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, graphName string, 
 		e.flightMu.Unlock()
 		e.misses.Add(1) // only lookups that happened count toward the hit rate
 
-		f.res, f.err = e.compute(ctx, g, key, seeds, rp, procs)
+		f.res, f.err = e.compute(ctx, g, wsPool, key, seeds, rp, procs)
 		e.flightMu.Lock()
 		delete(e.flights, key)
 		e.flightMu.Unlock()
@@ -446,11 +448,13 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, graphName string, 
 }
 
 // compute runs one diffusion under the proc pool and stores the result.
-func (e *Engine) compute(ctx context.Context, g *graph.CSR, key string, seeds []uint32, rp resolved, procs int) (*ClusterResult, error) {
+// The workspace is borrowed inside the core entry points, after the proc
+// gate: a request cancelled while queueing never checks an arena out.
+func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, key string, seeds []uint32, rp resolved, procs int) (*ClusterResult, error) {
 	if err := e.pool.acquire(ctx, procs); err != nil {
 		return nil, err
 	}
-	res := e.runUnit(g, seeds, rp, procs)
+	res := e.runUnit(g, wsPool, seeds, rp, procs)
 	e.pool.release(procs)
 	e.cacheMu.Lock()
 	e.cache.put(key, res)
@@ -458,8 +462,9 @@ func (e *Engine) compute(ctx context.Context, g *graph.CSR, key string, seeds []
 	return res, nil
 }
 
-// runUnit executes one diffusion + sweep (or evolving set run).
-func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *ClusterResult {
+// runUnit executes one diffusion + sweep (or evolving set run), borrowing
+// graph-sized scratch state from the graph's workspace pool.
+func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, seeds []uint32, rp resolved, procs int) *ClusterResult {
 	e.diffusions.Add(1)
 	if rp.algo != "randhk" {
 		// rand-HK-PR aggregates walk endpoints and never touches the
@@ -471,6 +476,7 @@ func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *
 		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
 			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
 			Seed: p.WalkSeed, Procs: procs, Frontier: rp.frontier,
+			Workspace: wsPool,
 		})
 		return &ClusterResult{
 			Seeds: seeds, Members: res.Set, Size: len(res.Set),
@@ -479,17 +485,18 @@ func (e *Engine) runUnit(g *graph.CSR, seeds []uint32, rp resolved, procs int) *
 	}
 	var vec *sparse.Map
 	var st core.Stats
+	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool}
 	switch rp.algo {
 	case "nibble":
-		vec, st = core.NibbleParFrom(g, seeds, p.Epsilon, p.T, procs, rp.frontier)
+		vec, st = core.NibbleRun(g, seeds, p.Epsilon, p.T, cfg)
 	case "prnibble":
 		rule := core.OptimizedRule
 		if p.OriginalRule {
 			rule = core.OriginalRule
 		}
-		vec, st = core.PRNibbleParFrom(g, seeds, p.Alpha, p.Epsilon, rule, procs, p.Beta, rp.frontier)
+		vec, st = core.PRNibbleRun(g, seeds, p.Alpha, p.Epsilon, rule, p.Beta, cfg)
 	case "hkpr":
-		vec, st = core.HKPRParFrom(g, seeds, p.HeatT, p.N, p.Epsilon, procs, rp.frontier)
+		vec, st = core.HKPRRun(g, seeds, p.HeatT, p.N, p.Epsilon, cfg)
 	case "randhk":
 		vec, st = core.RandHKPRParFrom(g, seeds, p.HeatT, p.K, p.Walks, p.WalkSeed, procs)
 	default:
@@ -582,7 +589,7 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 			return nil, fmt.Errorf("%w: epsilon %g outside (0,1)", ErrBadRequest, eps)
 		}
 	}
-	g, err := e.reg.Get(ctx, req.Graph)
+	g, wsPool, err := e.reg.GetWithWorkspace(ctx, req.Graph)
 	if err != nil {
 		return nil, err
 	}
@@ -606,6 +613,7 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 		Procs:        procs,
 		Seed:         req.RNGSeed,
 		Cancel:       ctx.Done(),
+		Workspace:    wsPool,
 	})
 	if err := ctx.Err(); err != nil {
 		// The client went away mid-profile; don't return a partial answer

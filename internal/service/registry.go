@@ -10,6 +10,7 @@ import (
 	"parcluster/internal/api"
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
+	"parcluster/internal/workspace"
 )
 
 // Source produces a graph on demand. procs is the worker count to use for
@@ -46,10 +47,14 @@ type Registry struct {
 const maxDynamicGraphs = 64
 
 // load is one singleflight slot: the first Get for a name creates it and
-// runs the source; everyone else waits on done.
+// runs the source; everyone else waits on done. A successful load also
+// receives the graph's workspace pool (ws), sized to its vertex universe:
+// the registry is the natural owner because a pool is exactly as immutable
+// and long-lived as the graph it serves.
 type load struct {
 	done chan struct{}
 	g    *graph.CSR
+	ws   *workspace.Pool
 	err  error
 }
 
@@ -81,7 +86,7 @@ func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sources[name] = func(int) (*graph.CSR, error) { return g, nil }
-	r.loads[name] = &load{done: closedChan, g: g}
+	r.loads[name] = &load{done: closedChan, g: g, ws: workspace.NewPool(g.NumVertices())}
 }
 
 // RegisterFile adds a graph file source (.adj, .bin, or edge list; see
@@ -113,6 +118,14 @@ var closedChan = func() chan struct{} {
 // context only bounds this caller's wait — an in-flight load itself is
 // never abandoned, since another waiter may still want it.
 func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
+	g, _, err := r.GetWithWorkspace(ctx, name)
+	return g, err
+}
+
+// GetWithWorkspace is Get returning, alongside the graph, the per-graph
+// workspace pool the registry owns for it — the pool diffusions against
+// this graph should borrow their graph-sized scratch state from.
+func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CSR, *workspace.Pool, error) {
 	r.mu.Lock()
 	if l, ok := r.loads[name]; ok {
 		r.mu.Unlock()
@@ -123,16 +136,16 @@ func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
 	if !ok {
 		if !r.dynamic {
 			r.mu.Unlock()
-			return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+			return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 		}
 		if r.dynamicCount >= r.dynamicLimit {
 			r.mu.Unlock()
-			return nil, fmt.Errorf("%w: dynamic graph limit reached (%d specs materialized); register graphs at startup instead", ErrBadRequest, r.dynamicLimit)
+			return nil, nil, fmt.Errorf("%w: dynamic graph limit reached (%d specs materialized); register graphs at startup instead", ErrBadRequest, r.dynamicLimit)
 		}
 		spec, err := gen.ParseSpec(name)
 		if err != nil {
 			r.mu.Unlock()
-			return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
+			return nil, nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
 		}
 		isDynamic = true
 		src = func(p int) (*graph.CSR, error) {
@@ -161,18 +174,19 @@ func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
 		}
 		r.mu.Unlock()
 	} else {
+		l.ws = workspace.NewPool(l.g.NumVertices())
 		r.loadCount.Add(1)
 	}
 	close(l.done)
-	return l.g, l.err
+	return l.g, l.ws, l.err
 }
 
-func (l *load) wait(ctx context.Context) (*graph.CSR, error) {
+func (l *load) wait(ctx context.Context) (*graph.CSR, *workspace.Pool, error) {
 	select {
 	case <-l.done:
-		return l.g, l.err
+		return l.g, l.ws, l.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 }
 
@@ -180,6 +194,37 @@ func (l *load) wait(ctx context.Context) (*graph.CSR, error) {
 // singleflight dedup this stays at one per distinct graph no matter how
 // many concurrent queries raced on it.
 func (r *Registry) Loads() int64 { return r.loadCount.Load() }
+
+// WorkspaceStats aggregates the counters of every per-graph workspace pool
+// the registry owns (loads still in flight, which have no pool yet, are
+// skipped).
+func (r *Registry) WorkspaceStats() api.WorkspaceStats {
+	r.mu.Lock()
+	pools := make([]*workspace.Pool, 0, len(r.loads))
+	for _, l := range r.loads {
+		select {
+		case <-l.done:
+			if l.ws != nil {
+				pools = append(pools, l.ws)
+			}
+		default:
+		}
+	}
+	r.mu.Unlock()
+	var out api.WorkspaceStats
+	for _, p := range pools {
+		s := p.Stats()
+		out.Add(api.WorkspaceStats{
+			Pools:         1,
+			Acquires:      s.Acquires,
+			Hits:          s.Hits,
+			Misses:        s.Misses,
+			Releases:      s.Releases,
+			BytesRecycled: s.BytesRecycled,
+		})
+	}
+	return out
+}
 
 // List describes every registered or materialized graph, sorted by name.
 func (r *Registry) List() []GraphInfo {

@@ -50,6 +50,8 @@ func NewServer(eng *Engine) *Server {
 	return s
 }
 
+// ServeHTTP dispatches to the server's mux, making Server mountable as a
+// plain http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close detaches the server's engine from the process-wide expvar export.
@@ -99,6 +101,7 @@ func publishExpvar(e *Engine) {
 				total.Diffusions += st.Diffusions
 				total.GraphLoads += st.GraphLoads
 				total.ProcBudget += st.ProcBudget
+				total.Workspace.Add(st.Workspace)
 				latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
 			}
 			if done := total.Queries - total.Errors; done > 0 {

@@ -316,3 +316,45 @@ func TestServerConcurrentClients(t *testing.T) {
 		t.Fatalf("graph loaded %d times, want 1", eng.Registry().Loads())
 	}
 }
+
+// TestServerWorkspaceStats checks the per-graph workspace pool shows up in
+// /v1/stats: diffusions acquire and release workspaces, repeats hit the
+// pool, and forced dense runs recycle graph-sized bytes.
+func TestServerWorkspaceStats(t *testing.T) {
+	ts, eng := newTestServer(t)
+	// no_cache forces every request to actually run a diffusion; dense mode
+	// forces graph-sized arenas so a pool hit has bytes to recycle.
+	const q = `{"graph":"test","algo":"prnibble","seeds":[0],"no_cache":true,"params":{"frontier":"dense"}}`
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/cluster", q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	ws := eng.Stats().Workspace
+	if ws.Pools != 1 {
+		t.Fatalf("pools = %d, want 1", ws.Pools)
+	}
+	if ws.Acquires < 3 || ws.Acquires != ws.Releases {
+		t.Fatalf("acquires=%d releases=%d, want >= 3 and equal", ws.Acquires, ws.Releases)
+	}
+	if ws.Hits < 1 || ws.Hits+ws.Misses != ws.Acquires {
+		t.Fatalf("hits=%d misses=%d acquires=%d", ws.Hits, ws.Misses, ws.Acquires)
+	}
+	if ws.BytesRecycled <= 0 {
+		t.Fatalf("bytes_recycled = %d, want > 0", ws.BytesRecycled)
+	}
+
+	// And the wire endpoint carries the same nested object.
+	hresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var got EngineStats
+	if err := json.NewDecoder(hresp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Workspace != ws {
+		t.Fatalf("/v1/stats workspace = %+v, want %+v", got.Workspace, ws)
+	}
+}

@@ -1,0 +1,126 @@
+// Command doccheck fails when exported identifiers in the given package
+// directories lack doc comments — the documentation half of go vet. CI runs
+// it over the packages whose godoc is the project's public contract (the
+// root package, internal/workspace, internal/service, internal/api); run it
+// locally with:
+//
+//	go run ./internal/tools/doccheck . internal/workspace internal/service internal/api
+//
+// A declaration passes if it, or the declaration group it belongs to,
+// carries a doc comment (so a documented const/var block covers its
+// members, matching godoc's rendering). Test files are skipped. The exit
+// status is 1 if any exported identifier is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check parses one package directory (non-recursively, skipping tests) and
+// returns one "file:line: message" entry per undocumented exported
+// identifier.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s lacks a doc comment",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Doc != nil || !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				case *ast.GenDecl:
+					if d.Doc != nil || d.Tok == token.IMPORT {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+								report(sp.Pos(), "type", sp.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if sp.Doc != nil || sp.Comment != nil {
+								continue
+							}
+							for _, name := range sp.Names {
+								if name.IsExported() {
+									report(name.Pos(), d.Tok.String(), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package's godoc surface
+// unless reached through an exported alias, which doccheck cannot see).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package workspace implements the per-graph workspace pool behind the
+// diffusion hot path: recyclable arenas of the graph-sized scratch state a
+// dense-mode diffusion needs (flat sparse.Dense vectors, the vertex-indexed
+// share array, the frontier bitmap, and the frontier ID buffer).
+//
+// The paper's implementation gets its speed from reusing graph-sized state
+// across iterations instead of reallocating it; a serving layer must extend
+// that economy across *queries*, or every request re-pays ~16 bytes/vertex
+// per diffusion vector in allocation and GC cost. A Pool is keyed by the
+// universe size n of one graph: the service registry owns one Pool per
+// loaded graph, and each diffusion borrows a Workspace for its whole run.
+//
+// # Ownership and borrowing rules
+//
+// The contract is strict single ownership (see docs/ARCHITECTURE.md for the
+// full memory model):
+//
+//   - Whoever starts a diffusion Acquires a Workspace from the graph's Pool
+//     (in this repo: the internal/core kernel entry points) and owns it for
+//     the duration of one run. A Workspace is not safe for concurrent use;
+//     concurrency comes from many goroutines holding *different* workspaces
+//     checked out of the same Pool.
+//   - The owner must Release exactly once, after the last read of any
+//     borrowed memory (diffusion results are snapshotted into independent
+//     sparse.Map values first). Release resets every borrowed piece —
+//     O(touched), not O(n) — and returns the Workspace to its Pool.
+//   - On panic, the owner must NOT Release: a Workspace abandoned
+//     mid-phase may hold a half-claimed Dense entry whose reset would be
+//     incomplete, so the kernels deliberately skip Release on unwinding and
+//     let the GC reclaim the arena. A cancelled query (context expiry while
+//     queueing) never acquires a workspace at all — acquisition happens
+//     after the proc-pool gate.
+//
+// A Pool keeps at most one idle workspace resident (the hot slot); any
+// overflow created by concurrent checkouts sits in a sync.Pool behind it,
+// where the GC drops it under memory pressure rather than pinning
+// graph-sized arrays forever.
+package workspace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parcluster/internal/sparse"
+)
+
+// Pool recycles Workspaces for one vertex universe [0, n) — one graph, one
+// pool. The zero value is not usable; construct with NewPool. All methods
+// are safe for concurrent use.
+//
+// Storage is two-tier: a single-slot LIFO "hot" workspace under a mutex,
+// with a sync.Pool behind it for concurrency overflow. The hot slot makes
+// the single-client steady state deterministic (release, acquire, get the
+// same arena back — sync.Pool alone gives no such guarantee and the race
+// detector deliberately randomizes it) and keeps one warmed-up arena
+// resident per graph; everything past the first concurrent checkout lives
+// in the sync.Pool, so idle excess is dropped by the GC under memory
+// pressure instead of pinning graph-sized arrays forever.
+type Pool struct {
+	n int
+
+	mu       sync.Mutex
+	hot      *Workspace // single-slot LIFO fast path; nil when checked out
+	overflow sync.Pool
+
+	acquires atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	releases atomic.Int64
+	recycled atomic.Int64 // bytes of graph-sized arrays served from the pool
+}
+
+// NewPool returns an empty workspace pool for graphs with n vertices.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{n: n}
+}
+
+// Universe returns the vertex-universe size the pool was built for.
+func (p *Pool) Universe() int { return p.n }
+
+// Acquire checks a Workspace out of the pool, reusing a released one when
+// available and allocating an empty one otherwise. The caller owns the
+// result until Release.
+func (p *Pool) Acquire() *Workspace {
+	p.acquires.Add(1)
+	p.mu.Lock()
+	w := p.hot
+	p.hot = nil
+	p.mu.Unlock()
+	if w == nil {
+		if v := p.overflow.Get(); v != nil {
+			w = v.(*Workspace)
+		}
+	}
+	if w != nil {
+		p.hits.Add(1)
+		w.inUse = true
+		return w
+	}
+	p.misses.Add(1)
+	w = New(p.n)
+	w.pool = p
+	return w
+}
+
+// put returns a reset workspace to storage: the hot slot if free, the
+// sync.Pool otherwise.
+func (p *Pool) put(w *Workspace) {
+	p.releases.Add(1)
+	p.mu.Lock()
+	if p.hot == nil {
+		p.hot = w
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.overflow.Put(w)
+}
+
+// PoolStats is a point-in-time snapshot of one pool's counters.
+type PoolStats struct {
+	// Universe is the vertex-universe size the pool serves.
+	Universe int `json:"universe"`
+	// Acquires counts Acquire calls (Hits + Misses).
+	Acquires int64 `json:"acquires"`
+	// Hits counts acquisitions served by recycling a released workspace.
+	Hits int64 `json:"hits"`
+	// Misses counts acquisitions that had to allocate a fresh workspace
+	// (first use, pool drained by concurrency, or GC-cleared).
+	Misses int64 `json:"misses"`
+	// Releases counts workspaces returned to the pool.
+	Releases int64 `json:"releases"`
+	// BytesRecycled totals the graph-sized array bytes that runs actually
+	// borrowed from recycled arenas instead of allocating — the GC pressure
+	// the pool absorbed. Counted per arena at borrow time, so a retained
+	// arena a run never touches (e.g. dense scratch during a sparse-mode
+	// query) does not inflate the number.
+	BytesRecycled int64 `json:"bytes_recycled"`
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Universe:      p.n,
+		Acquires:      p.acquires.Load(),
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Releases:      p.releases.Load(),
+		BytesRecycled: p.recycled.Load(),
+	}
+}
+
+// Workspace is one diffusion's checkout of graph-sized scratch state: a
+// freelist of flat sparse.Dense vectors plus lazily-built share, bitmap and
+// frontier-ID buffers, all over a fixed universe [0, n). It is owned by a
+// single goroutine between Acquire (or New) and Release and is not safe for
+// concurrent use. Every piece is allocated on first demand, so a sparse-mode
+// run through a Workspace costs nothing graph-sized — exactly like the
+// pre-workspace code.
+type Workspace struct {
+	n     int
+	pool  *Pool // nil for unpooled (New) workspaces; Release then just resets
+	inUse bool
+
+	dense     []*sparse.Dense // every vector ever handed out by Dense()
+	denseUsed int             // vectors handed out since the last Release
+
+	floats []float64 // vertex-indexed share scratch (engine dense rounds)
+	bits   []uint64  // frontier bitmap buffer
+	ids    []uint32  // frontier ID buffer (engine filter output)
+
+	// First-borrow-per-checkout flags for the singleton buffers, so a
+	// recycled buffer credits BytesRecycled exactly once per run.
+	usedFloats, usedBits, usedIDs bool
+}
+
+// credit records bytes served from a recycled arena toward the pool's
+// BytesRecycled counter (no-op for unpooled workspaces).
+func (w *Workspace) credit(bytes int64) {
+	if w.pool != nil {
+		w.pool.recycled.Add(bytes)
+	}
+}
+
+// New returns an unpooled Workspace for a universe of n vertices — the
+// allocation behaviour callers get when no Pool is configured. Release on
+// an unpooled workspace resets it but returns it nowhere; the GC reclaims
+// it when the owner drops it.
+func New(n int) *Workspace {
+	if n < 0 {
+		n = 0
+	}
+	return &Workspace{n: n, inUse: true}
+}
+
+// Universe returns the vertex-universe size the workspace serves.
+func (w *Workspace) Universe() int { return w.n }
+
+// Dense borrows the next free flat vector over [0, n), allocating one only
+// when every previously-created vector is already handed out this run. The
+// vector is clear (every Get reads 0) and stays owned by the workspace: it
+// is reset and reclaimed by Release, not by the borrower.
+func (w *Workspace) Dense() *sparse.Dense {
+	if w.denseUsed < len(w.dense) {
+		d := w.dense[w.denseUsed]
+		w.denseUsed++
+		// vals (8n) + present (4n) + touched (4n) reused without allocating.
+		w.credit(16 * int64(d.Universe()))
+		return d
+	}
+	d := sparse.NewDense(w.n)
+	w.dense = append(w.dense, d)
+	w.denseUsed++
+	return d
+}
+
+// Floats returns the workspace's vertex-indexed float64 scratch array
+// (length n), allocating it on first use. Contents are unspecified; callers
+// must write an index before reading it.
+func (w *Workspace) Floats() []float64 {
+	if w.floats == nil {
+		w.floats = make([]float64, w.n)
+	} else if !w.usedFloats {
+		w.credit(8 * int64(len(w.floats)))
+	}
+	w.usedFloats = true
+	return w.floats
+}
+
+// Bits returns the workspace's frontier bitmap buffer (ceil(n/64) words),
+// allocating it on first use. Contents are unspecified; the Ligra bitmap
+// builder clears it before setting bits.
+func (w *Workspace) Bits() []uint64 {
+	if w.bits == nil {
+		w.bits = make([]uint64, (w.n+63)/64)
+	} else if !w.usedBits {
+		w.credit(8 * int64(len(w.bits)))
+	}
+	w.usedBits = true
+	return w.bits
+}
+
+// IDs returns the workspace's frontier ID buffer (capacity n, length 0),
+// allocating it on first use. The engine alternates filter outputs through
+// it; see HasIDs for the lazy-allocation policy.
+func (w *Workspace) IDs() []uint32 {
+	if w.ids == nil {
+		w.ids = make([]uint32, 0, w.n)
+	} else if !w.usedIDs {
+		w.credit(4 * int64(cap(w.ids)))
+	}
+	w.usedIDs = true
+	return w.ids[:0]
+}
+
+// HasIDs reports whether the frontier ID buffer has already been paid for.
+// The engine only routes filter outputs through the buffer when a dense
+// round made graph-sized state worthwhile — or when a recycled workspace
+// already carries the buffer, in which case reuse is free.
+func (w *Workspace) HasIDs() bool { return w.ids != nil }
+
+// footprint returns the graph-sized bytes currently retained (test hook).
+func (w *Workspace) footprint() int64 {
+	b := int64(0)
+	for _, d := range w.dense {
+		b += 16 * int64(d.Universe())
+	}
+	b += 8 * int64(len(w.floats))
+	b += 8 * int64(len(w.bits))
+	b += 4 * int64(cap(w.ids))
+	return b
+}
+
+// Release resets every borrowed piece (O(touched) per Dense vector, using
+// procs workers; procs <= 0 uses all cores) and returns the workspace to
+// its pool. It must be called exactly once per checkout, only on the
+// non-panicking path, and only after the last read of borrowed memory.
+func (w *Workspace) Release(procs int) {
+	if !w.inUse {
+		panic("workspace: Release of a workspace that is not checked out")
+	}
+	for i := 0; i < w.denseUsed; i++ {
+		w.dense[i].Reset(procs, 0)
+	}
+	w.denseUsed = 0
+	w.usedFloats, w.usedBits, w.usedIDs = false, false, false
+	w.inUse = false
+	if w.pool != nil {
+		w.pool.put(w)
+	}
+}

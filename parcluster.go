@@ -10,6 +10,7 @@ import (
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // Graph is an immutable undirected graph in compressed sparse row form.
@@ -58,6 +59,29 @@ const (
 // ParseFrontierMode converts "auto" (or ""), "sparse" or "dense" to a
 // FrontierMode.
 func ParseFrontierMode(s string) (FrontierMode, error) { return core.ParseFrontierMode(s) }
+
+// WorkspacePool recycles the graph-sized scratch state of the parallel
+// diffusions (flat vectors, share arrays, frontier bitmaps and ID buffers)
+// across runs against one graph. Batch workloads — many queries against the
+// same graph — should create one pool per graph (NewWorkspacePool) and pass
+// it via the Workspace field of the algorithm options: steady-state runs
+// then perform no graph-sized allocations. Results are bit-identical with
+// and without a pool. A pool is safe for concurrent use; concurrent runs
+// simply check out distinct workspaces. See docs/ARCHITECTURE.md for the
+// ownership rules and DESIGN.md §5 for the memory model.
+type WorkspacePool = workspace.Pool
+
+// WorkspacePoolStats is a snapshot of one pool's recycling counters
+// (WorkspacePool.Stats).
+type WorkspacePoolStats = workspace.PoolStats
+
+// NewWorkspacePool returns a workspace pool sized for g. The pool must only
+// be used with runs against graphs of the same vertex count (in practice:
+// against g); a mismatched pool is ignored by the algorithms rather than
+// corrupting state.
+func NewWorkspacePool(g *Graph) *WorkspacePool {
+	return workspace.NewPool(g.NumVertices())
+}
 
 // NCPPoint is one point of a network community profile.
 type NCPPoint = core.NCPPoint
@@ -128,6 +152,10 @@ type NibbleOptions struct {
 	// Frontier selects the parallel version's frontier representation
 	// (default FrontierAuto).
 	Frontier FrontierMode
+	// Workspace, when non-nil, lets the parallel version borrow its
+	// graph-sized scratch state from a per-graph pool instead of allocating
+	// per call (see WorkspacePool). Results are identical either way.
+	Workspace *WorkspacePool
 }
 
 func (o *NibbleOptions) defaults() {
@@ -139,6 +167,10 @@ func (o *NibbleOptions) defaults() {
 	}
 }
 
+func (o *NibbleOptions) runConfig() core.RunConfig {
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+}
+
 // Nibble runs the Nibble diffusion (§3.2) from seed and returns the
 // truncated random-walk vector for a sweep cut.
 func Nibble(g *Graph, seed uint32, opts NibbleOptions) (*Vector, Stats) {
@@ -146,7 +178,7 @@ func Nibble(g *Graph, seed uint32, opts NibbleOptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.NibbleSeq(g, seed, opts.Epsilon, opts.T)
 	}
-	return core.NibbleParFrom(g, []uint32{seed}, opts.Epsilon, opts.T, opts.Procs, opts.Frontier)
+	return core.NibbleRun(g, []uint32{seed}, opts.Epsilon, opts.T, opts.runConfig())
 }
 
 // PRNibbleOptions configures PRNibble. Zero values select the paper's
@@ -169,6 +201,10 @@ type PRNibbleOptions struct {
 	// Frontier selects the parallel version's frontier representation
 	// (default FrontierAuto).
 	Frontier FrontierMode
+	// Workspace, when non-nil, lets the parallel version borrow its
+	// graph-sized scratch state from a per-graph pool instead of allocating
+	// per call (see WorkspacePool). Results are identical either way.
+	Workspace *WorkspacePool
 }
 
 func (o *PRNibbleOptions) defaults() {
@@ -185,6 +221,10 @@ func (o *PRNibbleOptions) defaults() {
 	}
 }
 
+func (o *PRNibbleOptions) runConfig() core.RunConfig {
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+}
+
 // PRNibble runs the PageRank-Nibble diffusion (§3.3) from seed and returns
 // the approximate PageRank vector for a sweep cut.
 func PRNibble(g *Graph, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
@@ -195,7 +235,7 @@ func PRNibble(g *Graph, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
 		}
 		return core.PRNibbleSeq(g, seed, opts.Alpha, opts.Epsilon, opts.Rule)
 	}
-	return core.PRNibbleParFrom(g, []uint32{seed}, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta, opts.Frontier)
+	return core.PRNibbleRun(g, []uint32{seed}, opts.Alpha, opts.Epsilon, opts.Rule, opts.Beta, opts.runConfig())
 }
 
 // HKPROptions configures HKPR. Zero values select the paper's Table 3
@@ -209,6 +249,10 @@ type HKPROptions struct {
 	// Frontier selects the parallel version's frontier representation
 	// (default FrontierAuto).
 	Frontier FrontierMode
+	// Workspace, when non-nil, lets the parallel version borrow its
+	// graph-sized scratch state from a per-graph pool instead of allocating
+	// per call (see WorkspacePool). Results are identical either way.
+	Workspace *WorkspacePool
 }
 
 func (o *HKPROptions) defaults() {
@@ -223,6 +267,10 @@ func (o *HKPROptions) defaults() {
 	}
 }
 
+func (o *HKPROptions) runConfig() core.RunConfig {
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+}
+
 // HKPR runs the deterministic heat kernel PageRank diffusion (§3.4) from
 // seed and returns the e^-t-scaled approximation of the heat kernel vector.
 func HKPR(g *Graph, seed uint32, opts HKPROptions) (*Vector, Stats) {
@@ -230,7 +278,7 @@ func HKPR(g *Graph, seed uint32, opts HKPROptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.HKPRSeq(g, seed, opts.T, opts.N, opts.Epsilon)
 	}
-	return core.HKPRParFrom(g, []uint32{seed}, opts.T, opts.N, opts.Epsilon, opts.Procs, opts.Frontier)
+	return core.HKPRRun(g, []uint32{seed}, opts.T, opts.N, opts.Epsilon, opts.runConfig())
 }
 
 // RandHKPROptions configures RandHKPR. Zero values select t = 10, K = 10,
@@ -287,7 +335,7 @@ func NibbleFrom(g *Graph, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.NibbleSeqFrom(g, seeds, opts.Epsilon, opts.T)
 	}
-	return core.NibbleParFrom(g, seeds, opts.Epsilon, opts.T, opts.Procs, opts.Frontier)
+	return core.NibbleRun(g, seeds, opts.Epsilon, opts.T, opts.runConfig())
 }
 
 // PRNibbleFrom runs PR-Nibble from a multi-vertex seed set.
@@ -296,7 +344,7 @@ func PRNibbleFrom(g *Graph, seeds []uint32, opts PRNibbleOptions) (*Vector, Stat
 	if opts.Sequential {
 		return core.PRNibbleSeqFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule)
 	}
-	return core.PRNibbleParFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule, opts.Procs, opts.Beta, opts.Frontier)
+	return core.PRNibbleRun(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule, opts.Beta, opts.runConfig())
 }
 
 // HKPRFrom runs HK-PR from a multi-vertex seed set.
@@ -305,7 +353,7 @@ func HKPRFrom(g *Graph, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
 	if opts.Sequential {
 		return core.HKPRSeqFrom(g, seeds, opts.T, opts.N, opts.Epsilon)
 	}
-	return core.HKPRParFrom(g, seeds, opts.T, opts.N, opts.Epsilon, opts.Procs, opts.Frontier)
+	return core.HKPRRun(g, seeds, opts.T, opts.N, opts.Epsilon, opts.runConfig())
 }
 
 // RandHKPRFrom runs rand-HK-PR from a multi-vertex seed set (each walk
@@ -384,11 +432,30 @@ type ClusterOptions struct {
 	RandHKPR    RandHKPROptions
 	EvolvingSet EvolvingSetOptions
 	Sweep       SweepOptions
+	// Workspace, when non-nil, is the per-graph scratch pool handed to
+	// whichever method runs (unless that method's own options already carry
+	// one). Batch callers running FindCluster in a loop against one graph
+	// should set it; see WorkspacePool.
+	Workspace *WorkspacePool
 }
 
 // FindCluster runs a diffusion from seed and a sweep cut over the result —
 // the complete local clustering pipeline of the paper.
 func FindCluster(g *Graph, seed uint32, opts ClusterOptions) (Cluster, error) {
+	if opts.Workspace != nil {
+		if opts.Nibble.Workspace == nil {
+			opts.Nibble.Workspace = opts.Workspace
+		}
+		if opts.PRNibble.Workspace == nil {
+			opts.PRNibble.Workspace = opts.Workspace
+		}
+		if opts.HKPR.Workspace == nil {
+			opts.HKPR.Workspace = opts.Workspace
+		}
+		if opts.EvolvingSet.Workspace == nil {
+			opts.EvolvingSet.Workspace = opts.Workspace
+		}
+	}
 	var vec *Vector
 	var st Stats
 	switch opts.Method {

@@ -21,11 +21,14 @@ package parcluster
 //	A3       -> BenchmarkA3BetaFraction
 //	A4       -> BenchmarkFrontierMode (sparse vs dense vs auto)
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
 
+	"parcluster/internal/api"
 	"parcluster/internal/core"
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
@@ -371,6 +374,79 @@ func BenchmarkWorkspacePool(b *testing.B) {
 		b.ResetTimer()
 		run(b, &cfg)
 		recycled := cfg.Workspace.Stats().BytesRecycled - before
+		b.ReportMetric(float64(recycled)/float64(b.N), "recycled-B/op")
+	})
+}
+
+// --- Result path: snapshot + sweep + response encoding -------------------
+
+// BenchmarkResultPath measures the steady-state allocation profile of the
+// *result* path of one dense serving query — the vecFromTable snapshot, the
+// sweep cut, and the JSON response encoding — with the diffusion scratch
+// pooled in both variants (the PR 3 state of the world):
+//
+//   - unpooled-buffered: fresh snapshot map and sweep arrays per query,
+//     response marshalled through encoding/json (the pre-arena path).
+//   - pooled-streamed: snapshot and sweep borrowed from a recycled result
+//     arena, response streamed through api.WriteClusterResponse (the
+//     lgc-serve hot path).
+//
+// The two variants return byte-identical responses (the conformance and
+// property suites pin this); only the allocation behaviour differs.
+// Before/after numbers are recorded in DESIGN.md §6.
+func BenchmarkResultPath(b *testing.B) {
+	fixtures()
+	seeds := []uint32{fixSeed}
+	for _, v := range fixSocial.Neighbors(fixSeed) {
+		if len(seeds) >= 64 {
+			break
+		}
+		seeds = append(seeds, v)
+	}
+	const lowEps = benchEps / 10
+	pool := workspace.NewPool(fixSocial.NumVertices())
+	response := func(vec *Vector, sw core.SweepResult, st core.Stats) *api.ClusterResponse {
+		res := api.ClusterResult{
+			Seeds: seeds, Members: sw.Cluster, Size: len(sw.Cluster),
+			Conductance: sw.Conductance, Volume: sw.Volume, Cut: sw.Cut, Stats: st,
+		}
+		return &api.ClusterResponse{
+			Graph: "bench", Vertices: fixSocial.NumVertices(), Edges: fixSocial.NumEdges(),
+			Algo: "prnibble", Results: []api.ClusterResult{res},
+			Aggregate: api.Aggregate{Queries: 1, BestConductance: sw.Conductance, BestSeeds: seeds,
+				MeanSize: float64(len(sw.Cluster)), TotalPushes: st.Pushes, TotalEdges: st.EdgesTouched},
+		}
+	}
+	b.Run("unpooled-buffered", func(b *testing.B) {
+		cfg := core.RunConfig{Frontier: core.FrontierDense, Workspace: pool}
+		core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, cfg) // warm scratch pool
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec, st := core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, cfg)
+			sw := core.SweepCutPar(fixSocial, vec, cfg.Procs)
+			if err := json.NewEncoder(io.Discard).Encode(response(vec, sw, st)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled-streamed", func(b *testing.B) {
+		arena := pool.AcquireResult()
+		defer arena.Release()
+		cfg := core.RunConfig{Frontier: core.FrontierDense, Workspace: pool, Result: arena}
+		core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, cfg) // warm both pools
+		before := pool.Stats().ResultBytesRecycled
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arena.Reset()
+			vec, st := core.PRNibbleRun(fixSocial, seeds, benchAlpha, lowEps, core.OptimizedRule, 1, cfg)
+			sw := core.SweepCutParInto(fixSocial, vec, cfg.Procs, arena)
+			if err := api.WriteClusterResponse(io.Discard, response(vec, sw, st)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recycled := pool.Stats().ResultBytesRecycled - before
 		b.ReportMetric(float64(recycled)/float64(b.N), "recycled-B/op")
 	})
 }

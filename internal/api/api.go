@@ -12,7 +12,9 @@ import "parcluster/internal/core"
 // Params carries the per-algorithm knobs of a ClusterRequest. Zero values
 // select the paper's Table 3 defaults (the same defaults as the top-level
 // parcluster options structs). Only the fields of the requested algorithm
-// are consulted.
+// are consulted. Values outside each knob's sane range (rates outside
+// (0,1), iteration/walk counts beyond the server's work caps) are rejected
+// with a 400 rather than run.
 type Params struct {
 	Alpha   float64 `json:"alpha,omitempty"`   // PR-Nibble teleportation (default 0.01)
 	Epsilon float64 `json:"epsilon,omitempty"` // truncation / push threshold (per-algo default)
@@ -164,6 +166,22 @@ type WorkspaceStats struct {
 	// borrowed from recycled arenas instead of the allocator — the GC
 	// pressure avoided.
 	BytesRecycled int64 `json:"bytes_recycled"`
+	// ResultAcquires counts result-arena checkouts across all pools
+	// (ResultHits + ResultMisses). A result arena holds a finished query's
+	// support-sized output (snapshot map, sweep arrays, member list) from
+	// the kernel through the streamed response write.
+	ResultAcquires int64 `json:"result_acquires"`
+	// ResultHits counts result-arena checkouts served by recycling.
+	ResultHits int64 `json:"result_hits"`
+	// ResultMisses counts result-arena checkouts that allocated fresh.
+	ResultMisses int64 `json:"result_misses"`
+	// ResultReleases counts result arenas returned to their pool. The gap
+	// ResultAcquires - ResultReleases is the number of responses currently
+	// being written; a gap that grows without bound is a leak.
+	ResultReleases int64 `json:"result_releases"`
+	// ResultBytesRecycled totals the result-sized bytes served from
+	// recycled arenas instead of the allocator.
+	ResultBytesRecycled int64 `json:"result_bytes_recycled"`
 }
 
 // Add accumulates o into w. Every aggregation site (the registry's per-pool
@@ -176,17 +194,27 @@ func (w *WorkspaceStats) Add(o WorkspaceStats) {
 	w.Misses += o.Misses
 	w.Releases += o.Releases
 	w.BytesRecycled += o.BytesRecycled
+	w.ResultAcquires += o.ResultAcquires
+	w.ResultHits += o.ResultHits
+	w.ResultMisses += o.ResultMisses
+	w.ResultReleases += o.ResultReleases
+	w.ResultBytesRecycled += o.ResultBytesRecycled
 }
 
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
-	Queries       int64              `json:"queries"`
-	Errors        int64              `json:"errors"`
-	InFlight      int64              `json:"in_flight"`
-	CacheHits     int64              `json:"cache_hits"`
-	CacheMisses   int64              `json:"cache_misses"`
-	CacheEntries  int                `json:"cache_entries"`
+	Queries      int64 `json:"queries"`
+	Errors       int64 `json:"errors"`
+	InFlight     int64 `json:"in_flight"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// CacheBytes is the approximate heap footprint of the result cache's
+	// retained cluster vectors (member + seed payloads). Cached entries are
+	// always owned copies — never borrowed arena memory — so this is real
+	// retention, bounded by the cache's entry capacity.
+	CacheBytes    int64              `json:"cache_bytes"`
 	Diffusions    int64              `json:"diffusions"`
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
 	GraphLoads    int64              `json:"graph_loads"`

@@ -1,0 +1,76 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"parcluster/internal/core"
+)
+
+// FuzzStreamEncode throws fuzzer-chosen strings, float bit patterns,
+// integers and flags at the streaming encoder and requires byte-identity
+// with encoding/json on every input — including hostile strings (invalid
+// UTF-8, HTML, control characters) and subnormal/huge floats. Non-finite
+// floats must error on both sides.
+func FuzzStreamEncode(f *testing.F) {
+	f.Add("graph", "algo", uint64(0x3FD5555555555555), int64(3), uint64(12), []byte{1, 0, 0, 0, 2}, true, false)
+	f.Add("", "", uint64(0), int64(0), uint64(0), []byte(nil), false, false)
+	f.Add("<a>&\"\\ ", "\xff\xfe", math.Float64bits(1e21), int64(-1), uint64(math.MaxUint64), []byte{9, 9}, true, true)
+	f.Add("héllo", "\t\n\b\f", math.Float64bits(9.999999e-7), int64(math.MinInt64), uint64(1), []byte{}, false, true)
+	f.Fuzz(func(t *testing.T, graph, algo string, floatBits uint64, iv int64, uv uint64, memberBytes []byte, truncated, nilMembers bool) {
+		fv := math.Float64frombits(floatBits)
+		members := make([]uint32, 0, len(memberBytes)/2)
+		for i := 0; i+1 < len(memberBytes); i += 2 {
+			members = append(members, uint32(memberBytes[i])<<8|uint32(memberBytes[i+1]))
+		}
+		if nilMembers {
+			members = nil
+		}
+		resp := &ClusterResponse{
+			Graph: graph, Vertices: int(int32(uv)), Edges: uv, Algo: algo,
+			Results: []ClusterResult{{
+				Seeds: members, Members: members, Size: len(members),
+				Truncated: truncated, Conductance: fv, Volume: uv, Cut: uv / 2,
+				Stats:  core.Stats{Pushes: iv, Iterations: int(int32(iv)), EdgesTouched: -iv},
+				Cached: !truncated,
+			}},
+			Aggregate: Aggregate{
+				Queries: 1, CacheHits: int(int16(iv)), BestConductance: fv,
+				BestSeeds: members, MeanSize: fv, TotalPushes: iv,
+				TotalEdges: iv, ElapsedMS: fv,
+			},
+		}
+		var want bytes.Buffer
+		wantErr := json.NewEncoder(&want).Encode(resp)
+		var got bytes.Buffer
+		gotErr := WriteClusterResponse(&got, resp)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: encoding/json=%v streaming=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return // both refused (non-finite float); bodies are moot
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("byte mismatch\nwant %q\ngot  %q", want.Bytes(), got.Bytes())
+		}
+
+		ncp := &NCPResponse{
+			Graph:     graph,
+			Points:    []core.NCPPoint{{Size: int(int32(iv)), Conductance: fv}},
+			ElapsedMS: fv,
+		}
+		want.Reset()
+		got.Reset()
+		if err := json.NewEncoder(&want).Encode(ncp); err != nil {
+			t.Fatalf("stdlib ncp encode: %v", err)
+		}
+		if err := WriteNCPResponse(&got, ncp); err != nil {
+			t.Fatalf("streaming ncp encode: %v", err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("ncp byte mismatch\nwant %q\ngot  %q", want.Bytes(), got.Bytes())
+		}
+	})
+}

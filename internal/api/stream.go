@@ -1,0 +1,368 @@
+// stream.go implements the streaming JSON encoders of the pooled result
+// path: WriteClusterResponse and WriteNCPResponse serialize a response
+// straight from (possibly arena-borrowed) memory into an io.Writer, without
+// ever materializing the whole body the way encoding/json's Marshal does.
+// The HTTP handlers in internal/service stream a response through these and
+// release the result arena only after the write returns — completing the
+// zero-copy path from diffusion table to client socket.
+//
+// The output is byte-for-byte identical to what
+// json.NewEncoder(w).Encode(resp) produced before (including the trailing
+// newline, HTML-escaped strings, encoding/json's float format, and
+// null-vs-[] for nil-vs-empty slices); the conformance suite in
+// stream_test.go and the FuzzStreamEncode target pin this equivalence down,
+// so clients and recorded fixtures cannot tell the encoders apart.
+package api
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"parcluster/internal/core"
+)
+
+// WriteClusterResponse streams resp as JSON into w, byte-identical to
+// json.NewEncoder(w).Encode(resp). Slices inside resp may alias a workspace
+// result arena; the caller must keep the arena checked out until this
+// returns. The first write error (typically the client disconnecting)
+// aborts the encode and is returned.
+func WriteClusterResponse(w io.Writer, resp *ClusterResponse) error {
+	jw := newJSONWriter(w)
+	jw.objOpen()
+	jw.key("graph")
+	jw.string(resp.Graph)
+	jw.key("vertices")
+	jw.int64(int64(resp.Vertices))
+	jw.key("edges")
+	jw.uint64(resp.Edges)
+	jw.key("algo")
+	jw.string(resp.Algo)
+	jw.key("results")
+	if resp.Results == nil {
+		jw.raw("null")
+	} else {
+		jw.arrOpen()
+		for i := range resp.Results {
+			jw.elem()
+			jw.clusterResult(&resp.Results[i])
+		}
+		jw.arrClose()
+	}
+	jw.key("aggregate")
+	jw.aggregate(&resp.Aggregate)
+	jw.objClose()
+	jw.raw("\n")
+	return jw.flush()
+}
+
+// WriteNCPResponse streams resp as JSON into w, byte-identical to
+// json.NewEncoder(w).Encode(resp), with the same contract as
+// WriteClusterResponse.
+func WriteNCPResponse(w io.Writer, resp *NCPResponse) error {
+	jw := newJSONWriter(w)
+	jw.objOpen()
+	jw.key("graph")
+	jw.string(resp.Graph)
+	jw.key("points")
+	if resp.Points == nil {
+		jw.raw("null")
+	} else {
+		jw.arrOpen()
+		for i := range resp.Points {
+			jw.elem()
+			jw.ncpPoint(&resp.Points[i])
+		}
+		jw.arrClose()
+	}
+	jw.key("elapsed_ms")
+	jw.float(resp.ElapsedMS)
+	jw.objClose()
+	jw.raw("\n")
+	return jw.flush()
+}
+
+// jsonWriter is a minimal streaming JSON emitter with a sticky error and
+// encoding/json-compatible formatting. Nesting state is a stack of "need a
+// comma before the next key/element" flags, pushed per container.
+type jsonWriter struct {
+	w       *bufio.Writer
+	err     error
+	scratch [32]byte
+	needSep []bool
+}
+
+func newJSONWriter(w io.Writer) *jsonWriter {
+	return &jsonWriter{w: bufio.NewWriterSize(w, 16<<10), needSep: make([]bool, 0, 8)}
+}
+
+func (jw *jsonWriter) flush() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	return jw.w.Flush()
+}
+
+func (jw *jsonWriter) raw(s string) {
+	if jw.err == nil {
+		_, jw.err = jw.w.WriteString(s)
+	}
+}
+
+func (jw *jsonWriter) bytes(b []byte) {
+	if jw.err == nil {
+		_, jw.err = jw.w.Write(b)
+	}
+}
+
+func (jw *jsonWriter) byteOut(b byte) {
+	if jw.err == nil {
+		jw.err = jw.w.WriteByte(b)
+	}
+}
+
+func (jw *jsonWriter) objOpen() {
+	jw.raw("{")
+	jw.needSep = append(jw.needSep, false)
+}
+
+func (jw *jsonWriter) objClose() {
+	jw.raw("}")
+	jw.needSep = jw.needSep[:len(jw.needSep)-1]
+}
+
+func (jw *jsonWriter) arrOpen() {
+	jw.raw("[")
+	jw.needSep = append(jw.needSep, false)
+}
+
+func (jw *jsonWriter) arrClose() {
+	jw.raw("]")
+	jw.needSep = jw.needSep[:len(jw.needSep)-1]
+}
+
+// sep writes the separating comma before the second and later members of
+// the innermost container.
+func (jw *jsonWriter) sep() {
+	top := len(jw.needSep) - 1
+	if jw.needSep[top] {
+		jw.raw(",")
+	}
+	jw.needSep[top] = true
+}
+
+// key emits `"name":` (names are plain ASCII literals, no escaping needed),
+// preceded by a comma when required.
+func (jw *jsonWriter) key(name string) {
+	jw.sep()
+	jw.raw(`"`)
+	jw.raw(name)
+	jw.raw(`":`)
+}
+
+// elem emits the separator before an array element.
+func (jw *jsonWriter) elem() { jw.sep() }
+
+func (jw *jsonWriter) int64(v int64) {
+	jw.bytes(strconv.AppendInt(jw.scratch[:0], v, 10))
+}
+
+func (jw *jsonWriter) uint64(v uint64) {
+	jw.bytes(strconv.AppendUint(jw.scratch[:0], v, 10))
+}
+
+func (jw *jsonWriter) bool(v bool) {
+	if v {
+		jw.raw("true")
+	} else {
+		jw.raw("false")
+	}
+}
+
+// float emits v exactly as encoding/json does: shortest round-trip form,
+// 'f' notation within [1e-6, 1e21), 'e' notation with the exponent's
+// leading zero stripped outside it. Non-finite values poison the writer
+// with the same error encoding/json reports.
+func (jw *jsonWriter) float(v float64) {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		if jw.err == nil {
+			jw.err = fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		return
+	}
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b := strconv.AppendFloat(jw.scratch[:0], v, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	jw.bytes(b)
+}
+
+const streamHex = "0123456789abcdef"
+
+// string emits s with encoding/json's default (HTML-escaping) rules:
+// control characters, '"', '\\', '<', '>' and '&' are escaped, invalid
+// UTF-8 becomes U+FFFD, and U+2028/U+2029 are escaped for JS embedding.
+func (jw *jsonWriter) string(s string) {
+	jw.raw(`"`)
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe(b) {
+				i++
+				continue
+			}
+			jw.raw(s[start:i])
+			switch b {
+			case '\\', '"':
+				jw.byteOut('\\')
+				jw.byteOut(b)
+			case '\b':
+				jw.raw(`\b`)
+			case '\f':
+				jw.raw(`\f`)
+			case '\n':
+				jw.raw(`\n`)
+			case '\r':
+				jw.raw(`\r`)
+			case '\t':
+				jw.raw(`\t`)
+			default:
+				jw.raw(`\u00`)
+				jw.byteOut(streamHex[b>>4])
+				jw.byteOut(streamHex[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// encoding/json writes the six-character escape sequence, not the
+			// replacement rune itself.
+			jw.raw(s[start:i])
+			jw.raw(`\ufffd`)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			jw.raw(s[start:i])
+			jw.raw(`\u202`)
+			jw.byteOut(streamHex[c&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	jw.raw(s[start:])
+	jw.raw(`"`)
+}
+
+// jsonSafe reports whether an ASCII byte passes through encoding/json's
+// HTML-escaping string encoder unescaped.
+func jsonSafe(b byte) bool {
+	if b < 0x20 {
+		return false
+	}
+	switch b {
+	case '"', '\\', '<', '>', '&':
+		return false
+	}
+	return true
+}
+
+// uint32Slice emits a []uint32 with encoding/json's nil-vs-empty
+// convention: null for a nil slice, [] for an empty one.
+func (jw *jsonWriter) uint32Slice(s []uint32) {
+	if s == nil {
+		jw.raw("null")
+		return
+	}
+	jw.arrOpen()
+	for _, v := range s {
+		jw.elem()
+		jw.uint64(uint64(v))
+	}
+	jw.arrClose()
+}
+
+func (jw *jsonWriter) clusterResult(r *ClusterResult) {
+	jw.objOpen()
+	jw.key("seeds")
+	jw.uint32Slice(r.Seeds)
+	jw.key("members")
+	jw.uint32Slice(r.Members)
+	jw.key("size")
+	jw.int64(int64(r.Size))
+	if r.Truncated {
+		jw.key("truncated")
+		jw.bool(r.Truncated)
+	}
+	jw.key("conductance")
+	jw.float(r.Conductance)
+	jw.key("volume")
+	jw.uint64(r.Volume)
+	jw.key("cut")
+	jw.uint64(r.Cut)
+	jw.key("stats")
+	jw.stats(&r.Stats)
+	jw.key("cached")
+	jw.bool(r.Cached)
+	jw.objClose()
+}
+
+func (jw *jsonWriter) stats(s *core.Stats) {
+	jw.objOpen()
+	jw.key("pushes")
+	jw.int64(s.Pushes)
+	jw.key("iterations")
+	jw.int64(int64(s.Iterations))
+	jw.key("edges_touched")
+	jw.int64(s.EdgesTouched)
+	jw.objClose()
+}
+
+func (jw *jsonWriter) aggregate(a *Aggregate) {
+	jw.objOpen()
+	jw.key("queries")
+	jw.int64(int64(a.Queries))
+	jw.key("cache_hits")
+	jw.int64(int64(a.CacheHits))
+	jw.key("best_conductance")
+	jw.float(a.BestConductance)
+	if len(a.BestSeeds) > 0 {
+		jw.key("best_seeds")
+		jw.uint32Slice(a.BestSeeds)
+	}
+	jw.key("mean_size")
+	jw.float(a.MeanSize)
+	jw.key("total_pushes")
+	jw.int64(a.TotalPushes)
+	jw.key("total_edges")
+	jw.int64(a.TotalEdges)
+	jw.key("elapsed_ms")
+	jw.float(a.ElapsedMS)
+	jw.objClose()
+}
+
+func (jw *jsonWriter) ncpPoint(p *core.NCPPoint) {
+	jw.objOpen()
+	jw.key("size")
+	jw.int64(int64(p.Size))
+	jw.key("conductance")
+	jw.float(p.Conductance)
+	jw.objClose()
+}

@@ -1,0 +1,206 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"parcluster/internal/core"
+)
+
+// encodeBoth runs v through the buffered stdlib encoder and the matching
+// streaming encoder and returns both byte strings.
+func encodeBoth(t *testing.T, v any) (want, got []byte) {
+	t.Helper()
+	var wantBuf bytes.Buffer
+	if err := json.NewEncoder(&wantBuf).Encode(v); err != nil {
+		t.Fatalf("stdlib encode: %v", err)
+	}
+	var gotBuf bytes.Buffer
+	var err error
+	switch v := v.(type) {
+	case *ClusterResponse:
+		err = WriteClusterResponse(&gotBuf, v)
+	case *NCPResponse:
+		err = WriteNCPResponse(&gotBuf, v)
+	default:
+		t.Fatalf("encodeBoth: unsupported type %T", v)
+	}
+	if err != nil {
+		t.Fatalf("streaming encode: %v", err)
+	}
+	return wantBuf.Bytes(), gotBuf.Bytes()
+}
+
+func requireIdentical(t *testing.T, v any) {
+	t.Helper()
+	want, got := encodeBoth(t, v)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("streaming encoder diverges from encoding/json\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// TestWriteClusterResponseConformance pins byte-identity between the
+// streaming encoder and encoding/json across the structural edge cases:
+// nil vs empty slices, omitempty booleans and slices, zero and extreme
+// numbers, and strings that exercise every escaping rule.
+func TestWriteClusterResponseConformance(t *testing.T) {
+	floats := []float64{
+		0, 1, -1, 0.5, 1.0 / 3.0, 1e-6, 9.999999e-7, 1e21, 1e21 - 65537,
+		1e-9, 2.5e-322, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-1.2345678901234567e-8, 3.14159265358979, 1e20, 123456789.123456789,
+	}
+	strs := []string{
+		"", "plain", "caveman:cliques=16,k=12", `with "quotes" and \slashes\`,
+		"<script>&amp;</script>", "tabs\tand\nnewlines\rand\bbells\fand\x00nul",
+		"unicode: h\u00e9llo, \u4e16\u754c", "line sep \u2028 and para sep \u2029",
+		"invalid utf8: \xff\xfe", "DEL \x7f char",
+	}
+	base := func() *ClusterResponse {
+		return &ClusterResponse{
+			Graph: "g", Vertices: 100, Edges: 250, Algo: "prnibble",
+			Results: []ClusterResult{{
+				Seeds: []uint32{1}, Members: []uint32{1, 2, 3}, Size: 3,
+				Conductance: 0.25, Volume: 12, Cut: 3,
+				Stats: core.Stats{Pushes: 10, Iterations: 4, EdgesTouched: 40},
+			}},
+			Aggregate: Aggregate{
+				Queries: 1, BestConductance: 0.25, BestSeeds: []uint32{1},
+				MeanSize: 3, TotalPushes: 10, TotalEdges: 40, ElapsedMS: 1.25,
+			},
+		}
+	}
+	requireIdentical(t, base())
+
+	t.Run("nil-vs-empty", func(t *testing.T) {
+		v := base()
+		v.Results[0].Members = nil // the empty-diffusion shape: "members":null
+		v.Results[0].Seeds = []uint32{}
+		v.Aggregate.BestSeeds = nil // omitempty: dropped entirely
+		requireIdentical(t, v)
+		v.Results = []ClusterResult{}
+		requireIdentical(t, v)
+		v.Results = nil
+		requireIdentical(t, v)
+	})
+	t.Run("omitempty-truncated-cached", func(t *testing.T) {
+		v := base()
+		v.Results[0].Truncated = true
+		v.Results[0].Cached = true
+		requireIdentical(t, v)
+	})
+	t.Run("floats", func(t *testing.T) {
+		for _, f := range floats {
+			for _, sign := range []float64{1, -1} {
+				v := base()
+				v.Results[0].Conductance = sign * f
+				v.Aggregate.BestConductance = sign * f
+				v.Aggregate.MeanSize = sign * f
+				v.Aggregate.ElapsedMS = sign * f
+				requireIdentical(t, v)
+			}
+		}
+	})
+	t.Run("strings", func(t *testing.T) {
+		for _, s := range strs {
+			v := base()
+			v.Graph = s
+			v.Algo = s
+			requireIdentical(t, v)
+		}
+	})
+	t.Run("numeric-extremes", func(t *testing.T) {
+		v := base()
+		v.Vertices = math.MaxInt32
+		v.Edges = math.MaxUint64
+		v.Results[0].Volume = math.MaxUint64
+		v.Results[0].Cut = 0
+		v.Results[0].Stats = core.Stats{Pushes: math.MaxInt64, Iterations: -1, EdgesTouched: math.MinInt64}
+		v.Aggregate.TotalPushes = -42
+		requireIdentical(t, v)
+	})
+	t.Run("many-results", func(t *testing.T) {
+		v := base()
+		v.Results = nil
+		for i := 0; i < 50; i++ {
+			v.Results = append(v.Results, ClusterResult{
+				Seeds:       []uint32{uint32(i)},
+				Members:     []uint32{uint32(i), uint32(i + 1)},
+				Size:        2,
+				Conductance: 1 / float64(i+1),
+				Cached:      i%2 == 0,
+			})
+		}
+		requireIdentical(t, v)
+	})
+}
+
+// TestWriteNCPResponseConformance does the same for the NCP reply.
+func TestWriteNCPResponseConformance(t *testing.T) {
+	requireIdentical(t, &NCPResponse{Graph: "g", Points: nil, ElapsedMS: 0})
+	requireIdentical(t, &NCPResponse{Graph: "g", Points: []core.NCPPoint{}, ElapsedMS: 1e-7})
+	requireIdentical(t, &NCPResponse{
+		Graph: "sbm:blocks=4",
+		Points: []core.NCPPoint{
+			{Size: 1, Conductance: 1},
+			{Size: 10, Conductance: 0.125},
+			{Size: 100, Conductance: 1.0 / 3.0},
+		},
+		ElapsedMS: 123.456,
+	})
+}
+
+// TestWriteClusterResponseNonFinite pins the error contract: a non-finite
+// float aborts the encode with an error, mirroring encoding/json's refusal
+// to emit Inf/NaN.
+func TestWriteClusterResponseNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		v := &ClusterResponse{Aggregate: Aggregate{BestConductance: bad}}
+		var buf bytes.Buffer
+		err := WriteClusterResponse(&buf, v)
+		if err == nil {
+			t.Fatalf("WriteClusterResponse(%v) = nil error, want unsupported-value error", bad)
+		}
+		if !strings.Contains(err.Error(), "unsupported value") {
+			t.Fatalf("error %q does not mention unsupported value", err)
+		}
+	}
+}
+
+// errAfterWriter fails after n bytes, standing in for a client that
+// disconnects mid-body.
+type errAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errWriterClosed
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+var errWriterClosed = &writerClosedError{}
+
+type writerClosedError struct{}
+
+func (*writerClosedError) Error() string { return "client went away" }
+
+// TestWriteClusterResponseWriteError pins that a mid-stream write error is
+// surfaced to the caller (the handler logs it and releases the arena).
+func TestWriteClusterResponseWriteError(t *testing.T) {
+	v := &ClusterResponse{Graph: strings.Repeat("x", 1024), Results: make([]ClusterResult, 1024)}
+	w := &errAfterWriter{n: 100}
+	if err := WriteClusterResponse(w, v); err != errWriterClosed {
+		t.Fatalf("WriteClusterResponse = %v, want errWriterClosed", err)
+	}
+}

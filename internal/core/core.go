@@ -30,6 +30,7 @@ import (
 
 	"parcluster/internal/graph"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // Stats reports the work counters the paper's evaluation tables rely on.
@@ -88,11 +89,25 @@ func growTo(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// vecFromTable snapshots a concurrent table (hash or dense) into the
-// sequential sparse map the sweep cut consumes, dropping explicit zeros
-// (entries whose mass cancelled exactly, e.g. a residual fully pushed out).
+// vecFromTable snapshots a concurrent table (hash or dense) into a freshly
+// allocated sequential sparse map the sweep cut consumes.
 func vecFromTable(t sparse.Vector) *sparse.Map {
-	out := sparse.NewMap(t.Len())
+	return vecFromTableInto(t, nil)
+}
+
+// vecFromTableInto is vecFromTable snapshotting into res's recycled map
+// when res is non-nil (the pooled result path; see RunConfig.Result) and a
+// fresh map otherwise. Explicit zeros are dropped either way (entries whose
+// mass cancelled exactly, e.g. a residual fully pushed out). The returned
+// map's memory belongs to the arena: it is valid until res is Reset or
+// Released.
+func vecFromTableInto(t sparse.Vector, res *workspace.Result) *sparse.Map {
+	var out *sparse.Map
+	if res != nil {
+		out = res.Map(t.Len())
+	} else {
+		out = sparse.NewMap(t.Len())
+	}
 	t.ForEach(func(k uint32, v float64) {
 		if v != 0 {
 			out.Set(k, v)

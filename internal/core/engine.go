@@ -97,6 +97,15 @@ type RunConfig struct {
 	// back to fresh allocation) rather than corrupting someone else's
 	// arenas. Results are bit-identical with and without a pool.
 	Workspace *workspace.Pool
+	// Result, when non-nil, is the arena the run's *result* is snapshotted
+	// into (the vecFromTable map, and — via SweepCutParInto — the sweep
+	// arrays downstream). Unlike Workspace scratch, which the run itself
+	// releases, the result must outlive the run: the caller owns the arena
+	// and releases it after the last read of the returned vector, so the
+	// checkout is the caller's, not the kernel's. Any pool's arena works
+	// (result state is support-sized, not graph-sized). Results are
+	// bit-identical with and without an arena.
+	Result *workspace.Result
 }
 
 // acquireWorkspace checks a workspace for a universe of n vertices out of

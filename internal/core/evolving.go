@@ -57,6 +57,11 @@ type EvolvingSetOptions struct {
 	// graph-sized scratch state from (see core.RunConfig.Workspace). The
 	// trajectory is identical with and without a pool.
 	Workspace *workspace.Pool
+	// Result, when non-nil, is the arena the parallel version copies the
+	// returned Set into, so the caller can recycle the member list after the
+	// response is written (see core.RunConfig.Result for the ownership
+	// contract). The trajectory is identical with and without an arena.
+	Result *workspace.Result
 }
 
 func (o *EvolvingSetOptions) defaults() {
@@ -188,6 +193,11 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 	res, st := evolvingSetSteps(g, seed, opts, procs, ws)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
+	if opts.Result != nil && len(res.Set) > 0 {
+		set := opts.Result.Uint32s(len(res.Set))
+		copy(set, res.Set)
+		res.Set = set
+	}
 	return res, st
 }
 
@@ -281,7 +291,9 @@ func (b *bestTracker) update(set []uint32) {
 	b.lastVol = vol
 	if !b.started || phi < b.phi {
 		b.started = true
-		b.set = append([]uint32(nil), set...)
+		// Reuse the tracker's buffer across improvements: the set is copied
+		// on every new best, so a fresh allocation each time is pure churn.
+		b.set = append(b.set[:0], set...)
 		b.phi, b.vol, b.cut = phi, vol, cut
 	}
 }

@@ -145,15 +145,16 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws)
+	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws, cfg.Result)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
 }
 
 // hkprRelax is the level-synchronous coordinate-relaxation loop proper,
-// run entirely against scratch state borrowed from ws.
-func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
+// run entirely against scratch state borrowed from ws; the result is
+// snapshotted into res when one is configured.
+func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
 	if N < 1 {
 		N = 1
 	}
@@ -202,7 +203,7 @@ func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, proc
 		})
 		r, rNext = rNext, r
 	}
-	out := vecFromTable(p)
+	out := vecFromTableInto(p, res)
 	scaleMap(out, math.Exp(-t))
 	return out, st
 }

@@ -95,15 +95,16 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws)
+	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws, cfg.Result)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
 }
 
 // nibbleWalk is the truncated-walk loop proper, run entirely against
-// scratch state borrowed from ws.
-func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
+// scratch state borrowed from ws; the result is snapshotted into res when
+// one is configured.
+func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
 	var st Stats
 	n := g.NumVertices()
 	p := newVec(n, mode, len(seeds), ws)
@@ -127,9 +128,9 @@ func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode Fr
 			return next.Get(v) >= eps*float64(g.Degree(v))
 		})
 		if frontier.IsEmpty() {
-			return vecFromTable(p), st
+			return vecFromTableInto(p, res), st
 		}
 		p, next = next, p
 	}
-	return vecFromTable(p), st
+	return vecFromTableInto(p, res), st
 }

@@ -53,16 +53,23 @@ func PRNibbleRun(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws)
+	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws, cfg.Result)
 	// Release only on the non-panicking path (see acquireWorkspace); the
 	// result vector was snapshotted out of the workspace by the body.
 	ws.Release(procs)
 	return vec, st
 }
 
+// prNibbleResidualSink, when non-nil, receives a snapshot of the final
+// residual vector r of every PR-Nibble push loop. It exists solely for the
+// property-based conformance suite, which checks the §3.3 mass-conservation
+// invariant ‖p‖₁ + ‖r‖₁ <= 1 + ε — the production path never snapshots r.
+var prNibbleResidualSink func(*sparse.Map)
+
 // prNibblePush is the PR-Nibble push loop proper, run entirely against
-// scratch state borrowed from ws.
-func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace) (*sparse.Map, Stats) {
+// scratch state borrowed from ws; the result is snapshotted into res when
+// one is configured.
+func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}
@@ -103,7 +110,10 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 		eng.merge(r, touched, delta)
 		frontier = eng.filter(touched, above)
 	}
-	return vecFromTable(p), st
+	if prNibbleResidualSink != nil {
+		prNibbleResidualSink(vecFromTable(r))
+	}
+	return vecFromTableInto(p, res), st
 }
 
 // topBetaFraction returns the ceil(beta*|frontier|) vertices with the

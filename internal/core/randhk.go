@@ -85,8 +85,17 @@ func RandHKPRPar(g *graph.CSR, seed uint32, t float64, K, N int, walkSeed uint64
 // its start from stream Split(walkSeed, i) exactly as the sequential
 // version does, so the bit-identical-output guarantee extends to seed sets.
 func RandHKPRParFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
+	return RandHKPRRun(g, seeds, t, K, N, walkSeed, RunConfig{Procs: procs})
+}
+
+// RandHKPRRun is RandHKPRParFrom with a RunConfig. Only Procs and Result
+// are consulted: the walks need no frontier engine and no graph-sized
+// scratch, so Frontier and Workspace are ignored; Result, when set, is the
+// arena the empirical distribution is built in (see RunConfig.Result for
+// the ownership contract).
+func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
-	procs = parallel.ResolveProcs(procs)
+	procs := parallel.ResolveProcs(cfg.Procs)
 	var st Stats
 	tp := rng.NewTruncPoisson(t, K)
 	A := make([]uint32, N)
@@ -126,7 +135,12 @@ func RandHKPRParFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed
 	starts := parallel.FilterIndex(procs, N, func(i int) bool {
 		return i == 0 || ids[i] != ids[i-1]
 	})
-	p := sparse.NewMap(distinct)
+	var p *sparse.Map
+	if cfg.Result != nil {
+		p = cfg.Result.Map(distinct)
+	} else {
+		p = sparse.NewMap(distinct)
+	}
 	invN := 1 / float64(N)
 	for bi, start := range starts {
 		end := N

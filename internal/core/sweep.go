@@ -8,6 +8,7 @@ import (
 	"parcluster/internal/ligra"
 	"parcluster/internal/parallel"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 // sweep.go implements the sweep cut rounding procedure (§3.1): sort the
@@ -52,9 +53,15 @@ type SweepResult struct {
 // non-increasing p[v]/d(v), breaking ties by ascending vertex ID (a total
 // order, so every implementation produces the same permutation).
 // Zero-degree vertices sort first (infinite normalized mass) and can never
-// win: every prefix they head has zero volume and conductance 1.
-func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map) []uint32 {
-	order := make([]uint32, 0, vec.Len())
+// win: every prefix they head has zero volume and conductance 1. The order
+// array is borrowed from res when one is configured.
+func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map, res *workspace.Result) []uint32 {
+	var order []uint32
+	if res != nil {
+		order = res.Uint32s(vec.Len())[:0]
+	} else {
+		order = make([]uint32, 0, vec.Len())
+	}
 	vec.ForEach(func(v uint32, mass float64) {
 		if mass > 0 {
 			order = append(order, v)
@@ -81,7 +88,7 @@ func emptySweep() SweepResult { return SweepResult{Conductance: 1} }
 
 // SweepCutSeq is the sequential sweep cut.
 func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
-	order := sweepOrder(1, g, vec)
+	order := sweepOrder(1, g, vec, nil)
 	N := len(order)
 	if N == 0 {
 		return emptySweep()
@@ -119,39 +126,81 @@ func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
 // counts per rank are obtained by accumulating +1/-1 contributions of every
 // edge with fetch-and-add into a rank-indexed array, then prefix-summing.
 func SweepCutPar(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
+	return SweepCutParInto(g, vec, procs, nil)
+}
+
+// SweepCutParInto is SweepCutPar with every support-sized piece of the
+// result and its scratch — the sweep order, the rank table, the crossing
+// counts, the prefix volumes and conductances — borrowed from res (nil =
+// allocate fresh, exactly SweepCutPar). The returned result's Cluster,
+// Order and PrefixConductance slices then alias the arena and are valid
+// until it is Reset or Released; results are bit-identical with and without
+// an arena.
+func SweepCutParInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
 	procs = parallel.ResolveProcs(procs)
-	order := sweepOrder(procs, g, vec)
+	order := sweepOrder(procs, g, vec, res)
 	N := len(order)
 	if N == 0 {
 		return emptySweep()
 	}
 	// rank+1 stored so that Get == 0 means "outside the support".
-	rank := sparse.NewConcurrent(N)
+	var rank *sparse.ConcurrentMap
+	if res != nil {
+		rank = res.Hash(procs, N)
+	} else {
+		rank = sparse.NewConcurrent(N)
+	}
 	parallel.For(procs, N, 1024, func(i int) {
 		rank.Set(order[i], float64(i+1))
 	})
 	// Per-edge contributions. Each undirected edge inside the support is
 	// visited twice; only the visit from the lower-ranked endpoint
 	// contributes (+1 at its rank, -1 at the partner's), matching the
-	// paper's case (a) / case (b) split.
-	cutDelta := make([]int64, N+1)
-	ligra.EdgeMap(procs, g, ligra.FromIDs(order), func(s, d uint32) bool {
-		rs := int(rank.Get(s)) - 1
-		rd := int(rank.Get(d)) - 1
-		if rd < 0 {
-			rd = N // outside the support: rank N+1 in the paper's terms
-		}
-		if rs < rd {
-			atomic.AddInt64(&cutDelta[rs], 1)
-			if rd < N {
-				atomic.AddInt64(&cutDelta[rd], -1)
+	// paper's case (a) / case (b) split. The edge pass collects no output
+	// frontier, and its prefix-sum scratch comes from the arena too, so the
+	// pooled sweep's edge traversal allocates nothing support-sized.
+	cutDelta := resInt64s(res, N+1)
+	ligra.EdgeApplyIndexedScratch(procs, g, ligra.FromIDs(order),
+		resUint64s(res, N), resUint64s(res, N),
+		func(_ int, s, d uint32) {
+			rs := int(rank.Get(s)) - 1
+			rd := int(rank.Get(d)) - 1
+			if rd < 0 {
+				rd = N // outside the support: rank N+1 in the paper's terms
 			}
-		}
-		return false
-	})
-	cuts := make([]int64, N)
+			if rs < rd {
+				atomic.AddInt64(&cutDelta[rs], 1)
+				if rd < N {
+					atomic.AddInt64(&cutDelta[rd], -1)
+				}
+			}
+		})
+	cuts := resInt64s(res, N)
 	parallel.ScanInclusive(procs, cutDelta[:N], cuts)
-	return sweepFromCuts(g, order, cuts, procs)
+	return sweepFromCuts(g, order, cuts, procs, res)
+}
+
+// resInt64s, resUint64s and resFloat64s borrow a zeroed slice from res,
+// falling back to a fresh allocation when no arena is configured.
+func resInt64s(res *workspace.Result, n int) []int64 {
+	if res != nil {
+		return res.Int64s(n)
+	}
+	return make([]int64, n)
+}
+
+func resUint64s(res *workspace.Result, n int) []uint64 {
+	if res != nil {
+		return res.Uint64s(n)
+	}
+	return make([]uint64, n)
+}
+
+func resFloat64s(res *workspace.Result, n int) []float64 {
+	if res != nil {
+		return res.Float64s(n)
+	}
+	return make([]float64, n)
 }
 
 // SweepZPair is one (value, rank) pair of the Theorem-1 Z array, using the
@@ -198,7 +247,7 @@ func BuildSweepZ(g *graph.CSR, order []uint32) []SweepZPair {
 // per-rank crossing count off the last pair of each rank group.
 func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 	procs = parallel.ResolveProcs(procs)
-	order := sweepOrder(procs, g, vec)
+	order := sweepOrder(procs, g, vec, nil)
 	N := len(order)
 	if N == 0 {
 		return emptySweep()
@@ -265,19 +314,20 @@ func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 		}
 		prev = cuts[i]
 	}
-	return sweepFromCuts(g, order, cuts, procs)
+	return sweepFromCuts(g, order, cuts, procs, nil)
 }
 
 // sweepFromCuts computes prefix volumes and conductances from per-prefix
-// crossing counts, selects the minimum, and assembles the result.
-func sweepFromCuts(g *graph.CSR, order []uint32, cuts []int64, procs int) SweepResult {
+// crossing counts, selects the minimum, and assembles the result; the
+// prefix arrays are borrowed from res when one is configured.
+func sweepFromCuts(g *graph.CSR, order []uint32, cuts []int64, procs int, res *workspace.Result) SweepResult {
 	N := len(order)
-	degs := make([]uint64, N)
+	degs := resUint64s(res, N)
 	parallel.For(procs, N, 0, func(i int) { degs[i] = uint64(g.Degree(order[i])) })
-	vols := make([]uint64, N)
+	vols := resUint64s(res, N)
 	parallel.ScanInclusive(procs, degs, vols)
 	totalVol := g.TotalVolume()
-	prefix := make([]float64, N)
+	prefix := resFloat64s(res, N)
 	parallel.For(procs, N, 2048, func(i int) {
 		prefix[i] = graph.ConductanceFrom(totalVol, vols[i], uint64(cuts[i]))
 	})
@@ -302,7 +352,7 @@ func finishSweep(order []uint32, prefix []float64, best int, vol, cut uint64) Sw
 // support of vec sorted by the sweep order along with the normalized
 // scores.
 func SortPairsByScore(g *graph.CSR, vec *sparse.Map) ([]uint32, []float64) {
-	order := sweepOrder(1, g, vec)
+	order := sweepOrder(1, g, vec, nil)
 	scores := make([]float64, len(order))
 	for i, v := range order {
 		d := g.Degree(v)

@@ -78,6 +78,9 @@ func ReadAdjacencyGraph(r io.Reader) (*CSR, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n > maxLoadVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the uint32 vertex universe", n)
+	}
 	mm, err := readInt("edge count")
 	if err != nil {
 		return nil, err
@@ -85,7 +88,11 @@ func ReadAdjacencyGraph(r io.Reader) (*CSR, error) {
 	if mm%2 != 0 {
 		return nil, fmt.Errorf("graph: directed edge count %d is odd; undirected graphs store each edge twice", mm)
 	}
-	offsets := make([]uint64, n+1)
+	// Both arrays grow by append rather than trusting the header's counts:
+	// every element must be parsed from a line of input, so memory stays
+	// proportional to the bytes actually read and a tiny file claiming a
+	// huge graph fails at EOF instead of attempting the full allocation.
+	offsets := make([]uint64, 0, loadChunk)
 	for v := uint64(0); v < n; v++ {
 		o, err := readInt("offset")
 		if err != nil {
@@ -94,10 +101,10 @@ func ReadAdjacencyGraph(r io.Reader) (*CSR, error) {
 		if o > mm {
 			return nil, fmt.Errorf("graph: offset %d exceeds edge count %d", o, mm)
 		}
-		offsets[v] = o
+		offsets = append(offsets, o)
 	}
-	offsets[n] = mm
-	adj := make([]uint32, mm)
+	offsets = append(offsets, mm)
+	adj := make([]uint32, 0, loadChunk)
 	for i := uint64(0); i < mm; i++ {
 		e, err := readInt("edge target")
 		if err != nil {
@@ -106,7 +113,7 @@ func ReadAdjacencyGraph(r io.Reader) (*CSR, error) {
 		if e >= n {
 			return nil, fmt.Errorf("graph: edge target %d out of range [0,%d)", e, n)
 		}
-		adj[i] = uint32(e)
+		adj = append(adj, uint32(e))
 	}
 	g := FromAdjacency(offsets, adj)
 	if err := g.Validate(); err != nil {
@@ -164,6 +171,50 @@ func WriteEdgeList(w io.Writer, g *CSR) error {
 
 const binaryMagic = "PCSR\x01"
 
+// maxLoadVertices caps the vertex count a loader will accept: vertex IDs
+// are uint32 throughout the package, so anything above 2^32 is unloadable
+// regardless of memory. loadChunk is the growth/read granularity used to
+// keep loader allocations proportional to input actually consumed.
+const (
+	maxLoadVertices = 1 << 32
+	loadChunk       = 1 << 16
+)
+
+// readUint64Chunked reads count little-endian uint64s in loadChunk-sized
+// pieces, so the allocation grows with the bytes actually read.
+func readUint64Chunked(r io.Reader, count uint64) ([]uint64, error) {
+	out := make([]uint64, 0, loadChunk)
+	for read := uint64(0); read < count; {
+		chunk := count - read
+		if chunk > loadChunk {
+			chunk = loadChunk
+		}
+		out = append(out, make([]uint64, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[read:read+chunk]); err != nil {
+			return nil, err
+		}
+		read += chunk
+	}
+	return out, nil
+}
+
+// readUint32Chunked is readUint64Chunked for uint32 payloads.
+func readUint32Chunked(r io.Reader, count uint64) ([]uint32, error) {
+	out := make([]uint32, 0, loadChunk)
+	for read := uint64(0); read < count; {
+		chunk := count - read
+		if chunk > loadChunk {
+			chunk = loadChunk
+		}
+		out = append(out, make([]uint32, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[read:read+chunk]); err != nil {
+			return nil, err
+		}
+		read += chunk
+	}
+	return out, nil
+}
+
 // WriteBinary writes g in the package's little-endian binary format.
 func WriteBinary(w io.Writer, g *CSR) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -204,15 +255,18 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 		return nil, err
 	}
 	const sanity = 1 << 40
-	if n > sanity || mm > sanity {
+	if n > maxLoadVertices || mm > sanity {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, mm)
 	}
-	offsets := make([]uint64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+	// Chunked reads keep memory proportional to the bytes actually present:
+	// the header's counts are untrusted, and a truncated or hostile file
+	// must fail at EOF rather than commit the full claimed allocation.
+	offsets, err := readUint64Chunked(br, n+1)
+	if err != nil {
 		return nil, err
 	}
-	adj := make([]uint32, mm)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+	adj, err := readUint32Chunked(br, mm)
+	if err != nil {
 		return nil, err
 	}
 	g := FromAdjacency(offsets, adj)

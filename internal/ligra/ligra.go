@@ -379,14 +379,30 @@ func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int,
 // from an accumulator's touched-key set instead of EdgeMap's return value,
 // saving the per-chunk output allocation and concat.
 func EdgeApplyIndexed(p int, g *graph.CSR, s VertexSubset, fn func(srcIdx int, src, dst uint32)) {
+	EdgeApplyIndexedScratch(p, g, s, nil, nil, fn)
+}
+
+// EdgeApplyIndexedScratch is EdgeApplyIndexed with caller-provided
+// prefix-sum scratch: degs and offs must each be nil (allocate fresh) or
+// have length >= s.Size(). The pooled sweep cut passes result-arena slices
+// here so a serving query's edge pass allocates nothing support-sized.
+func EdgeApplyIndexedScratch(p int, g *graph.CSR, s VertexSubset, degs, offs []uint64, fn func(srcIdx int, src, dst uint32)) {
 	s = s.ToSparse(p)
 	nf := len(s.ids)
 	if nf == 0 {
 		return
 	}
-	degs := make([]uint64, nf)
+	if degs == nil {
+		degs = make([]uint64, nf)
+	} else {
+		degs = degs[:nf]
+	}
 	parallel.For(p, nf, 0, func(i int) { degs[i] = uint64(g.Degree(s.ids[i])) })
-	offs := make([]uint64, nf)
+	if offs == nil {
+		offs = make([]uint64, nf)
+	} else {
+		offs = offs[:nf]
+	}
 	total := parallel.ScanExclusive(p, degs, offs)
 	if total == 0 {
 		return

@@ -8,15 +8,45 @@ import "container/list"
 // capacity-driven. The cache itself does no locking: every access —
 // including get, whose recency bump mutates the list — must hold
 // Engine.cacheMu (see Engine.runCached and Engine.Stats).
+//
+// Ownership rule: stored values must own all of their memory. The engine's
+// hot path hands out cluster vectors borrowed from per-graph result arenas
+// that are recycled the moment the response write finishes, so anything
+// cached is detached first (detachResult) — a cached response can never
+// alias a released workspace. The retained bytes are accounted per entry
+// and reported as cache_bytes in /v1/stats.
 type lruCache struct {
 	max   int
 	ll    *list.List               // front = most recently used
 	items map[string]*list.Element // value: *lruEntry
+	nbyte int64                    // footprint of all retained entries
 }
 
 type lruEntry struct {
 	key string
 	val *ClusterResult
+}
+
+// detachResult returns a copy of res that owns all of its memory: the
+// Members slice — the only result field the engine ever borrows from a
+// result arena — is copied out. Every cache store goes through this
+// (copy-on-store), as does the singleflight value shared with waiters,
+// since both can outlive the arena backing the original.
+func detachResult(res *ClusterResult) *ClusterResult {
+	out := *res
+	if res.Members != nil {
+		out.Members = append([]uint32(nil), res.Members...)
+	}
+	return &out
+}
+
+// resultFootprint estimates the heap bytes an entry retains: the member
+// and seed payloads (4 bytes per vertex ID) plus a fixed allowance for the
+// struct, the key and the list/map bookkeeping.
+func resultFootprint(key string, val *ClusterResult) int64 {
+	const entryOverhead = 256
+	return int64(len(val.Members))*4 + int64(len(val.Seeds))*4 +
+		int64(len(key)) + entryOverhead
 }
 
 // newLRUCache returns a cache holding at most max entries; max <= 0
@@ -42,22 +72,27 @@ func (c *lruCache) get(key string) (*ClusterResult, bool) {
 }
 
 // put inserts or refreshes key, evicting the least recently used entry
-// when over capacity.
+// when over capacity. val must own its memory (see detachResult).
 func (c *lruCache) put(key string, val *ClusterResult) {
 	if c == nil {
 		return
 	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
+		entry := el.Value.(*lruEntry)
+		c.nbyte += resultFootprint(key, val) - resultFootprint(key, entry.val)
+		entry.val = val
 		return
 	}
 	el := c.ll.PushFront(&lruEntry{key: key, val: val})
 	c.items[key] = el
+	c.nbyte += resultFootprint(key, val)
 	if c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		entry := oldest.Value.(*lruEntry)
+		delete(c.items, entry.key)
+		c.nbyte -= resultFootprint(entry.key, entry.val)
 	}
 }
 
@@ -67,4 +102,12 @@ func (c *lruCache) len() int {
 		return 0
 	}
 	return c.ll.Len()
+}
+
+// bytes reports the estimated footprint of all retained entries.
+func (c *lruCache) bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.nbyte
 }

@@ -1,6 +1,11 @@
 package service
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"parcluster/internal/gen"
+)
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRUCache(2)
@@ -47,5 +52,114 @@ func TestLRUDisabled(t *testing.T) {
 	}
 	if c.len() != 0 {
 		t.Fatal("disabled cache should report len 0")
+	}
+	if c.bytes() != 0 {
+		t.Fatal("disabled cache should report 0 bytes")
+	}
+}
+
+// TestLRUByteAccounting pins the cache_bytes bookkeeping across insert,
+// refresh and eviction: the running total always equals the sum of the
+// retained entries' footprints and never drifts.
+func TestLRUByteAccounting(t *testing.T) {
+	c := newLRUCache(2)
+	mk := func(members int) *ClusterResult {
+		return &ClusterResult{Seeds: []uint32{1}, Members: make([]uint32, members)}
+	}
+	sum := func(keys map[string]*ClusterResult) int64 {
+		var n int64
+		for k, v := range keys {
+			n += resultFootprint(k, v)
+		}
+		return n
+	}
+	c.put("a", mk(100))
+	c.put("b", mk(200))
+	if got, want := c.bytes(), sum(map[string]*ClusterResult{"a": mk(100), "b": mk(200)}); got != want {
+		t.Fatalf("bytes after inserts = %d, want %d", got, want)
+	}
+	// Refresh a with a bigger value: delta applied, no double count.
+	c.put("a", mk(500))
+	if got, want := c.bytes(), sum(map[string]*ClusterResult{"a": mk(500), "b": mk(200)}); got != want {
+		t.Fatalf("bytes after refresh = %d, want %d", got, want)
+	}
+	// Insert c: evicts b (a was refreshed more recently).
+	c.put("c", mk(50))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, want := c.bytes(), sum(map[string]*ClusterResult{"a": mk(500), "c": mk(50)}); got != want {
+		t.Fatalf("bytes after eviction = %d, want %d", got, want)
+	}
+}
+
+// TestDetachResult pins copy-on-store: the detached copy shares no member
+// memory with the original, so a cached entry can never alias a result
+// arena that is released when the response write completes.
+func TestDetachResult(t *testing.T) {
+	orig := &ClusterResult{Seeds: []uint32{1}, Members: []uint32{10, 20, 30}, Size: 3}
+	dup := detachResult(orig)
+	if &dup.Members[0] == &orig.Members[0] {
+		t.Fatal("detached copy aliases the original member slice")
+	}
+	orig.Members[0] = 99 // simulate the arena being recycled
+	if dup.Members[0] != 10 {
+		t.Fatalf("detached copy changed with the original: %d", dup.Members[0])
+	}
+	// nil members stay nil (null on the wire), not empty.
+	if got := detachResult(&ClusterResult{}); got.Members != nil {
+		t.Fatalf("detach invented a members slice: %v", got.Members)
+	}
+}
+
+// TestCachedResponseSurvivesArenaRecycling is the end-to-end copy-on-store
+// check: answer a query (borrowed), release its arena, run unrelated
+// queries that recycle the same arena memory, then re-read the first
+// answer from the cache — it must be unchanged.
+func TestCachedResponseSurvivesArenaRecycling(t *testing.T) {
+	g := gen.SBM(1, []int{64, 64}, 10, 2, 9)
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", g)
+	eng := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 16})
+	ctx := context.Background()
+
+	req := &ClusterRequest{Graph: "g", Seeds: []uint32{0}, Params: Params{Alpha: 0.05, Epsilon: 0.0001}}
+	resp1, release, err := eng.ClusterBorrowed(ctx, req)
+	if err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	want := append([]uint32(nil), resp1.Results[0].Members...)
+	release() // arena back in the pool; resp1.Results[0].Members is now dead
+
+	// Churn the pool with different queries so the recycled arena memory is
+	// overwritten.
+	for i := uint32(64); i < 72; i++ {
+		r, rel, err := eng.ClusterBorrowed(ctx, &ClusterRequest{
+			Graph: "g", Seeds: []uint32{i}, NoCache: true,
+			Params: Params{Alpha: 0.05, Epsilon: 0.0001},
+		})
+		if err != nil {
+			t.Fatalf("churn query %d: %v", i, err)
+		}
+		_ = r
+		rel()
+	}
+
+	resp2, release2, err := eng.ClusterBorrowed(ctx, req)
+	if err != nil {
+		t.Fatalf("cached re-read: %v", err)
+	}
+	defer release2()
+	if !resp2.Results[0].Cached {
+		t.Fatal("second identical query was not served from the cache")
+	}
+	got := resp2.Results[0].Members
+	if len(got) != len(want) {
+		t.Fatalf("cached members length changed: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached members[%d] = %d, want %d — cache aliased recycled arena memory", i, got[i], want[i])
+		}
 	}
 }

@@ -134,6 +134,7 @@ func (e *Engine) resolveProcs(req int) int {
 func (e *Engine) Stats() EngineStats {
 	e.cacheMu.Lock()
 	entries := e.cache.len()
+	cacheBytes := e.cache.bytes()
 	e.cacheMu.Unlock()
 	s := EngineStats{
 		Queries:      e.queries.Load(),
@@ -142,6 +143,7 @@ func (e *Engine) Stats() EngineStats {
 		CacheHits:    e.hits.Load(),
 		CacheMisses:  e.misses.Load(),
 		CacheEntries: entries,
+		CacheBytes:   cacheBytes,
 		Diffusions:   e.diffusions.Load(),
 		FrontierModes: api.FrontierModeCounts{
 			Auto:   e.modeCounts[core.FrontierAuto].Load(),
@@ -223,7 +225,79 @@ func resolveParams(algo string, p Params, defaultFrontier core.FrontierMode) (re
 	default:
 		return resolved{}, fmt.Errorf("%w: unknown algo %q (want nibble, prnibble, hkpr, randhk or evolving)", ErrBadRequest, algo)
 	}
+	if err := validateParams(p); err != nil {
+		return resolved{}, err
+	}
 	return resolved{algo: algo, p: p, frontier: frontier}, nil
+}
+
+// Parameter bounds: a single request must not be able to demand unbounded
+// work or push an algorithm outside its convergent regime. The caps sit an
+// order of magnitude or more beyond everything the paper's own experiments
+// use (Table 3; §3.5 uses 1e5 walks), so real workloads never hit them,
+// while a hostile or fuzzed request fails fast with a 400 instead of
+// spinning the proc pool.
+const (
+	maxIterations = 100000   // nibble T / evolving max_iter
+	maxTaylorN    = 10000    // HK-PR Taylor degree
+	maxWalkLen    = 1000000  // rand-HK-PR walk length cap K
+	maxWalks      = 10000000 // rand-HK-PR walk count
+	maxHeatT      = 10000.0  // heat kernel temperature
+	// minAlpha / minEpsilon floor the rates whose inverses bound the push
+	// algorithms' work (PR-Nibble runs O(1/(eps*alpha)) pushes): without a
+	// floor, alpha=1e-12 is "inside (0,1)" yet demands effectively
+	// unbounded work. Both floors sit orders of magnitude beyond the
+	// paper's extremes (alpha down to 0.001, eps down to 1e-8).
+	minAlpha   = 1e-6
+	minEpsilon = 1e-12
+)
+
+// validateParams rejects fully-defaulted parameters that are outside their
+// algorithms' sane (convergent, boundable-work) ranges. Fields the selected
+// algorithm does not consult are zero (or client-sent garbage) and are
+// still range-checked when non-zero, so an out-of-range value is reported
+// even on a parameter the algorithm would ignore.
+func validateParams(p Params) error {
+	bad := func(field string, format string, args ...any) error {
+		return fmt.Errorf("%w: %s %s", ErrBadRequest, field, fmt.Sprintf(format, args...))
+	}
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return bad("alpha", "%g outside (0,1)", p.Alpha)
+	}
+	if p.Alpha != 0 && p.Alpha < minAlpha {
+		return bad("alpha", "%g below the work floor %g", p.Alpha, minAlpha)
+	}
+	if p.Epsilon < 0 || p.Epsilon >= 1 {
+		return bad("epsilon", "%g outside (0,1)", p.Epsilon)
+	}
+	if p.Epsilon != 0 && p.Epsilon < minEpsilon {
+		return bad("epsilon", "%g below the work floor %g", p.Epsilon, minEpsilon)
+	}
+	if p.Beta < 0 || p.Beta > 1 {
+		return bad("beta", "%g outside [0,1]", p.Beta)
+	}
+	if p.T > maxIterations {
+		return bad("t", "%d exceeds the iteration cap %d", p.T, maxIterations)
+	}
+	if p.MaxIter > maxIterations {
+		return bad("max_iter", "%d exceeds the iteration cap %d", p.MaxIter, maxIterations)
+	}
+	if p.HeatT > maxHeatT {
+		return bad("heat_t", "%g exceeds the cap %g", p.HeatT, maxHeatT)
+	}
+	if p.N > maxTaylorN {
+		return bad("n", "%d exceeds the cap %d", p.N, maxTaylorN)
+	}
+	if p.K > maxWalkLen {
+		return bad("k", "%d exceeds the cap %d", p.K, maxWalkLen)
+	}
+	if p.Walks > maxWalks {
+		return bad("walks", "%d exceeds the cap %d", p.Walks, maxWalks)
+	}
+	if p.TargetPhi < 0 || p.TargetPhi > 1 {
+		return bad("target_phi", "%g outside [0,1]", p.TargetPhi)
+	}
+	return nil
 }
 
 // key builds the canonical cache key for one unit of work. Only parameters
@@ -256,26 +330,61 @@ func (r resolved) key(graphName string, seeds []uint32) string {
 	return b.String()
 }
 
-// Cluster answers a ClusterRequest: validate, resolve the graph, fan the
-// units (one per seed, or one for the whole seed set) across the worker
-// pool with cache lookups in front, and aggregate. The context bounds
-// graph-load waits and pool queueing; a diffusion already running is not
-// interrupted.
+// Cluster answers a ClusterRequest with a response that owns all of its
+// memory: every borrowed slice is detached (copied) and the arenas are
+// recycled before it returns. Use ClusterBorrowed on the serving hot path,
+// where the response is immediately serialized and the copies are waste.
 func (e *Engine) Cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, error) {
+	resp, release, err := e.ClusterBorrowed(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	for i := range resp.Results {
+		resp.Results[i].Members = append([]uint32(nil), resp.Results[i].Members...)
+	}
+	release()
+	return resp, nil
+}
+
+// ClusterBorrowed answers a ClusterRequest: validate, resolve the graph,
+// fan the units (one per seed, or one for the whole seed set) across the
+// worker pool with cache lookups in front, and aggregate. The context
+// bounds graph-load waits and pool queueing; a diffusion already running is
+// not interrupted.
+//
+// The response's per-result Members slices may borrow memory from the
+// graph's result-arena pool. The caller must call release — exactly once,
+// on every path, including after a failed or abandoned response write —
+// after the last read of the response; release is idempotent and recycles
+// the arenas. On error the arenas are already released and release is nil.
+func (e *Engine) ClusterBorrowed(ctx context.Context, req *ClusterRequest) (*ClusterResponse, func(), error) {
 	start := time.Now()
 	e.queries.Add(1)
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 
-	resp, err := e.cluster(ctx, req)
+	resp, arenas, err := e.cluster(ctx, req)
 	if err != nil {
 		e.errors.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
 	e.latencyUS.Add(time.Since(start).Microseconds())
 	e.completed.Add(1)
 	resp.Aggregate.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
-	return resp, nil
+	var once sync.Once
+	release := func() {
+		once.Do(func() { releaseArenas(arenas) })
+	}
+	return resp, release, nil
+}
+
+// releaseArenas returns every checked-out arena of a response to its pool.
+func releaseArenas(arenas []*workspace.Result) {
+	for _, a := range arenas {
+		if a != nil {
+			a.Release()
+		}
+	}
 }
 
 // Request-size bounds: a single request must not be able to monopolize the
@@ -287,29 +396,29 @@ const (
 	maxNCPRuns         = 100000
 )
 
-func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, error) {
+func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, []*workspace.Result, error) {
 	if len(req.Seeds) == 0 {
-		return nil, fmt.Errorf("%w: empty seed list", ErrBadRequest)
+		return nil, nil, fmt.Errorf("%w: empty seed list", ErrBadRequest)
 	}
 	if len(req.Seeds) > maxSeedsPerRequest {
-		return nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
+		return nil, nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
 	}
 	rp, err := resolveParams(req.Algo, req.Params, e.defaultFrontier)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if rp.algo == "evolving" && req.SeedSet && len(req.Seeds) > 1 {
-		return nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
+		return nil, nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
 	}
 	g, wsPool, err := e.reg.GetWithWorkspace(ctx, req.Graph)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := g.NumVertices()
 	for _, s := range req.Seeds {
 		// Compare in uint64: int(s) can wrap negative on 32-bit platforms.
 		if uint64(s) >= uint64(n) {
-			return nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, n)
+			return nil, nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, n)
 		}
 	}
 	procs := e.resolveProcs(req.Procs)
@@ -339,6 +448,7 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 		workers = 1
 	}
 	results := make([]ClusterResult, len(units))
+	arenas := make([]*workspace.Result, len(units))
 	errs := make([]error, len(units))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -351,19 +461,23 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 				if i >= len(units) {
 					return
 				}
-				res, err := e.runCached(ctx, g, wsPool, req.Graph, units[i], rp, procs, req.NoCache)
+				res, arena, err := e.runCached(ctx, g, wsPool, req.Graph, units[i], rp, procs, req.NoCache)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
 				results[i] = trim(res, req.MaxMembers)
+				arenas[i] = arena
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			// Units that did succeed have arenas checked out; recycle them
+			// before abandoning the batch.
+			releaseArenas(arenas)
+			return nil, nil, err
 		}
 	}
 
@@ -375,7 +489,7 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 		Results:  results,
 	}
 	resp.Aggregate = aggregate(results)
-	return resp, nil
+	return resp, arenas, nil
 }
 
 // flight is one in-progress computation of a cache key.
@@ -390,15 +504,16 @@ type flight struct {
 // Concurrent misses on the same key coalesce into one computation; NoCache
 // requests bypass both the cache and the coalescing (they demand a fresh
 // run) but still store their result.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, error) {
+//
+// A non-nil returned arena backs the result's Members slice and is owned by
+// the caller (released after the response is written). Cache hits and
+// flight followers return owned memory and a nil arena: only the goroutine
+// that actually ran the diffusion holds borrowed memory.
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
 	key := rp.key(graphName, seeds)
 	if noCache {
-		res, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
-		if err != nil {
-			return nil, err
-		}
-		out := *res
-		return &out, nil
+		res, _, arena, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
+		return res, arena, err
 	}
 	for {
 		e.cacheMu.Lock()
@@ -408,7 +523,7 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 			e.hits.Add(1)
 			hit := *res // callers get a copy; the cached value stays immutable
 			hit.Cached = true
-			return &hit, nil
+			return &hit, nil, nil
 		}
 		e.flightMu.Lock()
 		if f, ok := e.flights[key]; ok {
@@ -424,9 +539,9 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 				e.hits.Add(1) // served without re-running the diffusion
 				hit := *f.res
 				hit.Cached = true
-				return &hit, nil
+				return &hit, nil, nil
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 		}
 		f := &flight{done: make(chan struct{})}
@@ -434,37 +549,56 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 		e.flightMu.Unlock()
 		e.misses.Add(1) // only lookups that happened count toward the hit rate
 
-		f.res, f.err = e.compute(ctx, g, wsPool, key, seeds, rp, procs)
+		res, owned, arena, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
+		if err == nil {
+			// Followers may outlive this unit's arena (it is released once
+			// our response is written), so the flight publishes an owned
+			// copy — the same one the cache stored (made here when caching
+			// is off and compute skipped it).
+			if owned == nil {
+				owned = detachResult(res)
+			}
+			f.res = owned
+		}
+		f.err = err
 		e.flightMu.Lock()
 		delete(e.flights, key)
 		e.flightMu.Unlock()
 		close(f.done)
-		if f.err != nil {
-			return nil, f.err
+		if err != nil {
+			return nil, nil, err
 		}
-		out := *f.res
-		return &out, nil
+		return res, arena, nil
 	}
 }
 
-// compute runs one diffusion under the proc pool and stores the result.
-// The workspace is borrowed inside the core entry points, after the proc
-// gate: a request cancelled while queueing never checks an arena out.
-func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, key string, seeds []uint32, rp resolved, procs int) (*ClusterResult, error) {
+// compute runs one diffusion under the proc pool and stores an owned copy
+// of the result in the cache (copy-on-store: the cache must never alias an
+// arena that is released when the response write finishes — see cache.go).
+// The workspace and result arena are borrowed after the proc gate: a
+// request cancelled while queueing never checks anything out. The returned
+// arena backs the returned (borrowed) result and is owned by the caller;
+// owned is the cache's detached copy, nil when caching is disabled.
+func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, key string, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
 	if err := e.pool.acquire(ctx, procs); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	res := e.runUnit(g, wsPool, seeds, rp, procs)
+	arena = wsPool.AcquireResult()
+	res = e.runUnit(g, wsPool, arena, seeds, rp, procs)
 	e.pool.release(procs)
-	e.cacheMu.Lock()
-	e.cache.put(key, res)
-	e.cacheMu.Unlock()
-	return res, nil
+	if e.cache != nil {
+		owned = detachResult(res)
+		e.cacheMu.Lock()
+		e.cache.put(key, owned)
+		e.cacheMu.Unlock()
+	}
+	return res, owned, arena, nil
 }
 
 // runUnit executes one diffusion + sweep (or evolving set run), borrowing
-// graph-sized scratch state from the graph's workspace pool.
-func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, seeds []uint32, rp resolved, procs int) *ClusterResult {
+// graph-sized scratch state from the graph's workspace pool and snapshotting
+// the result into arena.
+func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int) *ClusterResult {
 	e.diffusions.Add(1)
 	if rp.algo != "randhk" {
 		// rand-HK-PR aggregates walk endpoints and never touches the
@@ -476,7 +610,7 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, seeds []uint32, r
 		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
 			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
 			Seed: p.WalkSeed, Procs: procs, Frontier: rp.frontier,
-			Workspace: wsPool,
+			Workspace: wsPool, Result: arena,
 		})
 		return &ClusterResult{
 			Seeds: seeds, Members: res.Set, Size: len(res.Set),
@@ -485,7 +619,7 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, seeds []uint32, r
 	}
 	var vec *sparse.Map
 	var st core.Stats
-	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool}
+	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool, Result: arena}
 	switch rp.algo {
 	case "nibble":
 		vec, st = core.NibbleRun(g, seeds, p.Epsilon, p.T, cfg)
@@ -498,20 +632,21 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, seeds []uint32, r
 	case "hkpr":
 		vec, st = core.HKPRRun(g, seeds, p.HeatT, p.N, p.Epsilon, cfg)
 	case "randhk":
-		vec, st = core.RandHKPRParFrom(g, seeds, p.HeatT, p.K, p.Walks, p.WalkSeed, procs)
+		vec, st = core.RandHKPRRun(g, seeds, p.HeatT, p.K, p.Walks, p.WalkSeed, cfg)
 	default:
 		panic("service: unreachable algo " + rp.algo) // resolveParams validated
 	}
-	return sweepResult(g, seeds, procs, vec, st)
+	return sweepResult(g, seeds, procs, arena, vec, st)
 }
 
-// sweepResult rounds a diffusion vector into a ClusterResult.
-func sweepResult(g *graph.CSR, seeds []uint32, procs int, vec *sparse.Map, st core.Stats) *ClusterResult {
+// sweepResult rounds a diffusion vector into a ClusterResult whose Members
+// slice is borrowed from arena.
+func sweepResult(g *graph.CSR, seeds []uint32, procs int, arena *workspace.Result, vec *sparse.Map, st core.Stats) *ClusterResult {
 	out := &ClusterResult{Seeds: seeds, Stats: st, Conductance: 1}
 	if vec.Len() == 0 {
 		return out
 	}
-	res := core.SweepCutPar(g, vec, procs)
+	res := core.SweepCutParInto(g, vec, procs, arena)
 	out.Members = res.Cluster
 	out.Size = len(res.Cluster)
 	out.Conductance = res.Conductance

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parcluster/internal/api"
+	"parcluster/internal/graph"
+)
+
+// fuzzServer builds one server over a small fixed graph for the fuzz
+// targets: two 8-cliques joined by a single bridge edge, so every algorithm
+// has a real cluster to find.
+func fuzzServer() *Server {
+	var edges []graph.Edge
+	for c := uint32(0); c < 2; c++ {
+		base := c * 8
+		for i := uint32(0); i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j})
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 8})
+	g := graph.FromEdges(1, 0, edges)
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", g)
+	eng := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 64})
+	srv := NewServer(eng)
+	srv.Logf = func(string, ...any) {} // panics still surface; noise does not
+	return srv
+}
+
+// FuzzClusterRequest throws arbitrary bytes at the full /v1/cluster path:
+// JSON decoding, parameter validation, dispatch into the diffusion kernels,
+// and the streaming response encoder. The handler must never panic, every
+// non-200 must carry a JSON error body, and every 200 body must round-trip
+// through encoding/json back to the exact bytes the streaming encoder
+// produced (the two encoders agree on canonical form).
+func FuzzClusterRequest(f *testing.F) {
+	f.Add([]byte(`{"graph":"g","seeds":[0]}`))
+	f.Add([]byte(`{"graph":"g","algo":"nibble","seeds":[0,8],"params":{"epsilon":1e-7,"t":10}}`))
+	f.Add([]byte(`{"graph":"g","algo":"hkpr","seeds":[1,2,3],"seed_set":true,"max_members":2}`))
+	f.Add([]byte(`{"graph":"g","algo":"randhk","seeds":[4],"params":{"walks":500,"walk_seed":7}}`))
+	f.Add([]byte(`{"graph":"g","algo":"evolving","seeds":[9],"params":{"max_iter":20,"walk_seed":3}}`))
+	f.Add([]byte(`{"graph":"nope","seeds":[0]}`))
+	f.Add([]byte(`{"graph":"g","seeds":[0],"params":{"alpha":99}}`))
+	f.Add([]byte(`{"graph":"g","seeds":[0],"no_cache":true,"procs":-3}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"graph":"g","seeds":[0]} trailing`))
+	srv := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/cluster", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic, whatever the body
+		requireJSONAnswer(t, rec, body)
+	})
+}
+
+// requireJSONAnswer checks the handler's reply invariants for any input.
+func requireJSONAnswer(t *testing.T, rec *httptest.ResponseRecorder, body []byte) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q for body %q", ct, body)
+	}
+	if rec.Code != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("status %d without a JSON error body: %q (req %q)", rec.Code, rec.Body.Bytes(), body)
+		}
+		return
+	}
+	var resp api.ClusterResponse
+	dec := json.NewDecoder(bytes.NewReader(rec.Body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("200 body does not decode into ClusterResponse: %v\nbody: %q", err, rec.Body.Bytes())
+	}
+	// Round-trip: decoding the streamed body and re-encoding it — with the
+	// stdlib encoder and with the streaming encoder — must reproduce the
+	// exact served bytes. This pins that the stream is canonical JSON and
+	// that the two encoders cannot drift apart on any reachable response.
+	var stdlib bytes.Buffer
+	if err := json.NewEncoder(&stdlib).Encode(&resp); err != nil {
+		t.Fatalf("re-encoding decoded response: %v", err)
+	}
+	if !bytes.Equal(stdlib.Bytes(), rec.Body.Bytes()) {
+		t.Fatalf("served body is not canonical\nserved  %q\nre-enc %q", rec.Body.Bytes(), stdlib.Bytes())
+	}
+	var streamed bytes.Buffer
+	if err := api.WriteClusterResponse(&streamed, &resp); err != nil {
+		t.Fatalf("streaming re-encode: %v", err)
+	}
+	if !bytes.Equal(streamed.Bytes(), rec.Body.Bytes()) {
+		t.Fatalf("streaming re-encode diverges\nserved %q\nstream %q", rec.Body.Bytes(), streamed.Bytes())
+	}
+}
+
+// TestClusterRequestSeedCorpus replays the seed corpus through the fuzz
+// body under `go test` (no -fuzz flag), so the dispatch invariants run in
+// every CI test job, race included.
+func TestClusterRequestSeedCorpus(t *testing.T) {
+	srv := fuzzServer()
+	bodies := []string{
+		`{"graph":"g","seeds":[0]}`,
+		`{"graph":"g","algo":"prnibble","seeds":[0,1,2],"params":{"beta":0.5}}`,
+		`{"graph":"g","algo":"evolving","seeds":[15],"params":{"max_iter":30,"grow_only":true}}`,
+		`{"graph":"g","algo":"randhk","seeds":[2],"params":{"walks":200}}`,
+		`{"graph":"g","seeds":[]}`,
+		`{"graph":"g","seeds":[99]}`,
+		`{"graph":"g","seeds":[0],"params":{"walks":100000000}}`,
+		`{"graph":"g","seeds":[0],"params":{"epsilon":2}}`,
+		`{"graph":"g","seeds":[0],"params":{"alpha":1e-12}}`,
+		`{"graph":"g","seeds":[0],"params":{"epsilon":1e-300}}`,
+		`{}`,
+		`[]`,
+	}
+	for _, body := range bodies {
+		req := httptest.NewRequest(http.MethodPost, "/v1/cluster", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		requireJSONAnswer(t, rec, []byte(body))
+	}
+}

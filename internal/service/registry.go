@@ -215,12 +215,17 @@ func (r *Registry) WorkspaceStats() api.WorkspaceStats {
 	for _, p := range pools {
 		s := p.Stats()
 		out.Add(api.WorkspaceStats{
-			Pools:         1,
-			Acquires:      s.Acquires,
-			Hits:          s.Hits,
-			Misses:        s.Misses,
-			Releases:      s.Releases,
-			BytesRecycled: s.BytesRecycled,
+			Pools:               1,
+			Acquires:            s.Acquires,
+			Hits:                s.Hits,
+			Misses:              s.Misses,
+			Releases:            s.Releases,
+			BytesRecycled:       s.BytesRecycled,
+			ResultAcquires:      s.ResultAcquires,
+			ResultHits:          s.ResultHits,
+			ResultMisses:        s.ResultMisses,
+			ResultReleases:      s.ResultReleases,
+			ResultBytesRecycled: s.ResultBytesRecycled,
 		})
 	}
 	return out

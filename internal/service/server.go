@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"parcluster/internal/api"
 )
 
 // maxBodyBytes bounds request bodies; a cluster request is a few KB even
@@ -28,6 +30,11 @@ const maxBodyBytes = 8 << 20
 // Errors come back as {"error": "..."} with 400 for invalid requests,
 // 404 for unknown graphs and 405 for wrong methods. Build one with
 // NewServer and mount it as an http.Handler.
+//
+// Cluster and NCP bodies are streamed through internal/api's encoders
+// straight from pooled result memory (byte-identical to a buffered
+// encoding/json marshal); the borrowed arenas are released when the write
+// completes or the client disconnects.
 type Server struct {
 	eng     *Engine
 	mux     *http.ServeMux
@@ -98,6 +105,7 @@ func publishExpvar(e *Engine) {
 				total.CacheHits += st.CacheHits
 				total.CacheMisses += st.CacheMisses
 				total.CacheEntries += st.CacheEntries
+				total.CacheBytes += st.CacheBytes
 				total.Diffusions += st.Diffusions
 				total.GraphLoads += st.GraphLoads
 				total.ProcBudget += st.ProcBudget
@@ -188,12 +196,24 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.eng.Cluster(r.Context(), &req)
+	resp, release, err := s.eng.ClusterBorrowed(r.Context(), &req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	// The response borrows result-arena memory; stream it straight to the
+	// client and recycle the arenas afterwards. The deferred release runs
+	// on every exit — a completed write, a mid-stream client disconnect, or
+	// a panicking ResponseWriter — so arenas cannot leak to slow or
+	// vanishing clients.
+	defer release()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := api.WriteClusterResponse(w, resp); err != nil {
+		// Almost always the client going away mid-body; the status is sent,
+		// so all we can do is log and drop the connection.
+		s.logf("lgc-serve: streaming cluster response: %v", err)
+	}
 }
 
 func (s *Server) handleNCP(w http.ResponseWriter, r *http.Request) {
@@ -210,7 +230,11 @@ func (s *Server) handleNCP(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := api.WriteNCPResponse(w, resp); err != nil {
+		s.logf("lgc-serve: streaming ncp response: %v", err)
+	}
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parcluster/internal/api"
+	"parcluster/internal/gen"
+)
+
+// streamTestServer builds an httptest server over a planted-partition graph
+// big enough that cluster responses dwarf the kernel socket buffers.
+func streamTestServer(t *testing.T) (*httptest.Server, *Engine, *Server) {
+	t.Helper()
+	g := gen.SBM(0, []int{2048, 2048}, 24, 2, 7)
+	reg := NewRegistry(0, false)
+	reg.RegisterGraph("g", g)
+	eng := NewEngine(reg, Config{CacheSize: 64})
+	srv := NewServer(eng)
+	srv.Logf = func(string, ...any) {}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, eng, srv
+}
+
+// TestStreamedBodyMatchesBufferedMarshal proves the streamed /v1/cluster
+// and /v1/ncp bodies are byte-identical to what the old buffered
+// json.Encoder path would have produced for the same response value:
+// decoding the streamed body and re-marshalling it with encoding/json must
+// reproduce the body exactly (encoding/json is canonical — Marshal of an
+// Unmarshal fixpoint — so any deviation in the stream would survive the
+// round trip and show up here).
+func TestStreamedBodyMatchesBufferedMarshal(t *testing.T) {
+	ts, _, _ := streamTestServer(t)
+	t.Run("cluster", func(t *testing.T) {
+		for _, reqBody := range []string{
+			`{"graph":"g","seeds":[0,1,2048],"params":{"alpha":0.05,"epsilon":0.0001}}`,
+			`{"graph":"g","algo":"hkpr","seeds":[5,6],"seed_set":true,"params":{"n":10,"epsilon":0.0001}}`,
+			`{"graph":"g","algo":"randhk","seeds":[9],"params":{"walks":2000}}`,
+			`{"graph":"g","seeds":[3],"max_members":4,"params":{"alpha":0.05,"epsilon":0.0001}}`,
+		} {
+			resp, err := http.Post(ts.URL+"/v1/cluster", "application/json", strings.NewReader(reqBody))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d err %v body %q", resp.StatusCode, err, body)
+			}
+			var decoded api.ClusterResponse
+			dec := json.NewDecoder(bytes.NewReader(body))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&decoded); err != nil {
+				t.Fatalf("decoding streamed body: %v", err)
+			}
+			var buffered bytes.Buffer
+			if err := json.NewEncoder(&buffered).Encode(&decoded); err != nil {
+				t.Fatalf("buffered re-marshal: %v", err)
+			}
+			if !bytes.Equal(buffered.Bytes(), body) {
+				t.Fatalf("streamed body differs from buffered marshal\nstreamed %q\nbuffered %q", body, buffered.Bytes())
+			}
+		}
+	})
+	t.Run("ncp", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/ncp", "application/json",
+			strings.NewReader(`{"graph":"g","seeds":5,"alphas":[0.05],"epsilons":[0.0001],"rng_seed":1}`))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d err %v body %q", resp.StatusCode, err, body)
+		}
+		var decoded api.NCPResponse
+		if err := json.Unmarshal(body, &decoded); err != nil {
+			t.Fatalf("decoding streamed body: %v", err)
+		}
+		var buffered bytes.Buffer
+		if err := json.NewEncoder(&buffered).Encode(&decoded); err != nil {
+			t.Fatalf("buffered re-marshal: %v", err)
+		}
+		if !bytes.Equal(buffered.Bytes(), body) {
+			t.Fatalf("streamed ncp body differs from buffered marshal\nstreamed %q\nbuffered %q", body, buffered.Bytes())
+		}
+	})
+}
+
+// waitForArenaDrain polls until every acquired result arena has been
+// released (or the deadline passes).
+func waitForArenaDrain(t *testing.T, eng *Engine) api.WorkspaceStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ws := eng.Stats().Workspace
+		if ws.ResultAcquires == ws.ResultReleases {
+			return ws
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("result arenas leaked: acquires=%d releases=%d", ws.ResultAcquires, ws.ResultReleases)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamReleasesArenasOnCompletion pins the no-leak invariant on the
+// happy path: after a batch of successful streamed responses, every result
+// arena is back in its pool and the recycling counters show reuse.
+func TestStreamReleasesArenasOnCompletion(t *testing.T) {
+	ts, eng, _ := streamTestServer(t)
+	for i := 0; i < 8; i++ {
+		// no_cache so every request runs real diffusions and checks out
+		// fresh arenas rather than hitting the result cache.
+		body := fmt.Sprintf(`{"graph":"g","seeds":[%d,%d],"no_cache":true,"params":{"alpha":0.05,"epsilon":0.0001}}`, i, 2048+i)
+		resp, err := http.Post(ts.URL+"/v1/cluster", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("reading body: %v", err)
+		}
+		resp.Body.Close()
+	}
+	ws := waitForArenaDrain(t, eng)
+	if ws.ResultAcquires < 16 {
+		t.Fatalf("expected >= 16 arena checkouts, got %d", ws.ResultAcquires)
+	}
+	if ws.ResultHits == 0 {
+		t.Fatalf("steady-state requests never recycled an arena: %+v", ws)
+	}
+}
+
+// TestStreamReleasesArenasOnClientDisconnect is the mid-stream disconnect
+// test: a client that requests a multi-megabyte response and slams the
+// connection after the first few bytes must not leak the borrowed result
+// arenas — the handler's deferred release runs when the write fails.
+func TestStreamReleasesArenasOnClientDisconnect(t *testing.T) {
+	ts, eng, srv := streamTestServer(t)
+	var logMu sync.Mutex
+	var streamErrors int
+	srv.Logf = func(format string, args ...any) {
+		if strings.Contains(format, "streaming") {
+			logMu.Lock()
+			streamErrors++
+			logMu.Unlock()
+		}
+	}
+	// Many HK-PR units (cheap: 10 Taylor levels each) whose sweeps each
+	// list a community-sized cluster push the response well past every
+	// socket and http buffer, so the server is still writing long after the
+	// client vanishes.
+	seeds := make([]string, 192)
+	for i := range seeds {
+		seeds[i] = fmt.Sprintf("%d", i*16)
+	}
+	reqBody := `{"graph":"g","algo":"hkpr","no_cache":true,"params":{"n":10,"epsilon":0.0001},"seeds":[` +
+		strings.Join(seeds, ",") + `]}`
+
+	// Sanity-check the premise once: fully read the response and require it
+	// to dwarf the client's 512-byte read plus plausible socket buffering,
+	// so the disconnect rounds below really abandon the server mid-write.
+	resp, err := http.Post(ts.URL+"/v1/cluster", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	full, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading full body: %v", err)
+	}
+	if full < 512<<10 {
+		t.Fatalf("disconnect-test response is only %d bytes; too small to outlive the client", full)
+	}
+
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/cluster", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatalf("building request: %v", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatalf("POST: %v", err)
+		}
+		// Read a token amount of the body, then tear the connection down
+		// mid-stream.
+		if _, err := io.ReadFull(resp.Body, make([]byte, 512)); err != nil {
+			t.Fatalf("reading first bytes: %v", err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+	ws := waitForArenaDrain(t, eng)
+	if ws.ResultAcquires == 0 {
+		t.Fatalf("disconnect test ran no pooled queries: %+v", ws)
+	}
+	logMu.Lock()
+	errs := streamErrors
+	logMu.Unlock()
+	if errs == 0 {
+		t.Fatalf("no handler ever observed a failed response write; the disconnect path was not exercised")
+	}
+}

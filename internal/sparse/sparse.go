@@ -128,6 +128,11 @@ func (m *Map) Delete(k uint32) { delete(m.m, k) }
 // Len returns the number of entries.
 func (m *Map) Len() int { return len(m.m) }
 
+// Clear removes all entries while keeping the map's storage, so a recycled
+// Map (see internal/workspace's result arena) refills without re-growing
+// its buckets.
+func (m *Map) Clear() { clear(m.m) }
+
 // ForEach calls fn for every entry, in unspecified order.
 func (m *Map) ForEach(fn func(k uint32, v float64)) {
 	for k, v := range m.m {
@@ -337,6 +342,14 @@ func (m *ConcurrentMap) Reset(p, capacity int) {
 		}
 	})
 	m.resetCount()
+}
+
+// ReusableFor reports whether Reset(p, capacity) would reuse the table's
+// current allocation rather than reallocating — the recycling-accounting
+// hook for pooled tables (see internal/workspace's result arena).
+func (m *ConcurrentMap) ReusableFor(capacity int) bool {
+	size := tableSize(capacity)
+	return size <= len(m.keys) && size*4 >= len(m.keys)
 }
 
 // Reserve grows the table (rehashing existing entries) so that extra more

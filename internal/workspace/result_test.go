@@ -1,0 +1,178 @@
+package workspace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResultArenaRecycling pins the steady-state contract: a released arena
+// comes back on the next AcquireResult (pointer identity via the hot slot),
+// its slab capacity is retained, and the hit/miss/bytes counters record the
+// recycling.
+func TestResultArenaRecycling(t *testing.T) {
+	p := NewPool(100)
+	r1 := p.AcquireResult()
+	ids := r1.Uint32s(1000)
+	if len(ids) != 1000 {
+		t.Fatalf("Uint32s(1000) returned len %d", len(ids))
+	}
+	r1.Release()
+	r2 := p.AcquireResult()
+	if r2 != r1 {
+		t.Fatalf("released arena was not recycled by the next acquire")
+	}
+	ids2 := r2.Uint32s(500)
+	if len(ids2) != 500 {
+		t.Fatalf("Uint32s(500) returned len %d", len(ids2))
+	}
+	if &ids2[0] != &ids[0] {
+		t.Fatalf("recycled slab did not reuse the retained backing array")
+	}
+	r2.Release()
+
+	st := p.Stats()
+	if st.ResultAcquires != 2 || st.ResultHits != 1 || st.ResultMisses != 1 || st.ResultReleases != 2 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if want := int64(500 * 4); st.ResultBytesRecycled != want {
+		t.Fatalf("ResultBytesRecycled = %d, want %d", st.ResultBytesRecycled, want)
+	}
+}
+
+// TestResultArenaZeroing pins that every slab window comes back zeroed even
+// when its memory is recycled dirty.
+func TestResultArenaZeroing(t *testing.T) {
+	r := NewResult()
+	a := r.Int64s(64)
+	for i := range a {
+		a[i] = -1
+	}
+	f := r.Float64s(64)
+	for i := range f {
+		f[i] = 3.14
+	}
+	r.Reset()
+	for i, v := range r.Int64s(64) {
+		if v != 0 {
+			t.Fatalf("Int64s[%d] = %d after Reset, want 0", i, v)
+		}
+	}
+	for i, v := range r.Float64s(64) {
+		if v != 0 {
+			t.Fatalf("Float64s[%d] = %v after Reset, want 0", i, v)
+		}
+	}
+}
+
+// TestResultArenaSubAllocation pins the within-checkout behaviour: windows
+// are disjoint, growth keeps earlier windows valid, and the recycled-bytes
+// accounting only counts memory that predates the checkout.
+func TestResultArenaSubAllocation(t *testing.T) {
+	p := NewPool(10)
+	r := p.AcquireResult()
+	a := r.Uint32s(10)
+	b := r.Uint32s(10)
+	a[9] = 7
+	if b[0] != 0 {
+		t.Fatalf("windows overlap: writing a[9] changed b[0]")
+	}
+	// Force growth; the earlier windows must stay usable.
+	c := r.Uint32s(1 << 16)
+	a[0], b[0], c[0] = 1, 2, 3
+	if a[0] != 1 || b[0] != 2 || c[0] != 3 {
+		t.Fatalf("windows corrupted after growth: %d %d %d", a[0], b[0], c[0])
+	}
+	if got := p.Stats().ResultBytesRecycled; got != 0 {
+		t.Fatalf("first checkout credited %d recycled bytes, want 0", got)
+	}
+	r.Release()
+}
+
+// TestResultArenaMapRecycling pins that the snapshot map is cleared between
+// checkouts but keeps its identity (bucket reuse), and the recycled-entry
+// accounting follows the previous support size.
+func TestResultArenaMapRecycling(t *testing.T) {
+	p := NewPool(10)
+	r := p.AcquireResult()
+	m := r.Map(4)
+	m.Set(1, 0.5)
+	m.Set(2, 0.25)
+	r.Release()
+
+	r = p.AcquireResult()
+	m2 := r.Map(8)
+	if m2 != m {
+		t.Fatalf("snapshot map was not recycled")
+	}
+	if m2.Len() != 0 {
+		t.Fatalf("recycled map still holds %d entries", m2.Len())
+	}
+	if got, want := p.Stats().ResultBytesRecycled, int64(12*2); got != want {
+		t.Fatalf("map recycling credited %d bytes, want %d", got, want)
+	}
+	r.Release()
+}
+
+// TestResultArenaHash pins the rank-table recycling contract: same table
+// back, cleared, with ReusableFor-gated byte credit.
+func TestResultArenaHash(t *testing.T) {
+	r := NewResult()
+	h := r.Hash(1, 100)
+	h.Set(42, 1)
+	r.Reset()
+	h2 := r.Hash(1, 100)
+	if h2 != h {
+		t.Fatalf("hash table was not recycled")
+	}
+	if h2.Len() != 0 || h2.Has(42) {
+		t.Fatalf("recycled hash table not cleared")
+	}
+}
+
+// TestResultArenaDoubleReleasePanics pins the ownership discipline.
+func TestResultArenaDoubleReleasePanics(t *testing.T) {
+	p := NewPool(10)
+	r := p.AcquireResult()
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double Release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+// TestResultArenaConcurrentCheckouts pins that concurrent acquires get
+// distinct arenas and the overflow tier keeps the books balanced.
+func TestResultArenaConcurrentCheckouts(t *testing.T) {
+	p := NewPool(100)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := p.AcquireResult()
+				ids := r.Uint32s(64)
+				for j := range ids {
+					ids[j] = uint32(w)
+				}
+				for _, v := range ids {
+					if v != uint32(w) {
+						panic("arena shared between goroutines")
+					}
+				}
+				r.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.ResultAcquires != workers*200 || st.ResultReleases != workers*200 {
+		t.Fatalf("unbalanced books: %+v", st)
+	}
+	if st.ResultHits+st.ResultMisses != st.ResultAcquires {
+		t.Fatalf("hits+misses != acquires: %+v", st)
+	}
+}

@@ -68,6 +68,19 @@ type Pool struct {
 	misses   atomic.Int64
 	releases atomic.Int64
 	recycled atomic.Int64 // bytes of graph-sized arrays served from the pool
+
+	// Result arenas (result.go) use the same two-tier storage, kept separate
+	// so a burst of slow response writes (arenas held until the client reads
+	// the body) cannot starve the diffusion scratch pool or vice versa.
+	resultMu       sync.Mutex
+	resultHot      *Result // single-slot LIFO fast path; nil when checked out
+	resultOverflow sync.Pool
+
+	resultAcquires atomic.Int64
+	resultHits     atomic.Int64
+	resultMisses   atomic.Int64
+	resultReleases atomic.Int64
+	resultRecycled atomic.Int64 // result-sized bytes served from recycled arenas
 }
 
 // NewPool returns an empty workspace pool for graphs with n vertices.
@@ -139,17 +152,38 @@ type PoolStats struct {
 	// arena a run never touches (e.g. dense scratch during a sparse-mode
 	// query) does not inflate the number.
 	BytesRecycled int64 `json:"bytes_recycled"`
+
+	// ResultAcquires counts AcquireResult calls (ResultHits + ResultMisses).
+	ResultAcquires int64 `json:"result_acquires"`
+	// ResultHits counts result-arena acquisitions served by recycling.
+	ResultHits int64 `json:"result_hits"`
+	// ResultMisses counts result-arena acquisitions that allocated fresh.
+	ResultMisses int64 `json:"result_misses"`
+	// ResultReleases counts result arenas returned to the pool. A healthy
+	// server keeps ResultReleases tracking ResultAcquires: the gap is the
+	// number of responses currently being written (a growing gap means a
+	// leak — a handler path that skipped Release).
+	ResultReleases int64 `json:"result_releases"`
+	// ResultBytesRecycled totals the result-sized bytes (snapshot map
+	// payloads, sweep arrays, member lists) served from recycled arenas
+	// instead of the allocator.
+	ResultBytesRecycled int64 `json:"result_bytes_recycled"`
 }
 
 // Stats snapshots the pool's counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Universe:      p.n,
-		Acquires:      p.acquires.Load(),
-		Hits:          p.hits.Load(),
-		Misses:        p.misses.Load(),
-		Releases:      p.releases.Load(),
-		BytesRecycled: p.recycled.Load(),
+		Universe:            p.n,
+		Acquires:            p.acquires.Load(),
+		Hits:                p.hits.Load(),
+		Misses:              p.misses.Load(),
+		Releases:            p.releases.Load(),
+		BytesRecycled:       p.recycled.Load(),
+		ResultAcquires:      p.resultAcquires.Load(),
+		ResultHits:          p.resultHits.Load(),
+		ResultMisses:        p.resultMisses.Load(),
+		ResultReleases:      p.resultReleases.Load(),
+		ResultBytesRecycled: p.resultRecycled.Load(),
 	}
 }
 

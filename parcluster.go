@@ -83,6 +83,25 @@ func NewWorkspacePool(g *Graph) *WorkspacePool {
 	return workspace.NewPool(g.NumVertices())
 }
 
+// ResultArena recycles the *result-sized* memory of a run — the returned
+// diffusion vector's map and, via SweepOptions.Result, the sweep's order,
+// member and conductance arrays — across queries, the counterpart of WorkspacePool for
+// state that must outlive the run that produced it. Check one out with
+// WorkspacePool.AcquireResult (or workspace.NewResult for an unpooled one),
+// pass it via the Result field of the algorithm options, read the returned
+// vector/sweep, then Release it; everything the run returned is recycled at
+// that point and must no longer be read. An arena serves one run at a time
+// and is not safe for concurrent use. Results are bit-identical with and
+// without an arena. See DESIGN.md §6 for the memory model.
+type ResultArena = workspace.Result
+
+// NewResultArena returns an unpooled result arena: borrowing behaves
+// identically, but Release returns the memory to the GC instead of a pool.
+// Steady-state callers should prefer WorkspacePool.AcquireResult.
+func NewResultArena() *ResultArena {
+	return workspace.NewResult()
+}
+
 // NCPPoint is one point of a network community profile.
 type NCPPoint = core.NCPPoint
 
@@ -156,6 +175,10 @@ type NibbleOptions struct {
 	// graph-sized scratch state from a per-graph pool instead of allocating
 	// per call (see WorkspacePool). Results are identical either way.
 	Workspace *WorkspacePool
+	// Result, when non-nil, is the arena the parallel version snapshots the
+	// returned vector into; the vector is then valid only until the arena
+	// is Released (see ResultArena). Results are identical either way.
+	Result *ResultArena
 }
 
 func (o *NibbleOptions) defaults() {
@@ -168,7 +191,7 @@ func (o *NibbleOptions) defaults() {
 }
 
 func (o *NibbleOptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
 }
 
 // Nibble runs the Nibble diffusion (§3.2) from seed and returns the
@@ -205,6 +228,10 @@ type PRNibbleOptions struct {
 	// graph-sized scratch state from a per-graph pool instead of allocating
 	// per call (see WorkspacePool). Results are identical either way.
 	Workspace *WorkspacePool
+	// Result, when non-nil, is the arena the parallel version snapshots the
+	// returned vector into; the vector is then valid only until the arena
+	// is Released (see ResultArena). Results are identical either way.
+	Result *ResultArena
 }
 
 func (o *PRNibbleOptions) defaults() {
@@ -222,7 +249,7 @@ func (o *PRNibbleOptions) defaults() {
 }
 
 func (o *PRNibbleOptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
 }
 
 // PRNibble runs the PageRank-Nibble diffusion (§3.3) from seed and returns
@@ -253,6 +280,10 @@ type HKPROptions struct {
 	// graph-sized scratch state from a per-graph pool instead of allocating
 	// per call (see WorkspacePool). Results are identical either way.
 	Workspace *WorkspacePool
+	// Result, when non-nil, is the arena the parallel version snapshots the
+	// returned vector into; the vector is then valid only until the arena
+	// is Released (see ResultArena). Results are identical either way.
+	Result *ResultArena
 }
 
 func (o *HKPROptions) defaults() {
@@ -268,7 +299,7 @@ func (o *HKPROptions) defaults() {
 }
 
 func (o *HKPROptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
 }
 
 // HKPR runs the deterministic heat kernel PageRank diffusion (§3.4) from
@@ -393,6 +424,11 @@ type SweepOptions struct {
 	// results.
 	Sequential bool
 	SortBased  bool
+	// Result, when non-nil, is the arena the default parallel sweep borrows
+	// its result (Cluster, Order, PrefixConductance) and scratch from; the
+	// returned slices are then valid only until the arena is Released (see
+	// ResultArena). Ignored by the Sequential and SortBased variants.
+	Result *ResultArena
 }
 
 // SweepCut rounds a diffusion vector into the minimum-conductance sweep
@@ -404,7 +440,7 @@ func SweepCut(g *Graph, vec *Vector, opts SweepOptions) SweepResult {
 	if opts.SortBased {
 		return core.SweepCutParSort(g, vec, opts.Procs)
 	}
-	return core.SweepCutPar(g, vec, opts.Procs)
+	return core.SweepCutParInto(g, vec, opts.Procs, opts.Result)
 }
 
 // Cluster is the end-to-end result of FindCluster.

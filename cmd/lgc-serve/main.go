@@ -24,6 +24,15 @@
 // iteration via Ligra's direction heuristic). Requests can override it per
 // query with params.frontier, and GET /v1/stats reports how many diffusions
 // ran under each mode. Results are identical in every mode.
+//
+// Scheduling: every request passes through the class/deadline scheduler
+// (internal/sched). -class-weights sets the per-class grant weights,
+// -default-deadline the deadline applied to requests that carry none,
+// -max-queue the per-class admission bound (excess requests get 429 +
+// Retry-After). On SIGTERM/SIGINT the server drains gracefully: admission
+// stops (new requests get 503, /healthz flips to draining), in-flight
+// queries and streams finish up to -drain-timeout, then the listener shuts
+// down.
 package main
 
 import (
@@ -35,30 +44,52 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"parcluster/internal/core"
+	"parcluster/internal/sched"
 	"parcluster/internal/service"
 )
 
+// serveConfig carries the parsed flag set into run.
+type serveConfig struct {
+	addr            string
+	procs           int
+	maxQProcs       int
+	cacheSize       int
+	dynamic         bool
+	preload         string
+	frontier        string
+	classWeights    string
+	defaultDeadline time.Duration
+	maxQueue        int
+	drainTimeout    time.Duration
+	graphs, gens    []string
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		procs     = flag.Int("procs", 0, "total worker budget shared by all queries (0 = all cores)")
-		maxQProcs = flag.Int("max-query-procs", 0, "per-query worker clamp (0 = the full budget)")
-		cacheSize = flag.Int("cache", 1024, "result cache capacity in entries (negative = disable)")
-		dynamic   = flag.Bool("dynamic", true, "allow generator specs as graph names in queries (capped at 64 distinct specs)")
-		preload   = flag.String("preload", "", "comma-separated graph names to load before serving")
-		frontier  = flag.String("frontier", "auto", "default frontier representation: auto, sparse, dense (requests may override)")
-	)
+	var cfg serveConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.procs, "procs", 0, "total worker budget shared by all queries (0 = all cores)")
+	flag.IntVar(&cfg.maxQProcs, "max-query-procs", 0, "per-query worker clamp (0 = the full budget)")
+	flag.IntVar(&cfg.cacheSize, "cache", 1024, "result cache capacity in entries (negative = disable)")
+	flag.BoolVar(&cfg.dynamic, "dynamic", true, "allow generator specs as graph names in queries (capped at 64 distinct specs)")
+	flag.StringVar(&cfg.preload, "preload", "", "comma-separated graph names to load before serving")
+	flag.StringVar(&cfg.frontier, "frontier", "auto", "default frontier representation: auto, sparse, dense (requests may override)")
+	flag.StringVar(&cfg.classWeights, "class-weights", "", "scheduler class weights as interactive=16,batch=4,background=1 (partial overrides allowed)")
+	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "deadline applied to requests without deadline_ms (0 = none)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "per-class admitted-request bound before 429s (0 = 256, negative = unbounded)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight work after SIGTERM")
 	var graphs, gens multiFlag
 	flag.Var(&graphs, "graph", "register a graph file as name=path (repeatable)")
 	flag.Var(&gens, "gen", "register a generator spec as name=spec (repeatable)")
 	flag.Parse()
+	cfg.graphs, cfg.gens = graphs, gens
 
-	if err := run(*addr, *procs, *maxQProcs, *cacheSize, *dynamic, *preload, *frontier, graphs, gens); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lgc-serve:", err)
 		os.Exit(1)
 	}
@@ -70,10 +101,41 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload, frontier string, graphs, gens []string) error {
+// parseClassWeights parses "interactive=16,batch=4,background=1" (any
+// subset; omitted classes keep their defaults, returned as 0).
+func parseClassWeights(s string) ([sched.NumClasses]int, error) {
+	var w [sched.NumClasses]int
+	if s == "" {
+		return w, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("%q: want class=weight", part)
+		}
+		cls, err := sched.ParseClass(strings.TrimSpace(name))
+		if err != nil || strings.TrimSpace(name) == "" {
+			return w, fmt.Errorf("%q: unknown class (want interactive, batch or background)", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 1 {
+			return w, fmt.Errorf("%q: weight must be a positive integer", part)
+		}
+		w[cls] = n
+	}
+	return w, nil
+}
+
+func run(cfg serveConfig) error {
+	addr, procs, maxQProcs, cacheSize := cfg.addr, cfg.procs, cfg.maxQProcs, cfg.cacheSize
+	dynamic, preload, frontier, graphs, gens := cfg.dynamic, cfg.preload, cfg.frontier, cfg.graphs, cfg.gens
 	mode, err := core.ParseFrontierMode(frontier)
 	if err != nil {
 		return fmt.Errorf("-frontier: %w", err)
+	}
+	weights, err := parseClassWeights(cfg.classWeights)
+	if err != nil {
+		return fmt.Errorf("-class-weights: %w", err)
 	}
 	reg := service.NewRegistry(procs, dynamic)
 	for _, spec := range graphs {
@@ -98,6 +160,9 @@ func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload, fr
 		MaxProcsPerQuery: maxQProcs,
 		CacheSize:        cacheSize,
 		DefaultFrontier:  mode,
+		ClassWeights:     weights,
+		MaxQueue:         cfg.maxQueue,
+		DefaultDeadline:  cfg.defaultDeadline,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,9 +183,10 @@ func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload, fr
 		}
 	}
 
+	handler := service.NewServer(eng)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.NewServer(eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -134,10 +200,23 @@ func run(addr string, procs, maxQProcs, cacheSize int, dynamic bool, preload, fr
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Graceful drain: stop admitting (new requests 503, healthz flips
+		// to draining for the load balancer), let admitted queries and
+		// streams finish up to the drain budget, then close the listener.
+		log.Printf("draining (budget %s)", cfg.drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancelDrain()
+		if err := handler.Drain(drainCtx); err != nil {
+			// Budget exhausted with requests still in flight: hard-close.
+			log.Printf("drain timed out with requests still in flight; forcing shutdown")
+			srv.Close()
+			<-errc
+			return fmt.Errorf("shutdown forced after %s drain timeout", cfg.drainTimeout)
+		}
+		// Every admitted request has finished; closing the listener and its
+		// idle connections is immediate.
+		log.Printf("drained; shutting down")
+		if err := srv.Shutdown(context.Background()); err != nil {
 			return err
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {

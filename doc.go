@@ -81,20 +81,33 @@
 //
 // Command lgc-serve turns the one-shot pipeline into a long-lived query
 // service for the paper's interactive-analyst workload: graphs load once
-// into a shared registry (concurrent loads are deduplicated), queries are
-// dispatched through a bounded worker pool so bursts cannot oversubscribe
-// the machine, and repeated queries are answered from an LRU result cache
-// — graphs are immutable and every algorithm is deterministic given its
-// parameters, so cached results never go stale.
+// into a shared registry (concurrent loads are deduplicated), and repeated
+// queries are answered from an LRU result cache — graphs are immutable and
+// every algorithm is deterministic given its parameters, so cached results
+// never go stale.
 //
 //	lgc-serve -addr :8080 -gen web=caveman:cliques=64,k=16
 //	curl -s localhost:8080/v1/cluster -d '{"graph":"web","seeds":[0,16,32]}'
 //
+// Every request runs under a scheduler (internal/sched) rather than a
+// plain worker pool: requests carry a priority class ("interactive" by
+// default, "batch", "background") whose configured weight sets its grant
+// share under saturation, an optional deadline_ms that is enforced end to
+// end (unmeetable work is rejected at admission, running kernels cancel at
+// their next round boundary), queued work is served round-robin across
+// graphs so one hot graph cannot starve the others, and per-class queue
+// bounds turn overload into fast 429 + Retry-After responses. SIGTERM
+// drains gracefully: admission stops while in-flight queries and streams
+// finish.
+//
 // It exposes POST /v1/cluster (batched multi-seed local clustering),
-// POST /v1/ncp (network community profiles), GET /v1/graphs, GET /v1/stats,
-// GET /healthz, and expvar counters at /debug/vars, all JSON over the
-// standard library's net/http. The request and response types are
-// re-exported by this package (ClusterRequest, ClusterResponse,
+// POST /v1/cluster/stream (the same batch as NDJSON, each seed's result
+// flushed as its diffusion completes — also via Accept:
+// application/x-ndjson on /v1/cluster), POST /v1/ncp (network community
+// profiles), GET /v1/graphs, GET /v1/stats (including the scheduler's
+// per-class counters), GET /healthz, and expvar counters at /debug/vars,
+// all JSON over the standard library's net/http. The request and response
+// types are re-exported by this package (ClusterRequest, ClusterResponse,
 // NCPRequest, ...); see examples/service for an in-process client and
 // cmd/lgc-serve/README.md for the endpoint reference with curl examples.
 //

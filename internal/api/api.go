@@ -64,6 +64,18 @@ type ClusterRequest struct {
 	// (0 = return all members). Size always reports the true size.
 	MaxMembers int    `json:"max_members,omitempty"`
 	Params     Params `json:"params,omitempty"`
+	// Class is the request's scheduling priority class: "interactive"
+	// (default), "batch" or "background". Under saturation the scheduler
+	// interleaves token grants by class weight, so interactive queries keep
+	// bounded latency while batch backlogs drain at their weighted share.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS is the request's deadline in milliseconds from arrival
+	// (0 = the server's default, if one is configured). Work whose deadline
+	// has already passed — or that admission control estimates cannot start
+	// in time — is rejected with a structured error instead of run; a
+	// deadline expiring mid-run cancels the remaining kernels at their next
+	// round boundary.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // ClusterResult is one cluster: the outcome of a single diffusion + sweep
@@ -118,6 +130,12 @@ type NCPRequest struct {
 	Envelope bool   `json:"envelope,omitempty"`
 	Procs    int    `json:"procs,omitempty"`
 	RNGSeed  uint64 `json:"rng_seed,omitempty"`
+	// Class is the scheduling priority class; an NCP profile defaults to
+	// "batch" (it is a many-diffusion scan, not an interactive probe).
+	Class string `json:"class,omitempty"`
+	// DeadlineMS is the deadline in milliseconds from arrival (0 = the
+	// server default); see ClusterRequest.DeadlineMS.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // NCPResponse is the reply to an NCPRequest.
@@ -201,6 +219,76 @@ func (w *WorkspaceStats) Add(o WorkspaceStats) {
 	w.ResultBytesRecycled += o.ResultBytesRecycled
 }
 
+// SchedClassStats is one priority class's scheduler counters.
+type SchedClassStats struct {
+	// Weight is the class's configured stride-scheduling weight: under
+	// saturation, classes receive token grants in proportion to it.
+	Weight int `json:"weight"`
+	// Admitted counts requests admitted into the class.
+	Admitted int64 `json:"admitted"`
+	// Rejected counts requests refused at admission because the class's
+	// queue bound was reached (the HTTP layer's 429s).
+	Rejected int64 `json:"rejected"`
+	// DeadlineMissed counts deadline failures: rejected at admission as
+	// unmeetable, expired while queued, or expired before a unit started.
+	DeadlineMissed int64 `json:"deadline_missed"`
+	// Completed counts unit token grants released (finished kernels).
+	Completed int64 `json:"completed"`
+	// QueueDepth is the number of unit waiters currently queued.
+	QueueDepth int `json:"queue_depth"`
+	// Open is the number of admitted requests not yet finished.
+	Open int `json:"open"`
+}
+
+// add accumulates o into s (counter fields only; Weight is configuration
+// and keeps the receiver's value).
+func (s *SchedClassStats) add(o SchedClassStats) {
+	if s.Weight == 0 {
+		s.Weight = o.Weight
+	}
+	s.Admitted += o.Admitted
+	s.Rejected += o.Rejected
+	s.DeadlineMissed += o.DeadlineMissed
+	s.Completed += o.Completed
+	s.QueueDepth += o.QueueDepth
+	s.Open += o.Open
+}
+
+// SchedStats is a snapshot of the request scheduler: the admission-control
+// and worker-token layer every query passes through (internal/sched).
+type SchedStats struct {
+	// Tokens and Avail are the total and currently free worker tokens.
+	Tokens int `json:"tokens"`
+	Avail  int `json:"avail"`
+	// Draining reports whether the scheduler has stopped admitting work
+	// (graceful shutdown in progress).
+	Draining bool `json:"draining"`
+	// Interactive, Batch and Background are the per-class counters.
+	Interactive SchedClassStats `json:"interactive"`
+	Batch       SchedClassStats `json:"batch"`
+	Background  SchedClassStats `json:"background"`
+	// GraphInFlight maps graph name to worker tokens currently granted
+	// against it — the per-graph fairness picture at a glance.
+	GraphInFlight map[string]int `json:"graph_in_flight,omitempty"`
+}
+
+// Add accumulates o into s, mirroring WorkspaceStats.Add for the expvar
+// cross-engine aggregation.
+func (s *SchedStats) Add(o SchedStats) {
+	s.Tokens += o.Tokens
+	s.Avail += o.Avail
+	s.Draining = s.Draining || o.Draining
+	s.Interactive.add(o.Interactive)
+	s.Batch.add(o.Batch)
+	s.Background.add(o.Background)
+	for g, n := range o.GraphInFlight {
+		if s.GraphInFlight == nil {
+			s.GraphInFlight = make(map[string]int, len(o.GraphInFlight))
+		}
+		s.GraphInFlight[g] += n
+	}
+}
+
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
@@ -219,6 +307,7 @@ type EngineStats struct {
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
 	GraphLoads    int64              `json:"graph_loads"`
 	Workspace     WorkspaceStats     `json:"workspace"`
+	Sched         SchedStats         `json:"sched"`
 	AvgLatencyMS  float64            `json:"avg_latency_ms"`
 	ProcBudget    int                `json:"proc_budget"`
 }

@@ -1,0 +1,175 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcluster/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the NDJSON golden file")
+
+// goldenStream writes one of every NDJSON record type with deliberately
+// awkward payloads: HTML-escapable graph names, exponent-notation floats,
+// nil-vs-empty slices, the optional truncated flag, and a non-ASCII error
+// message.
+func goldenStream(w *bytes.Buffer) error {
+	if err := WriteClusterStreamHeader(w, `toy<graph>&"demo"`, 192, 1536, "prnibble", 3); err != nil {
+		return err
+	}
+	r1 := ClusterResult{
+		Seeds:       []uint32{0},
+		Members:     []uint32{0, 1, 2, 11},
+		Size:        4,
+		Conductance: 0.0625,
+		Volume:      48,
+		Cut:         3,
+		Stats:       core.Stats{Pushes: 17, Iterations: 4, EdgesTouched: 96},
+	}
+	if err := WriteClusterResultLine(w, &r1); err != nil {
+		return err
+	}
+	r2 := ClusterResult{
+		Seeds:       []uint32{4294967295},
+		Members:     []uint32{},
+		Size:        0,
+		Truncated:   true,
+		Conductance: 1e-07, // exponent form, encoding/json's e-7 spelling
+		Cached:      true,
+	}
+	if err := WriteClusterResultLine(w, &r2); err != nil {
+		return err
+	}
+	agg := Aggregate{
+		Queries:         3,
+		CacheHits:       1,
+		BestConductance: 0.0625,
+		BestSeeds:       []uint32{0},
+		MeanSize:        1.3333333333333333,
+		TotalPushes:     17,
+		TotalEdges:      96,
+		ElapsedMS:       12.5,
+	}
+	if err := WriteClusterStreamTrailer(w, &agg); err != nil {
+		return err
+	}
+	return WriteStreamError(w, `deadline exceeded — “надмежно”`)
+}
+
+// TestNDJSONGoldenFraming pins the framing byte for byte against the
+// committed golden file: every record on its own line, result lines in the
+// buffered encoder's exact format, the trailing error record's shape. Run
+// with -update to regenerate after an intentional format change.
+func TestNDJSONGoldenFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStream(&buf); err != nil {
+		t.Fatalf("encoding golden stream: %v", err)
+	}
+	path := filepath.Join("testdata", "ndjson.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("NDJSON framing drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// Structural guards independent of the exact bytes: every line is a
+	// standalone JSON object and the stream's terminal error record has
+	// exactly the {"error": string} shape.
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("golden stream has %d lines, want 5", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not standalone JSON: %v\n%s", i, err, line)
+		}
+	}
+	var errRec struct {
+		Error string `json:"error"`
+	}
+	dec := json.NewDecoder(strings.NewReader(lines[len(lines)-1]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&errRec); err != nil || errRec.Error == "" {
+		t.Fatalf("terminal error record malformed: %v\n%s", err, lines[len(lines)-1])
+	}
+}
+
+// TestResultLineMatchesEncodingJSON pins the per-line payload contract: a
+// result record is byte-identical (newline aside) to encoding/json's
+// encoding of the same ClusterResult — and therefore to the element the
+// buffered encoder would emit inside its results array.
+func TestResultLineMatchesEncodingJSON(t *testing.T) {
+	cases := []ClusterResult{
+		{Seeds: []uint32{7}, Members: []uint32{7, 8}, Size: 2, Conductance: 0.5, Volume: 9, Cut: 1},
+		{Seeds: nil, Members: nil, Conductance: 1},
+		{Seeds: []uint32{1, 2, 3}, Members: []uint32{}, Truncated: true, Conductance: 2.5e-22},
+		{Seeds: []uint32{0}, Members: []uint32{0}, Size: 1, Conductance: 1e21, Cached: true,
+			Stats: core.Stats{Pushes: -1, Iterations: 3, EdgesTouched: 1 << 40}},
+	}
+	for i, r := range cases {
+		var line bytes.Buffer
+		if err := WriteClusterResultLine(&line, &r); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(&r); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(line.Bytes(), want.Bytes()) {
+			t.Fatalf("case %d: result line differs from encoding/json\ngot  %q\nwant %q", i, line.Bytes(), want.Bytes())
+		}
+	}
+}
+
+// TestStreamHeaderAndTrailerShape checks the header and trailer records
+// decode into the documented key sets.
+func TestStreamHeaderAndTrailerShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClusterStreamHeader(&buf, "g", 10, 20, "hkpr", 3); err != nil {
+		t.Fatal(err)
+	}
+	var hdr struct {
+		Graph    string `json:"graph"`
+		Vertices int    `json:"vertices"`
+		Edges    uint64 `json:"edges"`
+		Algo     string `json:"algo"`
+		Results  int    `json:"results"`
+	}
+	dec := json.NewDecoder(&buf)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Graph != "g" || hdr.Vertices != 10 || hdr.Edges != 20 || hdr.Algo != "hkpr" || hdr.Results != 3 {
+		t.Fatalf("header = %+v", hdr)
+	}
+
+	buf.Reset()
+	agg := Aggregate{Queries: 3, BestConductance: 0.25, MeanSize: 2}
+	if err := WriteClusterStreamTrailer(&buf, &agg); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Aggregate Aggregate `json:"aggregate"`
+	}
+	dec = json.NewDecoder(&buf)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		t.Fatalf("trailer: %v", err)
+	}
+	if tr.Aggregate.Queries != 3 || tr.Aggregate.BestConductance != 0.25 {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}

@@ -106,6 +106,30 @@ type RunConfig struct {
 	// (result state is support-sized, not graph-sized). Results are
 	// bit-identical with and without an arena.
 	Result *workspace.Result
+	// Cancel, when non-nil, is observed at round boundaries: once it fires
+	// (a deadline expired, a client went away), the run stops at the next
+	// synchronous round and returns the partial vector computed so far —
+	// no error, no panic, workspaces released normally. Callers that must
+	// not serve partial answers check their own deadline/context after the
+	// run returns (the service layer does exactly that and discards the
+	// partial result without caching it). A nil channel never cancels.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether a cancellation channel has fired; a nil channel
+// never cancels. Kernels call it once per synchronous round — cheap against
+// a round's edge work, prompt enough that a cancelled diffusion stops
+// within one round.
+func cancelled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // acquireWorkspace checks a workspace for a universe of n vertices out of

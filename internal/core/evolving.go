@@ -62,6 +62,10 @@ type EvolvingSetOptions struct {
 	// response is written (see core.RunConfig.Result for the ownership
 	// contract). The trajectory is identical with and without an arena.
 	Result *workspace.Result
+	// Cancel, when non-nil, stops the parallel version at the next
+	// evolution step once it fires; the best set seen so far is returned
+	// (see core.RunConfig.Cancel for the partial-result contract).
+	Cancel <-chan struct{}
 }
 
 func (o *EvolvingSetOptions) defaults() {
@@ -217,6 +221,9 @@ func evolvingSetSteps(g *graph.CSR, seed uint32, opts EvolvingSetOptions, procs 
 	best.update(S.IDs())
 	totalVol := g.TotalVolume()
 	for step := 0; step < opts.MaxIter; step++ {
+		if cancelled(opts.Cancel) {
+			break // best set so far; see EvolvingSetOptions.Cancel
+		}
 		touched := eng.round(S, roundSpec{
 			scratch: counts,
 			source:  func(int, uint32) float64 { return 1 },

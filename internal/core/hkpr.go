@@ -145,7 +145,7 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws, cfg.Result)
+	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
@@ -154,7 +154,7 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 // hkprRelax is the level-synchronous coordinate-relaxation loop proper,
 // run entirely against scratch state borrowed from ws; the result is
 // snapshotted into res when one is configured.
-func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
+func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
 	if N < 1 {
 		N = 1
 	}
@@ -171,6 +171,9 @@ func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, proc
 	rNext := newVec(n, mode, 4, ws)
 	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for j := 0; !frontier.IsEmpty(); j++ {
+		if cancelled(cancel) {
+			break // partial vector; see RunConfig.Cancel
+		}
 		last := j+1 >= N
 		tOverJ := t / float64(j+1)
 		if last {

@@ -95,7 +95,7 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws, cfg.Result)
+	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
@@ -104,7 +104,7 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 // nibbleWalk is the truncated-walk loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
+func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
 	var st Stats
 	n := g.NumVertices()
 	p := newVec(n, mode, len(seeds), ws)
@@ -116,6 +116,9 @@ func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode Fr
 	next := newVec(n, mode, len(seeds), ws)
 	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for t := 1; t <= T; t++ {
+		if cancelled(cancel) {
+			break // partial vector; see RunConfig.Cancel
+		}
 		touched := eng.round(frontier, roundSpec{
 			scratch: next,
 			source: func(_ int, v uint32) float64 {

@@ -53,7 +53,7 @@ func PRNibbleRun(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws, cfg.Result)
+	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
 	// Release only on the non-panicking path (see acquireWorkspace); the
 	// result vector was snapshotted out of the workspace by the body.
 	ws.Release(procs)
@@ -69,7 +69,7 @@ var prNibbleResidualSink func(*sparse.Map)
 // prNibblePush is the PR-Nibble push loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result) (*sparse.Map, Stats) {
+func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}
@@ -90,6 +90,9 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 	delta := newVec(n, mode, 16, ws)
 	eng := newFrontierEngine(g, procs, mode, &st, ws)
 	for !frontier.IsEmpty() {
+		if cancelled(cancel) {
+			break // partial vector; see RunConfig.Cancel
+		}
 		if beta < 1 && frontier.Size() > 1 {
 			frontier = topBetaFraction(procs, g, r, frontier, beta)
 		}

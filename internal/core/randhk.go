@@ -88,11 +88,13 @@ func RandHKPRParFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed
 	return RandHKPRRun(g, seeds, t, K, N, walkSeed, RunConfig{Procs: procs})
 }
 
-// RandHKPRRun is RandHKPRParFrom with a RunConfig. Only Procs and Result
-// are consulted: the walks need no frontier engine and no graph-sized
-// scratch, so Frontier and Workspace are ignored; Result, when set, is the
-// arena the empirical distribution is built in (see RunConfig.Result for
-// the ownership contract).
+// RandHKPRRun is RandHKPRParFrom with a RunConfig. Only Procs, Result and
+// Cancel are consulted: the walks need no frontier engine and no
+// graph-sized scratch, so Frontier and Workspace are ignored; Result, when
+// set, is the arena the empirical distribution is built in (see
+// RunConfig.Result for the ownership contract). Cancellation is observed
+// every 256 walks per worker; a cancelled run returns a truncated (not
+// renormalized) distribution that callers must discard.
 func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
@@ -103,6 +105,9 @@ func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uin
 	parallel.ForRange(procs, N, 4096, func(lo, hi int) {
 		var local int64
 		for i := lo; i < hi; i++ {
+			if i&255 == 0 && cancelled(cfg.Cancel) {
+				break // remaining destinations stay 0; caller discards
+			}
 			r := rng.Split(walkSeed, uint64(i))
 			start := seeds[0]
 			if len(seeds) > 1 {

@@ -31,7 +31,11 @@ import (
 //
 // All three order ties (equal p[v]/d(v)) by ascending vertex ID, making the
 // sweep order — and therefore the returned cluster — identical across
-// implementations and worker counts.
+// implementations and worker counts. All three also have ...Into variants
+// that borrow every support-sized (and, for the sort-based sweep,
+// volume-sized) piece of result and scratch from a workspace.Result arena,
+// so batch ablations that run them hot allocate nothing per call
+// (DESIGN.md §7 has the measured numbers).
 
 // SweepResult is the outcome of a sweep cut.
 type SweepResult struct {
@@ -88,17 +92,34 @@ func emptySweep() SweepResult { return SweepResult{Conductance: 1} }
 
 // SweepCutSeq is the sequential sweep cut.
 func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
-	order := sweepOrder(1, g, vec, nil)
+	return SweepCutSeqInto(g, vec, nil)
+}
+
+// SweepCutSeqInto is SweepCutSeq with the result and its scratch — the
+// sweep order, the rank table, the prefix conductances — borrowed from res
+// (nil = allocate fresh, exactly SweepCutSeq). The returned slices then
+// alias the arena and are valid until it is Reset or Released; results are
+// bit-identical with and without an arena.
+func SweepCutSeqInto(g *graph.CSR, vec *sparse.Map, res *workspace.Result) SweepResult {
+	order := sweepOrder(1, g, vec, res)
 	N := len(order)
 	if N == 0 {
 		return emptySweep()
 	}
-	rank := make(map[uint32]int, N)
+	// rank+1 stored so that Get == 0 means "outside the support" — the same
+	// convention as the parallel sweeps, so the arena's one recycled hash
+	// table serves every variant.
+	var rank *sparse.ConcurrentMap
+	if res != nil {
+		rank = res.Hash(1, N)
+	} else {
+		rank = sparse.NewConcurrent(N)
+	}
 	for i, v := range order {
-		rank[v] = i
+		rank.Set(v, float64(i+1))
 	}
 	totalVol := g.TotalVolume()
-	prefix := make([]float64, N)
+	prefix := resFloat64s(res, N)
 	var vol uint64
 	var cut int64
 	best, bestPhi := 0, math.Inf(1)
@@ -106,7 +127,7 @@ func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
 	for i, v := range order {
 		vol += uint64(g.Degree(v))
 		for _, w := range g.Neighbors(v) {
-			if rw, ok := rank[w]; ok && rw < i {
+			if rw := int(rank.Get(w)) - 1; rw >= 0 && rw < i {
 				cut-- // edge became internal
 			} else {
 				cut++ // edge leaves the growing set
@@ -203,6 +224,13 @@ func resFloat64s(res *workspace.Result, n int) []float64 {
 	return make([]float64, n)
 }
 
+func resInts(res *workspace.Result, n int) []int {
+	if res != nil {
+		return res.Ints(n)
+	}
+	return nil // FilterIndexInto allocates on demand
+}
+
 // SweepZPair is one (value, rank) pair of the Theorem-1 Z array, using the
 // paper's conventions: ranks are 1-based over the support and N+1 for
 // vertices outside it.
@@ -246,24 +274,40 @@ func BuildSweepZ(g *graph.CSR, order []uint32) []SweepZPair {
 // with the parallel radix sort, prefix-sums the pair values, and reads the
 // per-rank crossing count off the last pair of each rank group.
 func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
+	return SweepCutParSortInto(g, vec, procs, nil)
+}
+
+// SweepCutParSortInto is SweepCutParSort with the result and all of its
+// scratch — the sweep order, the rank table, the Z pair array and its
+// prefix sums, the boundary index list, the per-rank crossing counts —
+// borrowed from res (nil = allocate fresh, exactly SweepCutParSort). Note
+// that Z is volume-sized (two pairs per support edge), so the arena's
+// uint64 slab grows to the sweep's edge volume and stays that size for
+// recycling; results are bit-identical with and without an arena.
+func SweepCutParSortInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
 	procs = parallel.ResolveProcs(procs)
-	order := sweepOrder(procs, g, vec, nil)
+	order := sweepOrder(procs, g, vec, res)
 	N := len(order)
 	if N == 0 {
 		return emptySweep()
 	}
-	rank := sparse.NewConcurrent(N)
+	var rank *sparse.ConcurrentMap
+	if res != nil {
+		rank = res.Hash(procs, N)
+	} else {
+		rank = sparse.NewConcurrent(N)
+	}
 	parallel.For(procs, N, 1024, func(i int) {
 		rank.Set(order[i], float64(i+1))
 	})
 	// Offsets into Z: vertex at rank i contributes 2*d(v) pairs.
-	degs := make([]uint64, N)
+	degs := resUint64s(res, N)
 	parallel.For(procs, N, 0, func(i int) { degs[i] = 2 * uint64(g.Degree(order[i])) })
-	offs := make([]uint64, N)
+	offs := resUint64s(res, N)
 	zlen := parallel.ScanExclusive(procs, degs, offs)
 	// Pack each pair into a uint64: rank in the low 32 bits (the radix sort
 	// key), value+1 in bits 32..33 riding along.
-	z := make([]uint64, zlen)
+	z := resUint64s(res, int(zlen))
 	parallel.For(procs, N, 16, func(i int) {
 		v := order[i]
 		rv := uint64(i + 1)
@@ -283,21 +327,21 @@ func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 			o += 2
 		}
 	})
-	parallel.RadixSortUint64(procs, z, parallel.KeyBitsFor(uint64(N+1)))
+	parallel.RadixSortUint64Scratch(procs, z, resUint64s(res, int(zlen)), parallel.KeyBitsFor(uint64(N+1)))
 	// Prefix sums over the pair values.
-	vals := make([]int64, zlen)
+	vals := resInt64s(res, int(zlen))
 	parallel.For(procs, int(zlen), 4096, func(i int) {
 		vals[i] = int64(z[i]>>32) - 1
 	})
-	sums := make([]int64, zlen)
+	sums := resInt64s(res, int(zlen))
 	parallel.ScanInclusive(procs, vals, sums)
 	// The crossing count of S_i is the running sum at the last pair with
 	// rank i; ranks with no pairs (zero-degree vertices) inherit the
 	// previous rank's count.
-	lastIdx := parallel.FilterIndex(procs, int(zlen), func(j int) bool {
+	lastIdx := parallel.FilterIndexInto(procs, int(zlen), resInts(res, int(zlen)), func(j int) bool {
 		return j+1 == int(zlen) || z[j]&0xffffffff != z[j+1]&0xffffffff
 	})
-	cuts := make([]int64, N)
+	cuts := resInt64s(res, N)
 	for i := range cuts {
 		cuts[i] = -1
 	}
@@ -314,7 +358,7 @@ func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 		}
 		prev = cuts[i]
 	}
-	return sweepFromCuts(g, order, cuts, procs, nil)
+	return sweepFromCuts(g, order, cuts, procs, res)
 }
 
 // sweepFromCuts computes prefix volumes and conductances from per-prefix

@@ -10,6 +10,7 @@ import (
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
 	"parcluster/internal/sparse"
+	"parcluster/internal/workspace"
 )
 
 func procsUnderTest() []int { return []int{1, 3, runtime.GOMAXPROCS(0)} }
@@ -268,5 +269,77 @@ func TestSweepFindsPlantedBarbellCut(t *testing.T) {
 	}
 	if res.Cut != 1 {
 		t.Fatalf("cut = %d, want 1 (the bridge)", res.Cut)
+	}
+}
+
+// TestSweepPooledMatchesUnpooled pins the pooled==unpooled bit-identity of
+// all three sweep variants: recycling one arena across many sweeps (Reset
+// between runs, as NCP and batch ablations do) must change nothing about
+// the returned cluster, conductances, or sweep order.
+func TestSweepPooledMatchesUnpooled(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	g := gen.Caveman(12, 8)
+	arena := workspace.NewResult()
+	for trial := 0; trial < 8; trial++ {
+		vec := randomVector(g, 0.3, rnd)
+		if vec.Len() == 0 {
+			continue
+		}
+		type variant struct {
+			name     string
+			unpooled SweepResult
+			pooled   func() SweepResult
+		}
+		variants := []variant{
+			{"seq", SweepCutSeq(g, vec), func() SweepResult { return SweepCutSeqInto(g, vec, arena) }},
+			{"par", SweepCutPar(g, vec, 2), func() SweepResult { return SweepCutParInto(g, vec, 2, arena) }},
+			{"parSort", SweepCutParSort(g, vec, 2), func() SweepResult { return SweepCutParSortInto(g, vec, 2, arena) }},
+		}
+		for _, v := range variants {
+			arena.Reset()
+			pooled := v.pooled()
+			if !reflect.DeepEqual(pooled.Cluster, v.unpooled.Cluster) ||
+				pooled.Conductance != v.unpooled.Conductance ||
+				pooled.Volume != v.unpooled.Volume || pooled.Cut != v.unpooled.Cut {
+				t.Fatalf("trial %d %s: pooled result differs from unpooled", trial, v.name)
+			}
+			if !reflect.DeepEqual(pooled.Order, v.unpooled.Order) ||
+				!reflect.DeepEqual(pooled.PrefixConductance, v.unpooled.PrefixConductance) {
+				t.Fatalf("trial %d %s: pooled order/prefix differ from unpooled", trial, v.name)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepPooling measures the per-call allocation profile of each
+// sweep variant with and without a recycled result arena — the before/after
+// table in DESIGN.md §7. Run with -benchmem.
+func BenchmarkSweepPooling(b *testing.B) {
+	rnd := rand.New(rand.NewSource(3))
+	g := gen.RandLocal(1, 20000, 8, 3)
+	vec := randomVector(g, 0.25, rnd)
+	variants := []struct {
+		name string
+		run  func(arena *workspace.Result)
+	}{
+		{"seq", func(a *workspace.Result) { SweepCutSeqInto(g, vec, a) }},
+		{"par", func(a *workspace.Result) { SweepCutParInto(g, vec, 4, a) }},
+		{"parSort", func(a *workspace.Result) { SweepCutParSortInto(g, vec, 4, a) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/unpooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.run(nil)
+			}
+		})
+		b.Run(v.name+"/pooled", func(b *testing.B) {
+			arena := workspace.NewResult()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				arena.Reset()
+				v.run(arena)
+			}
+		})
 	}
 }

@@ -350,9 +350,17 @@ func FilterInto[T any](p int, x, buf []T, pred func(T) bool) []T {
 
 // FilterIndex returns the indices i (in increasing order) with pred(i) true.
 func FilterIndex(p, n int, pred func(i int) bool) []int {
+	return FilterIndexInto(p, n, nil, pred)
+}
+
+// FilterIndexInto is FilterIndex writing its output into buf when it has
+// the capacity (allocating only when it does not); the returned slice may
+// alias buf. It is the allocation-free path for callers that recycle their
+// index buffers across runs (the pooled sort-based sweep).
+func FilterIndexInto(p, n int, buf []int, pred func(i int) bool) []int {
 	p = ResolveProcs(p)
 	if p == 1 || n < 2*DefaultGrain {
-		out := make([]int, 0, 16)
+		out := buf[:0]
 		for i := 0; i < n; i++ {
 			if pred(i) {
 				out = append(out, i)
@@ -377,7 +385,12 @@ func FilterIndex(p, n int, pred func(i int) bool) []int {
 		counts[b] = total
 		total += c
 	}
-	out := make([]int, total)
+	out := buf[:0]
+	if cap(out) >= total {
+		out = out[:total]
+	} else {
+		out = make([]int, total)
+	}
 	ForRange(p, n, size, func(lo, hi int) {
 		o := counts[lo/size]
 		for i := lo; i < hi; i++ {

@@ -142,6 +142,14 @@ const radixBuckets = 1 << radixBits
 // typically pack a payload into the bits above keyBits, which the stable
 // sort carries along untouched.
 func RadixSortUint64(p int, x []uint64, keyBits int) {
+	RadixSortUint64Scratch(p, x, nil, keyBits)
+}
+
+// RadixSortUint64Scratch is RadixSortUint64 using scratch as the sort's
+// double buffer when it is at least len(x) long (allocating one otherwise)
+// — the allocation-free path for callers that recycle sort scratch across
+// runs. scratch's contents are clobbered.
+func RadixSortUint64Scratch(p int, x, scratch []uint64, keyBits int) {
 	n := len(x)
 	if n <= 1 {
 		return
@@ -152,14 +160,19 @@ func RadixSortUint64(p int, x []uint64, keyBits int) {
 	if keyBits > 64 {
 		keyBits = 64
 	}
+	buf := scratch
+	if len(buf) < n {
+		buf = make([]uint64, n)
+	} else {
+		buf = buf[:n]
+	}
 	p = ResolveProcs(p)
 	if p == 1 || n < 1<<14 {
 		// Sequential counting passes (still LSD, same digit order).
-		radixSortSeq(x, keyBits)
+		radixSortSeq(x, buf, keyBits)
 		return
 	}
 	passes := (keyBits + radixBits - 1) / radixBits
-	buf := make([]uint64, n)
 	src, dst := x, buf
 	blocks, size := blockSplit(p, n)
 	// hist[b*radixBuckets+d] = count of digit d in block b.
@@ -201,11 +214,9 @@ func RadixSortUint64(p int, x []uint64, keyBits int) {
 }
 
 // radixSortSeq is the sequential LSD radix sort used for small inputs and
-// the p == 1 path.
-func radixSortSeq(x []uint64, keyBits int) {
-	n := len(x)
+// the p == 1 path; buf (len >= len(x)) is the double buffer.
+func radixSortSeq(x, buf []uint64, keyBits int) {
 	passes := (keyBits + radixBits - 1) / radixBits
-	buf := make([]uint64, n)
 	src, dst := x, buf
 	var count [radixBuckets]int
 	for pass := 0; pass < passes; pass++ {

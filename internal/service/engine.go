@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"parcluster/internal/api"
 	"parcluster/internal/core"
 	"parcluster/internal/graph"
+	"parcluster/internal/sched"
 	"parcluster/internal/sparse"
 	"parcluster/internal/workspace"
 )
@@ -50,7 +52,7 @@ type EngineStats = api.EngineStats
 
 // Config sizes an Engine.
 type Config struct {
-	// ProcBudget is the total worker-token pool shared by all in-flight
+	// ProcBudget is the total worker-token budget shared by all in-flight
 	// diffusions (0 = GOMAXPROCS). A query waits until its budget is free.
 	ProcBudget int
 	// MaxProcsPerQuery clamps a single request's Procs (0 = ProcBudget).
@@ -61,14 +63,26 @@ type Config struct {
 	// DefaultFrontier is the frontier-representation mode used for requests
 	// that do not set Params.Frontier (zero value = FrontierAuto).
 	DefaultFrontier core.FrontierMode
+	// ClassWeights are the scheduler's per-class stride weights, indexed by
+	// sched.Class; entries <= 0 take the defaults (16/4/1 for
+	// interactive/batch/background).
+	ClassWeights [sched.NumClasses]int
+	// MaxQueue bounds the concurrently admitted (queued + running) requests
+	// per class (0 = the scheduler default of 256, negative = unbounded);
+	// past the bound, requests fail fast with 429 + Retry-After.
+	MaxQueue int
+	// DefaultDeadline is applied to requests that carry no deadline_ms
+	// (0 = none).
+	DefaultDeadline time.Duration
 }
 
 // Engine dispatches typed requests to the core algorithms over graphs from
-// a Registry, with results cached in an LRU and concurrency bounded by a
-// proc-token pool. Safe for concurrent use.
+// a Registry, with results cached in an LRU and every request's execution
+// governed by the class/deadline/fairness scheduler in internal/sched.
+// Safe for concurrent use.
 type Engine struct {
 	reg             *Registry
-	pool            *procPool
+	sched           *sched.Scheduler
 	maxProcs        int
 	defaultFrontier core.FrontierMode
 
@@ -108,8 +122,13 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		size = 1024
 	}
 	return &Engine{
-		reg:             reg,
-		pool:            newProcPool(budget),
+		reg: reg,
+		sched: sched.New(sched.Config{
+			Tokens:          budget,
+			Weights:         cfg.ClassWeights,
+			MaxQueue:        cfg.MaxQueue,
+			DefaultDeadline: cfg.DefaultDeadline,
+		}),
 		maxProcs:        maxProcs,
 		defaultFrontier: cfg.DefaultFrontier,
 		cache:           newLRUCache(size), // nil (disabled) when size < 0
@@ -119,6 +138,21 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 
 // Registry returns the engine's graph registry.
 func (e *Engine) Registry() *Registry { return e.reg }
+
+// BeginDrain stops the engine's scheduler from admitting new requests
+// (they fail with sched.ErrDraining, a 503) while already-admitted work
+// keeps its full service — the first phase of graceful shutdown.
+// Idempotent.
+func (e *Engine) BeginDrain() { e.sched.BeginDrain() }
+
+// Drained returns a channel closed once BeginDrain has been called and the
+// last admitted request has finished.
+func (e *Engine) Drained() <-chan struct{} { return e.sched.Drained() }
+
+// Draining reports whether BeginDrain has been called — a cheap single
+// flag read, fit for high-frequency health probes (unlike Stats, which
+// snapshots every counter).
+func (e *Engine) Draining() bool { return e.sched.Draining() }
 
 // resolveProcs maps a request's Procs field to an effective per-diffusion
 // worker count: 0 (or anything out of range) means the per-query maximum,
@@ -152,12 +186,70 @@ func (e *Engine) Stats() EngineStats {
 		},
 		GraphLoads: e.reg.Loads(),
 		Workspace:  e.reg.WorkspaceStats(),
-		ProcBudget: e.pool.size,
+		Sched:      schedStats(e.sched.Stats()),
+		ProcBudget: e.sched.Tokens(),
 	}
 	if n := e.completed.Load(); n > 0 {
 		s.AvgLatencyMS = float64(e.latencyUS.Load()) / float64(n) / 1e3
 	}
 	return s
+}
+
+// schedStats converts a scheduler snapshot to its wire shape.
+func schedStats(st sched.Stats) api.SchedStats {
+	cls := func(c sched.Class) api.SchedClassStats {
+		cs := st.Classes[c]
+		return api.SchedClassStats{
+			Weight:         cs.Weight,
+			Admitted:       cs.Admitted,
+			Rejected:       cs.Rejected,
+			DeadlineMissed: cs.DeadlineMissed,
+			Completed:      cs.Completed,
+			QueueDepth:     cs.QueueDepth,
+			Open:           cs.Open,
+		}
+	}
+	return api.SchedStats{
+		Tokens:        st.Tokens,
+		Avail:         st.Avail,
+		Draining:      st.Draining,
+		Interactive:   cls(sched.Interactive),
+		Batch:         cls(sched.Batch),
+		Background:    cls(sched.Background),
+		GraphInFlight: st.GraphInFlight,
+	}
+}
+
+// admit resolves a request's class and deadline and performs admission
+// control against the scheduler, returning the ticket the fan-out acquires
+// its unit tokens through. The caller must Close the ticket on every path.
+// admitClass is the class used when the request names none.
+func (e *Engine) admit(graphName, class string, deadlineMS int64, admitClass sched.Class) (*sched.Ticket, error) {
+	cls := admitClass
+	if class != "" {
+		var err error
+		if cls, err = sched.ParseClass(class); err != nil {
+			return nil, fmt.Errorf("%w: class %q (want interactive, batch or background)", ErrBadRequest, class)
+		}
+	}
+	if deadlineMS < 0 {
+		return nil, fmt.Errorf("%w: deadline_ms %d is negative", ErrBadRequest, deadlineMS)
+	}
+	var deadline time.Time
+	if deadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(deadlineMS) * time.Millisecond)
+	}
+	return e.sched.Admit(cls, graphName, deadline)
+}
+
+// requestContext derives the context a request's kernels and token waits
+// run under: the caller's context bounded by the ticket's admission
+// deadline, if one was resolved.
+func requestContext(ctx context.Context, t *sched.Ticket) (context.Context, context.CancelFunc) {
+	if dl := t.Deadline(); !dl.IsZero() {
+		return context.WithDeadline(ctx, dl)
+	}
+	return context.WithCancel(ctx)
 }
 
 // resolved holds an algorithm name plus its fully-defaulted parameters and
@@ -346,11 +438,11 @@ func (e *Engine) Cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 	return resp, nil
 }
 
-// ClusterBorrowed answers a ClusterRequest: validate, resolve the graph,
-// fan the units (one per seed, or one for the whole seed set) across the
-// worker pool with cache lookups in front, and aggregate. The context
-// bounds graph-load waits and pool queueing; a diffusion already running is
-// not interrupted.
+// ClusterBorrowed answers a ClusterRequest with the whole batch gathered:
+// it consumes a ClusterStream (see StreamCluster) to completion, assembling
+// the per-unit results in request order. The context bounds graph-load
+// waits and scheduler queueing, and — together with the request's deadline
+// — cancels in-flight kernels at their next round boundary.
 //
 // The response's per-result Members slices may borrow memory from the
 // graph's result-arena pool. The caller must call release — exactly once,
@@ -358,33 +450,41 @@ func (e *Engine) Cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 // after the last read of the response; release is idempotent and recycles
 // the arenas. On error the arenas are already released and release is nil.
 func (e *Engine) ClusterBorrowed(ctx context.Context, req *ClusterRequest) (*ClusterResponse, func(), error) {
-	start := time.Now()
-	e.queries.Add(1)
-	e.inFlight.Add(1)
-	defer e.inFlight.Add(-1)
-
-	resp, arenas, err := e.cluster(ctx, req)
+	st, err := e.StreamCluster(ctx, req)
 	if err != nil {
-		e.errors.Add(1)
 		return nil, nil, err
 	}
-	e.latencyUS.Add(time.Since(start).Microseconds())
-	e.completed.Add(1)
-	resp.Aggregate.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
-	var once sync.Once
-	release := func() {
-		once.Do(func() { releaseArenas(arenas) })
-	}
-	return resp, release, nil
-}
-
-// releaseArenas returns every checked-out arena of a response to its pool.
-func releaseArenas(arenas []*workspace.Result) {
-	for _, a := range arenas {
-		if a != nil {
-			a.Release()
+	defer st.Close()
+	results := make([]ClusterResult, st.Units)
+	releases := make([]func(), 0, st.Units)
+	releaseAll := func() {
+		for _, r := range releases {
+			r()
 		}
 	}
+	for {
+		idx, res, release, ok := st.Next()
+		if !ok {
+			break
+		}
+		results[idx] = *res
+		releases = append(releases, release)
+	}
+	if err := st.Err(); err != nil {
+		releaseAll()
+		return nil, nil, err
+	}
+	resp := &ClusterResponse{
+		Graph:     st.Graph,
+		Vertices:  st.Vertices,
+		Edges:     st.Edges,
+		Algo:      st.Algo,
+		Results:   results,
+		Aggregate: st.Aggregate(),
+	}
+	var once sync.Once
+	release := func() { once.Do(releaseAll) }
+	return resp, release, nil
 }
 
 // Request-size bounds: a single request must not be able to monopolize the
@@ -396,29 +496,105 @@ const (
 	maxNCPRuns         = 100000
 )
 
-func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResponse, []*workspace.Result, error) {
+// streamUnit is one completed (or failed) work unit in flight between the
+// fan-out workers and the stream's consumer.
+type streamUnit struct {
+	idx   int
+	res   ClusterResult
+	arena *workspace.Result
+	err   error
+}
+
+// ClusterStream is an in-progress batched query whose per-unit results are
+// delivered in completion order, as each diffusion finishes — the engine
+// side of the NDJSON streaming path. Obtain one from StreamCluster, consume
+// it with Next from a single goroutine, and Close it on every path.
+type ClusterStream struct {
+	// Graph, Vertices, Edges and Algo identify the resolved graph and
+	// algorithm (the stream header's fields).
+	Graph    string
+	Vertices int
+	Edges    uint64
+	Algo     string
+	// Units is the number of result records the stream delivers on success
+	// (one per seed, or one for a seed-set request).
+	Units int
+
+	eng    *Engine
+	ticket *sched.Ticket
+	cancel context.CancelFunc
+	ch     chan streamUnit
+	start  time.Time
+
+	agg     Aggregate
+	sizeSum int
+	// bestIdx is the request index behind agg.BestSeeds; ties on
+	// conductance resolve to the lowest index so the aggregate is
+	// deterministic despite completion-order delivery (the pre-pipeline
+	// code folded results in request order).
+	bestIdx  int
+	err      error
+	done     bool
+	finished sync.Once
+}
+
+// StreamCluster validates and admits a ClusterRequest and starts its
+// fan-out: one work unit per seed (or one for the whole set under
+// seed_set), distributed over at most token-budget worker goroutines, each
+// unit's tokens acquired through the request's scheduler ticket. Errors
+// before the first result — validation, admission (queue full, unmeetable
+// deadline), graph resolution — are returned here, before any response
+// bytes exist; later failures surface through the stream itself.
+func (e *Engine) StreamCluster(ctx context.Context, req *ClusterRequest) (*ClusterStream, error) {
+	e.queries.Add(1)
+	e.inFlight.Add(1)
+	st, err := e.openStream(ctx, req)
+	if err != nil {
+		e.errors.Add(1)
+		e.inFlight.Add(-1)
+		return nil, err
+	}
+	return st, nil
+}
+
+func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterStream, error) {
+	start := time.Now()
 	if len(req.Seeds) == 0 {
-		return nil, nil, fmt.Errorf("%w: empty seed list", ErrBadRequest)
+		return nil, fmt.Errorf("%w: empty seed list", ErrBadRequest)
 	}
 	if len(req.Seeds) > maxSeedsPerRequest {
-		return nil, nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
+		return nil, fmt.Errorf("%w: %d seeds exceeds the per-request maximum %d", ErrBadRequest, len(req.Seeds), maxSeedsPerRequest)
 	}
 	rp, err := resolveParams(req.Algo, req.Params, e.defaultFrontier)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if rp.algo == "evolving" && req.SeedSet && len(req.Seeds) > 1 {
-		return nil, nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
+		return nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
 	}
-	g, wsPool, err := e.reg.GetWithWorkspace(ctx, req.Graph)
+	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Interactive)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	// Every error path below must return the admission slot. The request
+	// context (caller ctx bounded by the admission deadline) governs
+	// everything from here on — including the graph-load wait, so a
+	// deadline cannot be burned inside a slow first load.
+	runCtx, cancel := requestContext(ctx, ticket)
+	fail := func(err error) (*ClusterStream, error) {
+		cancel()
+		ticket.Close()
+		return nil, err
+	}
+	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
+	if err != nil {
+		return fail(err)
 	}
 	n := g.NumVertices()
 	for _, s := range req.Seeds {
 		// Compare in uint64: int(s) can wrap negative on 32-bit platforms.
 		if uint64(s) >= uint64(n) {
-			return nil, nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, n)
+			return fail(fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, n))
 		}
 	}
 	procs := e.resolveProcs(req.Procs)
@@ -437,19 +613,34 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 		}
 	}
 
+	st := &ClusterStream{
+		Graph:    req.Graph,
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Algo:     rp.algo,
+		Units:    len(units),
+		eng:      e,
+		ticket:   ticket,
+		cancel:   cancel,
+		// Buffered to the batch size so workers never block on the
+		// consumer: a slow client cannot pin worker goroutines, and error
+		// drains see every unit without deadlock.
+		ch:      make(chan streamUnit, len(units)),
+		start:   start,
+		agg:     Aggregate{Queries: len(units), BestConductance: 2},
+		bestIdx: len(units),
+	}
+
 	// Fan the units over a bounded set of workers: wide enough to keep the
-	// proc pool saturated with single-proc units, but not one goroutine per
-	// seed — a large batch must not burn a stack per unit.
-	workers := e.pool.size
+	// token budget saturated with single-proc units, but not one goroutine
+	// per seed — a large batch must not burn a stack per unit.
+	workers := e.sched.Tokens()
 	if workers > len(units) {
 		workers = len(units)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([]ClusterResult, len(units))
-	arenas := make([]*workspace.Result, len(units))
-	errs := make([]error, len(units))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -461,35 +652,155 @@ func (e *Engine) cluster(ctx context.Context, req *ClusterRequest) (*ClusterResp
 				if i >= len(units) {
 					return
 				}
-				res, arena, err := e.runCached(ctx, g, wsPool, req.Graph, units[i], rp, procs, req.NoCache)
+				res, arena, err := e.runCached(runCtx, g, wsPool, ticket, req.Graph, units[i], rp, procs, req.NoCache)
 				if err != nil {
-					errs[i] = err
+					st.ch <- streamUnit{idx: i, err: err}
+					// Stop the rest of the batch promptly: queued units fail
+					// at the token gate, running kernels cancel at their
+					// next round.
+					cancel()
 					continue
 				}
-				results[i] = trim(res, req.MaxMembers)
-				arenas[i] = arena
+				st.ch <- streamUnit{idx: i, res: trim(res, req.MaxMembers), arena: arena}
 			}
 		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Units that did succeed have arenas checked out; recycle them
-			// before abandoning the batch.
-			releaseArenas(arenas)
-			return nil, nil, err
+	go func() {
+		wg.Wait()
+		close(st.ch)
+	}()
+	return st, nil
+}
+
+// Next blocks for the next completed unit and returns its request index,
+// the result, and a release closure the caller must invoke (idempotent)
+// after its last read of the result — for the HTTP layer, after the
+// result's NDJSON line is written. ok is false once the stream is
+// exhausted or failed; check Err afterwards. On a unit failure the stream
+// cancels the remaining work, releases every undelivered arena, and
+// records the root-cause error.
+func (st *ClusterStream) Next() (idx int, res *ClusterResult, release func(), ok bool) {
+	if st.done {
+		return 0, nil, nil, false
+	}
+	for u := range st.ch {
+		if u.err != nil {
+			st.abort(u.err)
+			return 0, nil, nil, false
+		}
+		st.account(u.idx, &u.res)
+		out := u.res
+		return u.idx, &out, releaseOnce(u.arena), true
+	}
+	st.done = true
+	st.finish(nil)
+	return 0, nil, nil, false
+}
+
+// Err returns the stream's terminal error, if any. Valid once Next has
+// returned ok == false.
+func (st *ClusterStream) Err() error { return st.err }
+
+// Aggregate returns the batch aggregate over the units delivered so far
+// (all of them, after a successful drain); ElapsedMS is measured from
+// request start to this call.
+func (st *ClusterStream) Aggregate() Aggregate {
+	agg := st.agg
+	if st.Units > 0 {
+		agg.MeanSize = float64(st.sizeSum) / float64(st.Units)
+	}
+	if agg.BestConductance > 1 {
+		agg.BestConductance = 1
+	}
+	agg.ElapsedMS = float64(time.Since(st.start).Microseconds()) / 1e3
+	return agg
+}
+
+// Close abandons the stream: outstanding work is cancelled, undelivered
+// arenas are released, and the request's admission slot returns to the
+// scheduler. Results already handed out by Next stay valid until their own
+// release closures run. Idempotent; safe after exhaustion.
+func (st *ClusterStream) Close() {
+	if !st.done {
+		st.done = true
+		st.cancel()
+		for u := range st.ch {
+			if u.arena != nil {
+				u.arena.Release()
+			}
 		}
 	}
+	st.finish(st.err)
+}
 
-	resp := &ClusterResponse{
-		Graph:    req.Graph,
-		Vertices: n,
-		Edges:    g.NumEdges(),
-		Algo:     rp.algo,
-		Results:  results,
+// abort is the terminal error path: cancel the rest of the batch, wait for
+// the workers to drain (cancelled units fail fast at the token gate;
+// running kernels stop at their next round), release every undelivered
+// arena, and keep the most informative error — a unit's own failure beats
+// the ctx.Canceled its cancellation inflicted on its neighbors.
+func (st *ClusterStream) abort(err error) {
+	st.done = true
+	st.cancel()
+	for u := range st.ch {
+		if u.err != nil {
+			if errors.Is(err, context.Canceled) && !errors.Is(u.err, context.Canceled) {
+				err = u.err
+			}
+			continue
+		}
+		if u.arena != nil {
+			u.arena.Release()
+		}
 	}
-	resp.Aggregate = aggregate(results)
-	return resp, arenas, nil
+	st.err = err
+	st.finish(err)
+}
+
+// account folds one delivered result into the running aggregate.
+// Conductance ties resolve to the lowest request index, matching a
+// request-order fold regardless of completion order.
+func (st *ClusterStream) account(idx int, r *ClusterResult) {
+	if r.Cached {
+		st.agg.CacheHits++
+	}
+	if r.Conductance < st.agg.BestConductance ||
+		(r.Conductance == st.agg.BestConductance && idx < st.bestIdx) {
+		st.agg.BestConductance = r.Conductance
+		st.agg.BestSeeds = r.Seeds
+		st.bestIdx = idx
+	}
+	st.sizeSum += r.Size
+	st.agg.TotalPushes += r.Stats.Pushes
+	st.agg.TotalEdges += r.Stats.EdgesTouched
+}
+
+// finish settles the stream's engine counters and scheduler ticket exactly
+// once.
+func (st *ClusterStream) finish(err error) {
+	st.finished.Do(func() {
+		st.cancel()
+		st.ticket.Close()
+		if err != nil {
+			st.eng.errors.Add(1)
+		} else {
+			st.eng.latencyUS.Add(time.Since(st.start).Microseconds())
+			st.eng.completed.Add(1)
+		}
+		st.eng.inFlight.Add(-1)
+	})
+}
+
+// releaseOnce wraps an arena (nil for cache hits) in an idempotent release
+// closure.
+func releaseOnce(arena *workspace.Result) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if arena != nil {
+				arena.Release()
+			}
+		})
+	}
 }
 
 // flight is one in-progress computation of a cache key.
@@ -500,19 +811,19 @@ type flight struct {
 }
 
 // runCached answers one unit from the cache or runs it, acquiring the
-// unit's proc budget from the pool around the actual computation.
-// Concurrent misses on the same key coalesce into one computation; NoCache
-// requests bypass both the cache and the coalescing (they demand a fresh
-// run) but still store their result.
+// unit's worker tokens through the request's scheduler ticket around the
+// actual computation. Concurrent misses on the same key coalesce into one
+// computation; NoCache requests bypass both the cache and the coalescing
+// (they demand a fresh run) but still store their result.
 //
 // A non-nil returned arena backs the result's Members slice and is owned by
 // the caller (released after the response is written). Cache hits and
 // flight followers return owned memory and a nil arena: only the goroutine
 // that actually ran the diffusion holds borrowed memory.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
 	key := rp.key(graphName, seeds)
 	if noCache {
-		res, _, arena, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
+		res, _, arena, err := e.compute(ctx, g, wsPool, ticket, key, seeds, rp, procs)
 		return res, arena, err
 	}
 	for {
@@ -549,7 +860,7 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 		e.flightMu.Unlock()
 		e.misses.Add(1) // only lookups that happened count toward the hit rate
 
-		res, owned, arena, err := e.compute(ctx, g, wsPool, key, seeds, rp, procs)
+		res, owned, arena, err := e.compute(ctx, g, wsPool, ticket, key, seeds, rp, procs)
 		if err == nil {
 			// Followers may outlive this unit's arena (it is released once
 			// our response is written), so the flight publishes an owned
@@ -572,20 +883,32 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 	}
 }
 
-// compute runs one diffusion under the proc pool and stores an owned copy
+// compute runs one diffusion under the scheduler and stores an owned copy
 // of the result in the cache (copy-on-store: the cache must never alias an
 // arena that is released when the response write finishes — see cache.go).
-// The workspace and result arena are borrowed after the proc gate: a
-// request cancelled while queueing never checks anything out. The returned
-// arena backs the returned (borrowed) result and is owned by the caller;
-// owned is the cache's detached copy, nil when caching is disabled.
-func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, key string, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
-	if err := e.pool.acquire(ctx, procs); err != nil {
+// The workspace and result arena are borrowed after the token gate: a
+// request cancelled or deadline-failed while queueing never checks anything
+// out. A run whose context expires mid-kernel stops at the next round
+// boundary; its partial result is discarded (never cached, never served)
+// and its arena recycled before the error returns. The returned arena backs
+// the returned (borrowed) result and is owned by the caller; owned is the
+// cache's detached copy, nil when caching is disabled.
+func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, key string, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
+	grant, err := ticket.Acquire(ctx, procs)
+	if err != nil {
 		return nil, nil, nil, err
 	}
 	arena = wsPool.AcquireResult()
-	res = e.runUnit(g, wsPool, arena, seeds, rp, procs)
-	e.pool.release(procs)
+	res = e.runUnit(g, wsPool, arena, seeds, rp, procs, ctx.Done())
+	grant.Release()
+	if err := ctx.Err(); err != nil {
+		// The deadline fired (or the client vanished) mid-run: the kernel
+		// stopped at a round boundary and res is partial. Discard it and
+		// recycle the arena — a partial answer must never reach the cache,
+		// the flight followers, or the client.
+		arena.Release()
+		return nil, nil, nil, err
+	}
 	if e.cache != nil {
 		owned = detachResult(res)
 		e.cacheMu.Lock()
@@ -597,8 +920,9 @@ func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Po
 
 // runUnit executes one diffusion + sweep (or evolving set run), borrowing
 // graph-sized scratch state from the graph's workspace pool and snapshotting
-// the result into arena.
-func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int) *ClusterResult {
+// the result into arena. cancel (a context's Done channel) stops the kernel
+// at its next round boundary; the partial result is the caller's to discard.
+func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int, cancel <-chan struct{}) *ClusterResult {
 	e.diffusions.Add(1)
 	if rp.algo != "randhk" {
 		// rand-HK-PR aggregates walk endpoints and never touches the
@@ -610,7 +934,7 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
 			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
 			Seed: p.WalkSeed, Procs: procs, Frontier: rp.frontier,
-			Workspace: wsPool, Result: arena,
+			Workspace: wsPool, Result: arena, Cancel: cancel,
 		})
 		return &ClusterResult{
 			Seeds: seeds, Members: res.Set, Size: len(res.Set),
@@ -619,7 +943,7 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 	}
 	var vec *sparse.Map
 	var st core.Stats
-	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool, Result: arena}
+	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool, Result: arena, Cancel: cancel}
 	switch rp.algo {
 	case "nibble":
 		vec, st = core.NibbleRun(g, seeds, p.Epsilon, p.T, cfg)
@@ -666,31 +990,6 @@ func trim(res *ClusterResult, maxMembers int) ClusterResult {
 	return out
 }
 
-// aggregate folds per-unit results into batch statistics.
-func aggregate(results []ClusterResult) Aggregate {
-	agg := Aggregate{Queries: len(results), BestConductance: 2}
-	var sizes int
-	for _, r := range results {
-		if r.Cached {
-			agg.CacheHits++
-		}
-		if r.Conductance < agg.BestConductance {
-			agg.BestConductance = r.Conductance
-			agg.BestSeeds = r.Seeds
-		}
-		sizes += r.Size
-		agg.TotalPushes += r.Stats.Pushes
-		agg.TotalEdges += r.Stats.EdgesTouched
-	}
-	if len(results) > 0 {
-		agg.MeanSize = float64(sizes) / float64(len(results))
-	}
-	if agg.BestConductance > 1 {
-		agg.BestConductance = 1
-	}
-	return agg
-}
-
 // NCP answers an NCPRequest. The whole profile acquires its proc budget
 // once, since the inner loop runs many diffusions back to back.
 func (e *Engine) NCP(ctx context.Context, req *NCPRequest) (*NCPResponse, error) {
@@ -724,7 +1023,17 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 			return nil, fmt.Errorf("%w: epsilon %g outside (0,1)", ErrBadRequest, eps)
 		}
 	}
-	g, wsPool, err := e.reg.GetWithWorkspace(ctx, req.Graph)
+	// NCP profiles default to the batch class: they are many-diffusion
+	// scans, not interactive probes.
+	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Batch)
+	if err != nil {
+		return nil, err
+	}
+	defer ticket.Close()
+	// The admission deadline bounds the graph-load wait too.
+	runCtx, cancel := requestContext(ctx, ticket)
+	defer cancel()
+	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
 	if err != nil {
 		return nil, err
 	}
@@ -734,10 +1043,11 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 		}
 	}
 	procs := e.resolveProcs(req.Procs)
-	if err := e.pool.acquire(ctx, procs); err != nil {
+	grant, err := ticket.Acquire(runCtx, procs)
+	if err != nil {
 		return nil, err
 	}
-	defer e.pool.release(procs)
+	defer grant.Release()
 
 	points := core.NCP(g, core.NCPOptions{
 		Seeds:        req.Seeds,
@@ -747,12 +1057,12 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 		MaxSize:      req.MaxSize,
 		Procs:        procs,
 		Seed:         req.RNGSeed,
-		Cancel:       ctx.Done(),
+		Cancel:       runCtx.Done(),
 		Workspace:    wsPool,
 	})
-	if err := ctx.Err(); err != nil {
-		// The client went away mid-profile; don't return a partial answer
-		// as if it were complete.
+	if err := runCtx.Err(); err != nil {
+		// The client went away (or the deadline fired) mid-profile; don't
+		// return a partial answer as if it were complete.
 		return nil, err
 	}
 	if req.Envelope {

@@ -1,17 +1,20 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"parcluster/internal/api"
+	"parcluster/internal/sched"
 )
 
 // maxBodyBytes bounds request bodies; a cluster request is a few KB even
@@ -20,21 +23,26 @@ const maxBodyBytes = 8 << 20
 
 // Server is the HTTP/JSON front end over an Engine. It serves
 //
-//	POST /v1/cluster  — ClusterRequest -> ClusterResponse
-//	POST /v1/ncp      — NCPRequest -> NCPResponse
-//	GET  /v1/graphs   — registry listing
-//	GET  /v1/stats    — EngineStats
-//	GET  /healthz     — liveness probe
-//	GET  /debug/vars  — expvar (aggregated over all engines in-process)
+//	POST /v1/cluster         — ClusterRequest -> ClusterResponse (or NDJSON
+//	                           with Accept: application/x-ndjson)
+//	POST /v1/cluster/stream  — ClusterRequest -> NDJSON, one record per
+//	                           completed unit
+//	POST /v1/ncp             — NCPRequest -> NCPResponse
+//	GET  /v1/graphs          — registry listing
+//	GET  /v1/stats           — EngineStats
+//	GET  /healthz            — liveness probe (503 while draining)
+//	GET  /debug/vars         — expvar (aggregated over all engines in-process)
 //
-// Errors come back as {"error": "..."} with 400 for invalid requests,
-// 404 for unknown graphs and 405 for wrong methods. Build one with
-// NewServer and mount it as an http.Handler.
+// Errors come back as {"error": "..."} with 400 for invalid requests, 404
+// for unknown graphs, 405 for wrong methods, 429 + Retry-After when a
+// class's admission bound is hit, 503 while draining, and 504 for missed
+// deadlines. Build one with NewServer and mount it as an http.Handler.
 //
 // Cluster and NCP bodies are streamed through internal/api's encoders
 // straight from pooled result memory (byte-identical to a buffered
 // encoding/json marshal); the borrowed arenas are released when the write
-// completes or the client disconnects.
+// completes or the client disconnects. The NDJSON paths go further and
+// release each unit's arena as soon as its line is flushed.
 type Server struct {
 	eng     *Engine
 	mux     *http.ServeMux
@@ -48,6 +56,7 @@ type Server struct {
 func NewServer(eng *Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("/v1/cluster/stream", s.handleClusterStream)
 	s.mux.HandleFunc("/v1/ncp", s.handleNCP)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -110,6 +119,7 @@ func publishExpvar(e *Engine) {
 				total.GraphLoads += st.GraphLoads
 				total.ProcBudget += st.ProcBudget
 				total.Workspace.Add(st.Workspace)
+				total.Sched.Add(st.Sched)
 				latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
 			}
 			if done := total.Queries - total.Errors; done > 0 {
@@ -155,14 +165,26 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeError maps engine errors to HTTP statuses.
+// writeError maps engine and scheduler errors to HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
+	var full *sched.QueueFullError
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.As(err, &full):
+		// Backpressure: the class's admission bound is hit. Tell the client
+		// when to come back instead of queueing it without bound.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(full.RetryAfter)))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, sched.ErrDraining):
+		// Shutting down: the client should retry against another replica.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, sched.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, http.ErrHandlerTimeout):
 		status = http.StatusServiceUnavailable
 	case r.Context().Err() != nil:
@@ -177,6 +199,16 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	s.writeJSON(w, status, errorBody{Error: msg})
 }
 
+// retryAfterSeconds renders a backoff hint as whole seconds >= 1, the
+// Retry-After header's delta form.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // requireMethod writes a 405 and returns false when the method mismatches.
 func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
@@ -187,6 +219,23 @@ func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method st
 	return true
 }
 
+// ndjsonContentType is the MIME type of the streaming batch framing.
+const ndjsonContentType = "application/x-ndjson"
+
+// wantsNDJSON reports whether the request negotiates the NDJSON framing on
+// the buffered endpoint via its Accept header.
+func wantsNDJSON(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+			if strings.TrimSpace(mediaType) == ndjsonContentType {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodPost) {
 		return
@@ -194,6 +243,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	var req ClusterRequest
 	if err := decode(r, &req); err != nil {
 		s.writeError(w, r, err)
+		return
+	}
+	if wantsNDJSON(r) {
+		s.streamCluster(w, r, &req)
 		return
 	}
 	resp, release, err := s.eng.ClusterBorrowed(r.Context(), &req)
@@ -213,6 +266,76 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		// Almost always the client going away mid-body; the status is sent,
 		// so all we can do is log and drop the connection.
 		s.logf("lgc-serve: streaming cluster response: %v", err)
+	}
+}
+
+func (s *Server) handleClusterStream(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ClusterRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.streamCluster(w, r, &req)
+}
+
+// streamCluster answers a ClusterRequest with the NDJSON framing: a header
+// record, one result record per unit flushed as it completes (its arena
+// released line by line), and a terminal aggregate or error record. Errors
+// before the header — validation, admission, graph resolution — still come
+// back as plain JSON error bodies with real status codes; once the header
+// is on the wire, failures become the stream's terminal error record.
+func (s *Server) streamCluster(w http.ResponseWriter, r *http.Request, req *ClusterRequest) {
+	st, err := s.eng.StreamCluster(r.Context(), req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	// Close runs on every exit: it cancels outstanding work, releases every
+	// undelivered arena, and returns the admission slot — a client that
+	// disconnects mid-stream leaks nothing.
+	defer st.Close()
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	if err := api.WriteClusterStreamHeader(w, st.Graph, st.Vertices, st.Edges, st.Algo, st.Units); err != nil {
+		s.logf("lgc-serve: ndjson header: %v", err)
+		return
+	}
+	flush()
+	for {
+		_, res, release, ok := st.Next()
+		if !ok {
+			break
+		}
+		err := api.WriteClusterResultLine(w, res)
+		release() // the line is encoded; recycle the arena now
+		if err != nil {
+			// Client gone mid-stream; nothing more to say to it.
+			s.logf("lgc-serve: ndjson result line: %v", err)
+			return
+		}
+		flush()
+	}
+	if err := st.Err(); err != nil {
+		// The batch died after the header: end the stream with a terminal
+		// error record instead of silent truncation.
+		msg := strings.TrimPrefix(err.Error(), ErrBadRequest.Error()+": ")
+		if err := api.WriteStreamError(w, msg); err != nil {
+			s.logf("lgc-serve: ndjson error record: %v", err)
+		}
+		return
+	}
+	agg := st.Aggregate()
+	if err := api.WriteClusterStreamTrailer(w, &agg); err != nil {
+		s.logf("lgc-serve: ndjson trailer: %v", err)
 	}
 }
 
@@ -257,8 +380,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, struct {
+	status, code := "ok", http.StatusOK
+	if s.eng.Draining() {
+		// Tell load balancers to stop routing here while in-flight work
+		// finishes.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, struct {
 		Status string  `json:"status"`
 		Uptime float64 `json:"uptime_seconds"`
-	}{Status: "ok", Uptime: time.Since(s.started).Seconds()})
+	}{Status: status, Uptime: time.Since(s.started).Seconds()})
+}
+
+// Drain gracefully quiesces the server: admission stops (new requests get
+// 503 + Retry-After, healthz flips to draining), and the call blocks until
+// every admitted request has finished — streams included — or ctx expires,
+// returning ctx's error in the latter case. The caller then shuts the
+// listener down (http.Server.Shutdown) knowing request handlers are idle.
+func (s *Server) Drain(ctx context.Context) error {
+	s.eng.BeginDrain()
+	select {
+	case <-s.eng.Drained():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

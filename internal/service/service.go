@@ -10,24 +10,32 @@
 //     deduplicated, singleflight style) and hands the immutable CSR out to
 //     every query.
 //   - Engine: a query engine dispatching typed ClusterRequest / NCPRequest
-//     values to the core algorithms. Per-request proc budgets are enforced
-//     by a bounded token pool, so a burst of queries cannot oversubscribe
-//     the machine: at most Config.ProcBudget workers run across all
-//     in-flight queries, and excess queries wait their turn (FIFO).
+//     values to the core algorithms. Every request passes through the
+//     internal/sched scheduler: admission control (per-class queue bounds
+//     with 429 backpressure, deadline feasibility checks), weighted
+//     priority classes (interactive | batch | background), per-graph
+//     fairness, and worker-token grants bounding total concurrency at
+//     Config.ProcBudget. Deadlines cancel in-flight kernels at their next
+//     round boundary through core.RunConfig.Cancel.
 //   - an LRU result cache keyed on (graph, algorithm, parameters, seeds).
 //     Graphs are immutable and every algorithm is deterministic given its
 //     parameters (rand-HK-PR and the evolving set process take explicit
 //     RNG seeds), so a cached result is exactly the result a re-run would
-//     produce.
+//     produce. Partial (cancelled) results are never cached.
 //   - Server: an HTTP/JSON front end (see cmd/lgc-serve) exposing
-//     POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
-//     GET /healthz and expvar counters, using only the standard library.
+//     POST /v1/cluster, POST /v1/cluster/stream, POST /v1/ncp,
+//     GET /v1/graphs, GET /v1/stats, GET /healthz and expvar counters,
+//     using only the standard library.
 //
 // Batched multi-seed queries: a ClusterRequest carries a list of seed
-// vertices. By default each seed is an independent query fanned across the
-// worker pool (per-seed clusters plus aggregate statistics come back
+// vertices. By default each seed is an independent work unit fanned across
+// the scheduler (per-seed clusters plus aggregate statistics come back
 // together); with SeedSet the whole list instead seeds a single diffusion
-// (footnote 5 of the paper).
+// (footnote 5 of the paper). The batch path is a streaming pipeline
+// (Engine.StreamCluster): each unit's result is delivered — and, on the
+// NDJSON endpoints, encoded, flushed, and its arena recycled — as the unit
+// completes, so a 10^4-seed batch emits its first cluster after the first
+// diffusion instead of the last.
 package service
 
 import "errors"

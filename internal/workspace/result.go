@@ -90,10 +90,11 @@ type Result struct {
 
 	rank *sparse.ConcurrentMap // recycled sweep rank table
 
-	u32 slab[uint32]
-	f64 slab[float64]
-	i64 slab[int64]
-	u64 slab[uint64]
+	u32  slab[uint32]
+	f64  slab[float64]
+	i64  slab[int64]
+	u64  slab[uint64]
+	ints slab[int]
 }
 
 // NewResult returns an unpooled result arena — the allocation behaviour
@@ -181,6 +182,14 @@ func (r *Result) Uint64s(n int) []uint64 {
 	return out
 }
 
+// Ints returns a zeroed result-sized []int of length n, sub-allocated from
+// the arena (the sort-based sweep's filtered index lists).
+func (r *Result) Ints(n int) []int {
+	out, reused := r.ints.alloc(n)
+	r.credit(8 * int64(reused))
+	return out
+}
+
 // Reset recycles the arena in place for another run within the same
 // checkout (NCP reuses one arena across its whole profile this way). All
 // previously handed-out memory is invalidated.
@@ -193,6 +202,7 @@ func (r *Result) Reset() {
 	r.f64.reset()
 	r.i64.reset()
 	r.u64.reset()
+	r.ints.reset()
 }
 
 // Release invalidates all handed-out memory and returns the arena to its

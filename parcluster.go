@@ -179,6 +179,10 @@ type NibbleOptions struct {
 	// returned vector into; the vector is then valid only until the arena
 	// is Released (see ResultArena). Results are identical either way.
 	Result *ResultArena
+	// Cancel, when non-nil, stops the parallel version at the next round
+	// boundary once it fires (pass a context's Done channel); the partial
+	// vector computed so far is returned and is the caller's to discard.
+	Cancel <-chan struct{}
 }
 
 func (o *NibbleOptions) defaults() {
@@ -191,7 +195,7 @@ func (o *NibbleOptions) defaults() {
 }
 
 func (o *NibbleOptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result, Cancel: o.Cancel}
 }
 
 // Nibble runs the Nibble diffusion (§3.2) from seed and returns the
@@ -232,6 +236,10 @@ type PRNibbleOptions struct {
 	// returned vector into; the vector is then valid only until the arena
 	// is Released (see ResultArena). Results are identical either way.
 	Result *ResultArena
+	// Cancel, when non-nil, stops the parallel version at the next round
+	// boundary once it fires; the partial vector is the caller's to
+	// discard.
+	Cancel <-chan struct{}
 }
 
 func (o *PRNibbleOptions) defaults() {
@@ -249,7 +257,7 @@ func (o *PRNibbleOptions) defaults() {
 }
 
 func (o *PRNibbleOptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result, Cancel: o.Cancel}
 }
 
 // PRNibble runs the PageRank-Nibble diffusion (§3.3) from seed and returns
@@ -284,6 +292,10 @@ type HKPROptions struct {
 	// returned vector into; the vector is then valid only until the arena
 	// is Released (see ResultArena). Results are identical either way.
 	Result *ResultArena
+	// Cancel, when non-nil, stops the parallel version at the next level
+	// boundary once it fires; the partial vector is the caller's to
+	// discard.
+	Cancel <-chan struct{}
 }
 
 func (o *HKPROptions) defaults() {
@@ -299,7 +311,7 @@ func (o *HKPROptions) defaults() {
 }
 
 func (o *HKPROptions) runConfig() core.RunConfig {
-	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result}
+	return core.RunConfig{Procs: o.Procs, Frontier: o.Frontier, Workspace: o.Workspace, Result: o.Result, Cancel: o.Cancel}
 }
 
 // HKPR runs the deterministic heat kernel PageRank diffusion (§3.4) from
@@ -424,10 +436,11 @@ type SweepOptions struct {
 	// results.
 	Sequential bool
 	SortBased  bool
-	// Result, when non-nil, is the arena the default parallel sweep borrows
-	// its result (Cluster, Order, PrefixConductance) and scratch from; the
+	// Result, when non-nil, is the arena the selected sweep borrows its
+	// result (Cluster, Order, PrefixConductance) and scratch from; the
 	// returned slices are then valid only until the arena is Released (see
-	// ResultArena). Ignored by the Sequential and SortBased variants.
+	// ResultArena). All three variants pool through it; results are
+	// identical either way.
 	Result *ResultArena
 }
 
@@ -435,10 +448,10 @@ type SweepOptions struct {
 // cluster (§3.1).
 func SweepCut(g *Graph, vec *Vector, opts SweepOptions) SweepResult {
 	if opts.Sequential {
-		return core.SweepCutSeq(g, vec)
+		return core.SweepCutSeqInto(g, vec, opts.Result)
 	}
 	if opts.SortBased {
-		return core.SweepCutParSort(g, vec, opts.Procs)
+		return core.SweepCutParSortInto(g, vec, opts.Procs, opts.Result)
 	}
 	return core.SweepCutParInto(g, vec, opts.Procs, opts.Result)
 }

@@ -17,7 +17,14 @@
 //	curl -s localhost:8080/v1/stats
 //
 // Endpoints: POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
-// GET /healthz, GET /debug/vars (expvar).
+// GET /v1/trace, GET /v1/trace/{id}, GET /metrics (Prometheus text
+// exposition), GET /healthz, GET /debug/vars (expvar).
+//
+// Observability: every response carries X-Request-Id, work requests are
+// traced into a bounded ring served at /v1/trace (capacity set by
+// -trace-ring), requests slower than -slow-query are logged at Warn
+// (-log-requests logs all of them), and -pprof-addr starts a separate
+// net/http/pprof listener kept off the service port.
 //
 // The -frontier flag sets the server-wide default frontier-representation
 // mode for diffusions ("auto", "sparse" or "dense"; auto switches per
@@ -41,7 +48,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -67,6 +76,10 @@ type serveConfig struct {
 	defaultDeadline time.Duration
 	maxQueue        int
 	drainTimeout    time.Duration
+	slowQuery       time.Duration
+	pprofAddr       string
+	traceRing       int
+	logRequests     bool
 	graphs, gens    []string
 }
 
@@ -83,6 +96,10 @@ func main() {
 	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "deadline applied to requests without deadline_ms (0 = none)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "per-class admitted-request bound before 429s (0 = 256, negative = unbounded)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight work after SIGTERM")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "log requests at Warn when they take at least this long (0 = never)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "finished-trace ring capacity behind /v1/trace (0 = 256, negative = disable tracing)")
+	flag.BoolVar(&cfg.logRequests, "log-requests", false, "log every request, not just slow and failed ones")
 	var graphs, gens multiFlag
 	flag.Var(&graphs, "graph", "register a graph file as name=path (repeatable)")
 	flag.Var(&gens, "gen", "register a generator spec as name=spec (repeatable)")
@@ -163,6 +180,11 @@ func run(cfg serveConfig) error {
 		ClassWeights:     weights,
 		MaxQueue:         cfg.maxQueue,
 		DefaultDeadline:  cfg.defaultDeadline,
+		TraceRing:        cfg.traceRing,
+		OnDeadlineMiss: func(class, graph, stage string) {
+			slog.Warn("scheduler deadline miss",
+				"class", class, "graph", graph, "stage", stage)
+		},
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -184,6 +206,26 @@ func run(cfg serveConfig) error {
 	}
 
 	handler := service.NewServer(eng)
+	handler.SlowQuery = cfg.slowQuery
+	if cfg.logRequests {
+		handler.Logger = slog.Default()
+	}
+	if cfg.pprofAddr != "" {
+		// Profiling stays on its own listener so the service port never
+		// exposes pprof and the service mux stays free of debug routes.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,

@@ -1,0 +1,24 @@
+package api
+
+// headers.go names the observability pieces of the service's wire contract:
+// the headers every response carries and the content type of the metrics
+// exposition. They live here, next to the JSON wire types, so clients can
+// match on them without importing the serving layer.
+
+const (
+	// HeaderRequestID is set on every response to the request's ID — the
+	// client-sent value when the request carried the header, a generated
+	// one otherwise. The same ID keys the request's trace at /v1/trace/{id}
+	// and tags its log records.
+	HeaderRequestID = "X-Request-Id"
+
+	// HeaderServerTiming carries the request's span durations (admission,
+	// queue wait, graph load, kernel, sweep) in the W3C Server-Timing
+	// format: a comma-separated list of "name;dur=<milliseconds>" entries,
+	// one per span name, durations summed across a batch's units.
+	HeaderServerTiming = "Server-Timing"
+
+	// MetricsContentType is the Content-Type of GET /metrics: Prometheus
+	// text exposition format, version 0.0.4.
+	MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+)

@@ -114,6 +114,27 @@ type RunConfig struct {
 	// run returns (the service layer does exactly that and discards the
 	// partial result without caching it). A nil channel never cancels.
 	Cancel <-chan struct{}
+	// Observer, when non-nil, receives one event per synchronous round from
+	// the frontier engine — the per-round breakdown of the Stats totals,
+	// plus the engine's sparse/dense traversal decision. A nil observer
+	// costs one pointer comparison per round and zero allocations (the
+	// AllocsPerRun test in observer_test.go pins this down). The observer
+	// is called from the kernel's driving goroutine, synchronously between
+	// rounds: implementations must be fast and must not block. rand-HK-PR
+	// runs no rounds; it emits a single synthetic event summarizing the
+	// whole walk phase.
+	Observer Observer
+}
+
+// Observer receives per-round kernel telemetry from the frontier engine.
+// One Round call per synchronous round, in round order.
+type Observer interface {
+	// Round reports one frontier round before its edge phase runs: the
+	// 0-based round index, the frontier size |F| (== the vertex pushes the
+	// round performs), the pushes and edges-touched vol(F) this round adds
+	// to the run's Stats, and whether the engine selected the dense
+	// (bitmap-scan) traversal.
+	Round(round, frontier int, pushes, edges int64, dense bool)
 }
 
 // cancelled reports whether a cancellation channel has fired; a nil channel
@@ -219,14 +240,15 @@ type frontierEngine struct {
 	mode      FrontierMode
 	st        *Stats
 	ws        *workspace.Workspace
+	obs       Observer  // per-round telemetry sink; nil = disabled
 	shares    []float64 // per-source state, frontier-indexed (sparse rounds)
 	sharesV   []float64 // per-source state, vertex-indexed (dense rounds)
 	bits      []uint64  // reused frontier-bitmap buffer (dense rounds)
 	wentDense bool      // some round took the dense path (filter-buffer policy)
 }
 
-func newFrontierEngine(g *graph.CSR, procs int, mode FrontierMode, st *Stats, ws *workspace.Workspace) *frontierEngine {
-	return &frontierEngine{g: g, procs: procs, mode: mode, st: st, ws: ws}
+func newFrontierEngine(g *graph.CSR, procs int, mode FrontierMode, st *Stats, ws *workspace.Workspace, obs Observer) *frontierEngine {
+	return &frontierEngine{g: g, procs: procs, mode: mode, st: st, ws: ws, obs: obs}
 }
 
 // useDense resolves the engine's mode to a per-round traversal decision.
@@ -273,6 +295,10 @@ func (e *frontierEngine) round(frontier ligra.VertexSubset, spec roundSpec) []ui
 	e.st.Pushes += int64(size)
 	e.st.EdgesTouched += int64(vol)
 	e.st.Iterations++
+	dense := e.useDense(size, vol)
+	if e.obs != nil {
+		e.obs.Round(int(e.st.Iterations)-1, size, int64(size), int64(vol), dense)
+	}
 	bound := size + int(vol)
 	if spec.accumulate {
 		spec.scratch.reserve(bound)
@@ -283,7 +309,7 @@ func (e *frontierEngine) round(frontier ligra.VertexSubset, spec roundSpec) []ui
 		spec.before(size, vol)
 	}
 	scratch := spec.scratch
-	if e.useDense(size, vol) {
+	if dense {
 		e.wentDense = true
 		n := e.g.NumVertices()
 		if e.sharesV == nil {

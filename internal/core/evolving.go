@@ -66,6 +66,10 @@ type EvolvingSetOptions struct {
 	// evolution step once it fires; the best set seen so far is returned
 	// (see core.RunConfig.Cancel for the partial-result contract).
 	Cancel <-chan struct{}
+	// Observer, when non-nil, receives the parallel version's per-step
+	// frontier-engine events (see core.RunConfig.Observer): each evolution
+	// step's neighbor-count phase is one engine round.
+	Observer Observer
 }
 
 func (o *EvolvingSetOptions) defaults() {
@@ -216,7 +220,7 @@ func evolvingSetSteps(g *graph.CSR, seed uint32, opts EvolvingSetOptions, procs 
 	inS.Add(seed, 1)
 	walk := seed
 	counts := newVec(n, opts.Frontier, 4, ws)
-	eng := newFrontierEngine(g, procs, opts.Frontier, &st, ws)
+	eng := newFrontierEngine(g, procs, opts.Frontier, &st, ws, opts.Observer)
 	best := bestTracker{g: g}
 	best.update(S.IDs())
 	totalVol := g.TotalVolume()

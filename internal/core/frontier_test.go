@@ -177,11 +177,11 @@ func TestNibbleFrontierModeDeterminism(t *testing.T) {
 func TestDenseModeForcesDenseStructures(t *testing.T) {
 	g := gen.Barbell(20)
 	ws := workspace.New(g.NumVertices())
-	eng := newFrontierEngine(g, 2, FrontierDense, &Stats{}, ws)
+	eng := newFrontierEngine(g, 2, FrontierDense, &Stats{}, ws, nil)
 	if !eng.useDense(1, 1) {
 		t.Fatal("FrontierDense engine chose the sparse path")
 	}
-	if eng2 := newFrontierEngine(g, 2, FrontierSparse, &Stats{}, ws); eng2.useDense(1<<20, 1<<40) {
+	if eng2 := newFrontierEngine(g, 2, FrontierSparse, &Stats{}, ws, nil); eng2.useDense(1<<20, 1<<40) {
 		t.Fatal("FrontierSparse engine chose the dense path")
 	}
 	v := newVec(g.NumVertices(), FrontierDense, 4, ws)

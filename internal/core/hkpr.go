@@ -145,7 +145,7 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
+	vec, st := hkprRelax(g, seeds, t, N, eps, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel, cfg.Observer)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
@@ -154,7 +154,7 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 // hkprRelax is the level-synchronous coordinate-relaxation loop proper,
 // run entirely against scratch state borrowed from ws; the result is
 // snapshotted into res when one is configured.
-func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
+func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	if N < 1 {
 		N = 1
 	}
@@ -169,14 +169,31 @@ func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, proc
 	p := newVec(n, mode, 16, ws)
 	frontier := ligra.FromIDs(seeds)
 	rNext := newVec(n, mode, 4, ws)
-	eng := newFrontierEngine(g, procs, mode, &st, ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws, obs)
+	// Hoisted out of the loop so the steady-state rounds cost no closure
+	// allocations: the closures track r/rNext swaps and the per-round scalar
+	// through the captured variables, updated before each round. Only the
+	// final spread-out round (run at most once) builds its spec inline.
+	var (
+		tOverJ float64
+		jn     int
+	)
+	spec := roundSpec{
+		before: func(size int, vol uint64) { p.reserve(size + int(vol)) },
+		source: func(_ int, v uint32) float64 {
+			rv := r.Get(v)
+			p.Add(v, rv)
+			return tOverJ * rv / float64(g.Degree(v))
+		},
+	}
+	above := func(v uint32) bool {
+		return rNext.Get(v) >= hkThreshold(t, eps, N, psi, g.Degree(v), jn)
+	}
 	for j := 0; !frontier.IsEmpty(); j++ {
 		if cancelled(cancel) {
 			break // partial vector; see RunConfig.Cancel
 		}
-		last := j+1 >= N
-		tOverJ := t / float64(j+1)
-		if last {
+		if j+1 >= N {
 			// Last round: spread the remaining residual into p directly,
 			// accumulating on top of the earlier levels' mass.
 			eng.round(frontier, roundSpec{
@@ -191,19 +208,11 @@ func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, proc
 			})
 			break
 		}
-		touched := eng.round(frontier, roundSpec{
-			scratch: rNext,
-			before:  func(size int, vol uint64) { p.reserve(size + int(vol)) },
-			source: func(_ int, v uint32) float64 {
-				rv := r.Get(v)
-				p.Add(v, rv)
-				return tOverJ * rv / float64(g.Degree(v))
-			},
-		})
-		jn := j + 1
-		frontier = eng.filter(touched, func(v uint32) bool {
-			return rNext.Get(v) >= hkThreshold(t, eps, N, psi, g.Degree(v), jn)
-		})
+		tOverJ = t / float64(j+1)
+		spec.scratch = rNext
+		touched := eng.round(frontier, spec)
+		jn = j + 1
+		frontier = eng.filter(touched, above)
 		r, rNext = rNext, r
 	}
 	out := vecFromTableInto(p, res)

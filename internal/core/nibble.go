@@ -95,7 +95,7 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
+	vec, st := nibbleWalk(g, seeds, eps, T, procs, cfg.Frontier, ws, cfg.Result, cfg.Cancel, cfg.Observer)
 	// Release only on the non-panicking path (see acquireWorkspace).
 	ws.Release(procs)
 	return vec, st
@@ -104,7 +104,7 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 // nibbleWalk is the truncated-walk loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
+func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	var st Stats
 	n := g.NumVertices()
 	p := newVec(n, mode, len(seeds), ws)
@@ -114,22 +114,27 @@ func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode Fr
 	}
 	frontier := ligra.FromIDs(seeds)
 	next := newVec(n, mode, len(seeds), ws)
-	eng := newFrontierEngine(g, procs, mode, &st, ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws, obs)
+	// Hoisted out of the loop so each round costs no closure allocations;
+	// the closures track the p/next swap through the captured variables, and
+	// only scratch (a plain field) must be re-pointed per round.
+	spec := roundSpec{
+		source: func(_ int, v uint32) float64 {
+			pv := p.Get(v)
+			next.Add(v, pv/2)
+			return pv / (2 * float64(g.Degree(v)))
+		},
+	}
+	above := func(v uint32) bool {
+		return next.Get(v) >= eps*float64(g.Degree(v))
+	}
 	for t := 1; t <= T; t++ {
 		if cancelled(cancel) {
 			break // partial vector; see RunConfig.Cancel
 		}
-		touched := eng.round(frontier, roundSpec{
-			scratch: next,
-			source: func(_ int, v uint32) float64 {
-				pv := p.Get(v)
-				next.Add(v, pv/2)
-				return pv / (2 * float64(g.Degree(v)))
-			},
-		})
-		frontier = eng.filter(touched, func(v uint32) bool {
-			return next.Get(v) >= eps*float64(g.Degree(v))
-		})
+		spec.scratch = next
+		touched := eng.round(frontier, spec)
+		frontier = eng.filter(touched, above)
 		if frontier.IsEmpty() {
 			return vecFromTableInto(p, res), st
 		}

@@ -53,7 +53,7 @@ func PRNibbleRun(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
-	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws, cfg.Result, cfg.Cancel)
+	vec, st := prNibblePush(g, seeds, alpha, eps, rule, procs, beta, cfg.Frontier, ws, cfg.Result, cfg.Cancel, cfg.Observer)
 	// Release only on the non-panicking path (see acquireWorkspace); the
 	// result vector was snapshotted out of the workspace by the body.
 	ws.Release(procs)
@@ -69,7 +69,7 @@ var prNibbleResidualSink func(*sparse.Map)
 // prNibblePush is the PR-Nibble push loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}) (*sparse.Map, Stats) {
+func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}
@@ -88,7 +88,22 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 	}
 	frontier := ligra.VertexFilter(procs, ligra.FromIDs(seeds), above)
 	delta := newVec(n, mode, 16, ws)
-	eng := newFrontierEngine(g, procs, mode, &st, ws)
+	eng := newFrontierEngine(g, procs, mode, &st, ws, obs)
+	// The spec is loop-invariant (its closures read r/p/delta through the
+	// captured variables), so build it once: a per-round literal costs two
+	// heap-escaping closures every synchronous round.
+	spec := roundSpec{
+		scratch: delta,
+		before:  func(size int, _ uint64) { p.reserve(size) },
+		source: func(_ int, v uint32) float64 {
+			rv := r.Get(v)
+			p.Add(v, pGain*rv)
+			// Self-update as a commutative delta: r[v] becomes
+			// selfKeep*rv, i.e. changes by (selfKeep-1)*rv.
+			delta.Add(v, (selfKeep-1)*rv)
+			return edgeShare * rv / float64(g.Degree(v))
+		},
+	}
 	for !frontier.IsEmpty() {
 		if cancelled(cancel) {
 			break // partial vector; see RunConfig.Cancel
@@ -96,18 +111,7 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 		if beta < 1 && frontier.Size() > 1 {
 			frontier = topBetaFraction(procs, g, r, frontier, beta)
 		}
-		touched := eng.round(frontier, roundSpec{
-			scratch: delta,
-			before:  func(size int, _ uint64) { p.reserve(size) },
-			source: func(_ int, v uint32) float64 {
-				rv := r.Get(v)
-				p.Add(v, pGain*rv)
-				// Self-update as a commutative delta: r[v] becomes
-				// selfKeep*rv, i.e. changes by (selfKeep-1)*rv.
-				delta.Add(v, (selfKeep-1)*rv)
-				return edgeShare * rv / float64(g.Degree(v))
-			},
-		})
+		touched := eng.round(frontier, spec)
 		// Merge the deltas into r; only touched entries change, so the next
 		// frontier is a filter over exactly the touched keys.
 		eng.merge(r, touched, delta)

@@ -122,6 +122,12 @@ func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uin
 	st.Pushes = int64(N)
 	st.Iterations = N
 	st.EdgesTouched = parallel.Sum(procs, steps)
+	if cfg.Observer != nil {
+		// No frontier rounds here — the walks are independent — so emit one
+		// synthetic event summarizing the whole walk phase: N "pushes" (one
+		// per walk), the total steps as edges touched, sparse by definition.
+		cfg.Observer.Round(0, N, st.Pushes, st.EdgesTouched, false)
+	}
 
 	// Map destinations (at most N distinct) to dense IDs so the radix sort
 	// key range is [0, N), as in the paper's O(N)-work integer sort.

@@ -58,7 +58,9 @@ type SweepResult struct {
 // order, so every implementation produces the same permutation).
 // Zero-degree vertices sort first (infinite normalized mass) and can never
 // win: every prefix they head has zero volume and conductance 1. The order
-// array is borrowed from res when one is configured.
+// array — and, when the parallel merge sort runs, its merge scratch — is
+// borrowed from res when one is configured, so the pooled sweep's sort
+// allocates nothing (the last per-call sweep allocation, DESIGN.md §7).
 func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map, res *workspace.Result) []uint32 {
 	var order []uint32
 	if res != nil {
@@ -78,7 +80,11 @@ func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map, res *workspace.Result)
 		}
 		return vec.Get(v) / float64(d)
 	}
-	parallel.Sort(procs, order, func(a, b uint32) bool {
+	var scratch []uint32
+	if n := parallel.SortScratchLen(procs, len(order)); n > 0 && res != nil {
+		scratch = res.Uint32s(n)
+	}
+	parallel.SortScratch(procs, order, scratch, func(a, b uint32) bool {
 		sa, sb := score(a), score(b)
 		if sa != sb {
 			return sa > sb

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the histogram bucket upper bounds used when a vec is
+// registered with nil bounds: roughly exponential from 100µs to 60s, in
+// seconds. The range brackets the serving stack's realities — a cached hit
+// answers in tens of microseconds, a cold NCP profile can run for minutes.
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a lock-free fixed-bucket duration histogram: one atomic
+// counter per bucket plus an atomic sum and count. Observe is wait-free (a
+// bounded bucket scan and three atomic adds, no allocation), so it can sit
+// on the per-line stream-flush path without becoming the bottleneck it is
+// meant to measure.
+type Histogram struct {
+	bounds []float64 // shared, immutable bucket upper bounds (seconds)
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// newHistogram builds a histogram over the given (sorted, immutable)
+// bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// labelSep joins label values into child-map keys. 0x1f (ASCII unit
+// separator) cannot appear in a validated label value, so the join is
+// unambiguous; see HistogramVec.With.
+const labelSep = "\x1f"
+
+// HistogramVec is a family of Histograms keyed by a fixed set of label
+// names. The steady-state path (With on an existing child) takes one RWMutex
+// read lock and one map lookup; children are created on first use and live
+// forever — label values must therefore come from a bounded set (algorithm
+// names, class names, outcome labels), never from raw client input.
+type HistogramVec struct {
+	name       string
+	help       string
+	labelNames []string
+	bounds     []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// Name returns the metric family name.
+func (v *HistogramVec) Name() string { return v.name }
+
+// With returns the child histogram for the given label values (one per
+// registered label name, positionally), creating it on first use. Label
+// values containing the 0x1f separator are sanitized to "invalid" — they
+// indicate a caller bug, not data worth a new time series.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if len(labelValues) != len(v.labelNames) {
+		panic("obs: HistogramVec.With called with " + v.name + ": wrong label count")
+	}
+	for i, lv := range labelValues {
+		if strings.Contains(lv, labelSep) {
+			labelValues[i] = "invalid"
+		}
+	}
+	key := strings.Join(labelValues, labelSep)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[key]; h == nil {
+		h = newHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+// expose writes the family in text exposition format: all children sorted
+// by label values, each as a cumulative _bucket series set plus _sum and
+// _count.
+func (v *HistogramVec) expose(pw *PromWriter) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		hists[i] = v.children[k]
+	}
+	v.mu.RUnlock()
+	pw.beginFamily(v.name, "histogram", v.help)
+	for i, k := range keys {
+		var values []string
+		if k != "" || len(v.labelNames) > 0 {
+			values = strings.Split(k, labelSep)
+		}
+		labels := make([]Label, len(v.labelNames))
+		for j, name := range v.labelNames {
+			labels[j] = Label{Name: name, Value: values[j]}
+		}
+		pw.histogramSeries(v.name, labels, v.bounds, hists[i])
+	}
+}
+
+// Metrics is a registry of histogram families, rendered in one Expose call.
+// Families are exposed sorted by name so the output is deterministic.
+type Metrics struct {
+	mu   sync.Mutex
+	vecs []*HistogramVec
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// NewHistogramVec registers a histogram family under name with the given
+// help text, bucket bounds (nil = DefaultBuckets; must be sorted ascending)
+// and label names. Registering a duplicate name panics — metric names are
+// compile-time decisions.
+func (m *Metrics) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds for " + name + " not sorted ascending")
+		}
+	}
+	v := &HistogramVec{
+		name:       name,
+		help:       help,
+		labelNames: labelNames,
+		bounds:     bounds,
+		children:   make(map[string]*Histogram),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.vecs {
+		if existing.name == name {
+			panic("obs: duplicate metric family " + name)
+		}
+	}
+	m.vecs = append(m.vecs, v)
+	sort.Slice(m.vecs, func(i, j int) bool { return m.vecs[i].name < m.vecs[j].name })
+	return v
+}
+
+// Expose writes every registered family through pw, sorted by family name.
+func (m *Metrics) Expose(pw *PromWriter) {
+	m.mu.Lock()
+	vecs := append([]*HistogramVec(nil), m.vecs...)
+	m.mu.Unlock()
+	for _, v := range vecs {
+		v.expose(pw)
+	}
+}

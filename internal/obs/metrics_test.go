@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (<= 1ms)
+	h.Observe(time.Millisecond)       // bucket 0 (bounds are inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // overflow bucket
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	want := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + time.Second
+	if got := h.Sum(); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	counts := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load(), h.counts[3].Load()}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 0 || counts[3] != 1 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+}
+
+func TestHistogramVecWith(t *testing.T) {
+	m := NewMetrics()
+	v := m.NewHistogramVec("t_x_seconds", "x", nil, "algo")
+	a, b := v.With("nibble"), v.With("nibble")
+	if a != b {
+		t.Fatal("With did not reuse the child for identical labels")
+	}
+	if v.With("hkpr") == a {
+		t.Fatal("distinct labels share a child")
+	}
+	// A separator byte in the value must not create an ambiguous key.
+	v.With("evil\x1fvalue").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	m.Expose(pw)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `algo="invalid"`) {
+		t.Fatalf("separator-bearing label not sanitized:\n%s", buf.String())
+	}
+	if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition fails lint: %v", err)
+	}
+}
+
+func TestHistogramVecWrongLabelCount(t *testing.T) {
+	m := NewMetrics()
+	v := m.NewHistogramVec("t_x_seconds", "x", nil, "algo", "class")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestMetricsDuplicateFamilyPanics(t *testing.T) {
+	m := NewMetrics()
+	m.NewHistogramVec("t_x_seconds", "x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family registration did not panic")
+		}
+	}()
+	m.NewHistogramVec("t_x_seconds", "again", nil)
+}
+
+// TestHistogramConcurrentObserve exercises the lock-free observe path and
+// the scrape that races it; run with -race in CI.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	v := m.NewHistogramVec("t_x_seconds", "x", nil, "algo")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With("nibble").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		pw := NewPromWriter(&buf)
+		m.Expose(pw)
+		if err := pw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("mid-race exposition fails lint: %v", err)
+		}
+	}
+	wg.Wait()
+	if got := v.With("nibble").Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,43 @@
+// Package obs is the serving stack's zero-dependency observability layer:
+// request-scoped traces with per-round kernel telemetry, lock-cheap
+// fixed-bucket histograms, and a Prometheus text-exposition writer — all on
+// the standard library alone.
+//
+// The package deliberately knows nothing about graphs, kernels, or HTTP.
+// The service layer owns the wiring: it creates a Trace per request (NewID +
+// Tracer.Start), threads it through the engine via context (NewContext /
+// FromContext), records spans at the request's phase boundaries (admission,
+// queue wait, graph load, kernel, sweep, encode), forwards the core
+// Observer's per-round events into Trace.KernelRound, and finishes the trace
+// into the tracer's bounded ring, where GET /v1/trace serves it. Histograms
+// are registered once on a Metrics value and observed from the same sites;
+// GET /metrics renders them — plus any counters the caller writes directly —
+// through a PromWriter. See docs/ARCHITECTURE.md ("Observability") for the
+// span ownership map.
+//
+// Everything here is safe for concurrent use except where a type's comment
+// says otherwise, and every Trace method is nil-receiver-safe, so untraced
+// requests thread a nil *Trace through the same code paths at no cost.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// idCounter breaks ties if the system randomness source ever fails; IDs
+// degrade to a process-local sequence instead of colliding.
+var idCounter atomic.Uint64
+
+// NewID returns a fresh 16-hex-character request ID. IDs are random (not
+// sequential) so they can be shared in bug reports without leaking request
+// volume.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,485 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// prom.go renders and validates the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers followed by
+// `name{label="value"} value` series lines. The writer half (PromWriter) is
+// what GET /metrics streams through; the reader half (LintExposition) is the
+// conformance check the tests and CI run against that output, so the two
+// halves pin each other down.
+
+// Label is one name="value" pair of a series.
+type Label struct {
+	// Name is the label name ([a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value; rendered with \, " and newline escaped.
+	Value string
+}
+
+// PromWriter streams metric families in text exposition format. It enforces
+// the format's structural rules as it writes: one HELP/TYPE header per
+// family, all of a family's series contiguous. Violations surface through
+// Err, not panics, so a malformed scrape degrades to a 500 instead of
+// killing the server. Not safe for concurrent use; build one per scrape.
+type PromWriter struct {
+	w        *bufio.Writer
+	err      error
+	families map[string]string // family name -> type
+	current  string            // family currently being written
+}
+
+// NewPromWriter returns a writer streaming to w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), families: make(map[string]string)}
+}
+
+// Err returns the first structural or I/O error encountered.
+func (p *PromWriter) Err() error { return p.err }
+
+// Flush flushes the underlying buffered writer and returns the first error.
+func (p *PromWriter) Flush() error {
+	if err := p.w.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// fail records the writer's first error.
+func (p *PromWriter) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// beginFamily writes the HELP/TYPE header for a family, once. Re-entering a
+// family other than the current one is an interleaving error: the format
+// requires a family's series to be contiguous.
+func (p *PromWriter) beginFamily(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	if existing, ok := p.families[name]; ok {
+		if p.current != name {
+			p.fail("obs: metric family %s written twice (series must be contiguous)", name)
+		} else if existing != typ {
+			p.fail("obs: metric family %s re-declared as %s (was %s)", name, typ, existing)
+		}
+		return
+	}
+	p.families[name] = typ
+	p.current = name
+	esc := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help)
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, esc, name, typ)
+}
+
+// Counter writes one series of a counter family, declaring the family on
+// first use. All of a family's series must be written consecutively.
+func (p *PromWriter) Counter(name, help string, value float64, labels ...Label) {
+	p.beginFamily(name, "counter", help)
+	p.series(name, labels, formatValue(value))
+}
+
+// Gauge writes one series of a gauge family, declaring the family on first
+// use. All of a family's series must be written consecutively.
+func (p *PromWriter) Gauge(name, help string, value float64, labels ...Label) {
+	p.beginFamily(name, "gauge", help)
+	p.series(name, labels, formatValue(value))
+}
+
+// histogramSeries writes one child of a histogram family: the cumulative
+// _bucket series, then _sum and _count. The +Inf bucket and _count are both
+// taken from the cumulative bucket total so the exposition is internally
+// consistent even while observations race the scrape.
+func (p *PromWriter) histogramSeries(name string, labels []Label, bounds []float64, h *Histogram) {
+	if p.err != nil {
+		return
+	}
+	withLE := make([]Label, len(labels)+1)
+	copy(withLE, labels)
+	var cum uint64
+	for i, bound := range bounds {
+		cum += h.counts[i].Load()
+		withLE[len(labels)] = Label{Name: "le", Value: formatValue(bound)}
+		p.series(name+"_bucket", withLE, strconv.FormatUint(cum, 10))
+	}
+	cum += h.counts[len(bounds)].Load()
+	withLE[len(labels)] = Label{Name: "le", Value: "+Inf"}
+	p.series(name+"_bucket", withLE, strconv.FormatUint(cum, 10))
+	p.series(name+"_sum", labels, formatValue(h.Sum().Seconds()))
+	p.series(name+"_count", labels, strconv.FormatUint(cum, 10))
+}
+
+// labelValueEscaper escapes a label value for rendering inside quotes.
+var labelValueEscaper = strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`)
+
+// series writes one raw series line under the current family.
+func (p *PromWriter) series(name string, labels []Label, value string) {
+	if p.err != nil {
+		return
+	}
+	p.w.WriteString(name)
+	if len(labels) > 0 {
+		p.w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.w.WriteByte(',')
+			}
+			p.w.WriteString(l.Name)
+			p.w.WriteString(`="`)
+			p.w.WriteString(labelValueEscaper.Replace(l.Value))
+			p.w.WriteByte('"')
+		}
+		p.w.WriteByte('}')
+	}
+	p.w.WriteByte(' ')
+	p.w.WriteString(value)
+	if err := p.w.WriteByte('\n'); err != nil {
+		p.fail("obs: writing series: %v", err)
+	}
+}
+
+// formatValue renders a float in the exposition format's shortest exact
+// form ("+Inf"/"-Inf"/"NaN" for the specials).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exposition-lint machinery. LintExposition re-parses an exposition and
+// rejects structural rot the writer cannot see end-to-end: duplicate or
+// out-of-order series, interleaved families, malformed escaping,
+// non-cumulative histogram buckets. The /metrics tests and the CI
+// metrics-golden step run every scrape through it.
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// lintState tracks one family's series while linting.
+type lintState struct {
+	name string
+	typ  string
+	// lastChild is the canonical (le-stripped) label set of the last child
+	// seen, for the sorted/duplicate check.
+	lastChild string
+	// child-in-progress bookkeeping for histogram families. inChild
+	// distinguishes "no child open" from an open child with an empty label
+	// set (an unlabeled histogram), which curChild alone cannot.
+	inChild    bool
+	curChild   string
+	lastLE     float64
+	lastCum    uint64
+	sawInf     bool
+	infCum     uint64
+	wantSum    bool
+	wantCount  bool
+	seenSeries map[string]bool
+}
+
+// LintExposition validates a Prometheus text exposition: metric and label
+// names are well-formed, label values use only valid escapes, every series
+// belongs to the family declared above it, a family is declared exactly
+// once with all its series contiguous, children within a family are sorted
+// by label values with no duplicates, and histogram children carry
+// cumulative buckets ending in +Inf with a matching _count. It returns the
+// first violation found, or nil for a clean exposition.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	declared := make(map[string]bool)
+	var cur *lintState
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, ok := parseTypeLine(line)
+			if !ok {
+				continue // HELP and other comments carry no structure to check
+			}
+			if declared[name] {
+				return fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			if cur != nil {
+				if err := cur.finishChild(); err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+			}
+			declared[name] = true
+			cur = &lintState{name: name, typ: typ, seenSeries: make(map[string]bool)}
+			continue
+		}
+		name, labels, value, err := parseSeriesLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			return fmt.Errorf("line %d: series %s before any # TYPE declaration", lineNo, name)
+		}
+		if err := cur.addSeries(name, labels, value); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if cur != nil {
+		if err := cur.finishChild(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTypeLine extracts the family name and type from a "# TYPE" line.
+func parseTypeLine(line string) (name, typ string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+		return "", "", false
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return "", "", false
+	}
+	return fields[2], fields[3], true
+}
+
+// parseSeriesLine splits one sample line into its metric name, labels and
+// value, validating names and escape sequences.
+func parseSeriesLine(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("series %s: malformed label pair near %q", name, rest)
+			}
+			ln := rest[:eq]
+			if !labelNameRE.MatchString(ln) {
+				return "", nil, 0, fmt.Errorf("series %s: bad label name %q", name, ln)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("series %s: label %s value not quoted", name, ln)
+			}
+			lv, remain, verr := unescapeLabelValue(rest[1:])
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("series %s: label %s: %v", name, ln, verr)
+			}
+			labels = append(labels, Label{Name: ln, Value: lv})
+			rest = remain
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("malformed series line %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; our writer never emits one, but the
+	// lint accepts the format.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	value, perr := strconv.ParseFloat(valStr, 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("series %s: bad value %q", name, valStr)
+	}
+	return name, labels, value, nil
+}
+
+// unescapeLabelValue consumes a quoted label value (opening quote already
+// consumed), validating that only \\, \" and \n escapes appear.
+func unescapeLabelValue(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// canonicalLabels renders a label set (minus any le label) as a comparison
+// key; label order is preserved, which the writer keeps fixed per family.
+func canonicalLabels(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		if l.Name == "le" {
+			continue
+		}
+		b.WriteString(l.Name)
+		b.WriteString(labelSep)
+		b.WriteString(l.Value)
+		b.WriteString(labelSep)
+	}
+	return b.String()
+}
+
+// addSeries checks one sample line against the family in progress.
+func (st *lintState) addSeries(name string, labels []Label, value float64) error {
+	if st.typ == "histogram" {
+		return st.addHistogramSeries(name, labels, value)
+	}
+	if name != st.name {
+		return fmt.Errorf("series %s inside family %s", name, st.name)
+	}
+	key := canonicalLabels(labels)
+	if st.seenSeries[key] {
+		return fmt.Errorf("duplicate series %s{%s}", name, key)
+	}
+	if len(st.seenSeries) > 0 && key < st.lastChild {
+		return fmt.Errorf("series of %s not sorted by label values (%q after %q)", name, key, st.lastChild)
+	}
+	st.seenSeries[key] = true
+	st.lastChild = key
+	return nil
+}
+
+// addHistogramSeries checks one _bucket/_sum/_count line of a histogram
+// family, enforcing per-child ordering: buckets with increasing le and
+// non-decreasing cumulative counts, a terminal +Inf bucket, then _sum and a
+// _count equal to the +Inf bucket.
+func (st *lintState) addHistogramSeries(name string, labels []Label, value float64) error {
+	child := canonicalLabels(labels)
+	switch name {
+	case st.name + "_bucket":
+		var le float64
+		found := false
+		for _, l := range labels {
+			if l.Name == "le" {
+				v, err := strconv.ParseFloat(strings.Replace(l.Value, "+Inf", "Inf", 1), 64)
+				if err != nil {
+					return fmt.Errorf("bucket of %s: bad le %q", st.name, l.Value)
+				}
+				le, found = v, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("bucket of %s missing le label", st.name)
+		}
+		if !st.inChild || child != st.curChild {
+			if err := st.finishChild(); err != nil {
+				return err
+			}
+			if len(st.seenSeries) > 0 {
+				if st.seenSeries[child] {
+					return fmt.Errorf("duplicate histogram child %s{%s}", st.name, child)
+				}
+				if child <= st.lastChild {
+					return fmt.Errorf("children of %s not sorted by label values (%q after %q)", st.name, child, st.lastChild)
+				}
+			}
+			st.inChild = true
+			st.curChild = child
+			st.lastLE = math.Inf(-1)
+			st.lastCum = 0
+			st.sawInf = false
+		}
+		if st.wantSum || st.wantCount {
+			return fmt.Errorf("bucket of %s{%s} interleaved with its _sum/_count", st.name, child)
+		}
+		if le <= st.lastLE {
+			return fmt.Errorf("buckets of %s{%s} le not increasing (%g after %g)", st.name, child, le, st.lastLE)
+		}
+		cum := uint64(value)
+		if float64(cum) != value || cum < st.lastCum {
+			return fmt.Errorf("buckets of %s{%s} not cumulative (%g after %d)", st.name, child, value, st.lastCum)
+		}
+		st.lastLE, st.lastCum = le, cum
+		if math.IsInf(le, 1) {
+			st.sawInf = true
+			st.infCum = cum
+			st.wantSum = true
+		}
+		return nil
+	case st.name + "_sum":
+		if child != st.curChild || !st.wantSum {
+			return fmt.Errorf("_sum of %s{%s} without its buckets", st.name, child)
+		}
+		st.wantSum = false
+		st.wantCount = true
+		return nil
+	case st.name + "_count":
+		if child != st.curChild || !st.wantCount {
+			return fmt.Errorf("_count of %s{%s} without its _sum", st.name, child)
+		}
+		if uint64(value) != st.infCum {
+			return fmt.Errorf("_count of %s{%s} is %g, +Inf bucket is %d", st.name, child, value, st.infCum)
+		}
+		st.wantCount = false
+		st.seenSeries[child] = true
+		st.lastChild = child
+		st.inChild = false
+		st.curChild = ""
+		return nil
+	default:
+		return fmt.Errorf("series %s inside histogram family %s", name, st.name)
+	}
+}
+
+// finishChild verifies the histogram child in progress (if any) was
+// completed: +Inf bucket, _sum and _count all present.
+func (st *lintState) finishChild() error {
+	if st.typ != "histogram" || !st.inChild {
+		return nil
+	}
+	if !st.sawInf || st.wantSum || st.wantCount {
+		return fmt.Errorf("histogram child %s{%s} incomplete (missing +Inf bucket, _sum or _count)", st.name, st.curChild)
+	}
+	st.inChild = false
+	return nil
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenExposition builds the deterministic exposition the golden test pins:
+// a couple of counter and gauge families (with escaping-relevant label
+// values) plus a labeled histogram vec fed fixed observations.
+func goldenExposition() ([]byte, error) {
+	m := NewMetrics()
+	lat := m.NewHistogramVec("t_request_seconds", "Request latency.",
+		[]float64{0.001, 0.01, 0.1, 1}, "algo", "class")
+	for i := 0; i < 5; i++ {
+		lat.With("nibble", "batch").Observe(time.Duration(i) * 3 * time.Millisecond)
+	}
+	lat.With("prnibble", "interactive").Observe(500 * time.Microsecond)
+	lat.With("prnibble", "interactive").Observe(2 * time.Second)
+	m.NewHistogramVec("t_empty_seconds", "Registered but never observed.", nil, "algo")
+
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Counter("t_queries_total", "Queries served.", 42)
+	pw.Counter("t_by_class_total", "Queries by class.", 7, Label{Name: "class", Value: "background"})
+	pw.Counter("t_by_class_total", "Queries by class.", 30, Label{Name: "class", Value: "batch"})
+	pw.Counter("t_by_class_total", "Queries by class.", 5, Label{Name: "class", Value: "interactive"})
+	pw.Gauge("t_in_flight", "In-flight requests.", 3)
+	pw.Gauge("t_weird_label", `Help with backslash \ and
+newline.`, 1, Label{Name: "path", Value: "a\\b\"c\nd"})
+	m.Expose(pw)
+	if err := pw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func TestPromWriterGolden(t *testing.T) {
+	got, err := goldenExposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(bytes.NewReader(got)); err != nil {
+		t.Fatalf("golden exposition fails its own lint: %v", err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromWriterRejectsInterleavedFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Counter("t_a_total", "a", 1)
+	pw.Counter("t_b_total", "b", 1)
+	pw.Counter("t_a_total", "a", 2) // re-enters a closed family
+	if err := pw.Flush(); err == nil || !strings.Contains(err.Error(), "written twice") {
+		t.Fatalf("err = %v, want family-written-twice", err)
+	}
+}
+
+func TestPromWriterRejectsTypeChange(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Counter("t_a_total", "a", 1)
+	pw.Gauge("t_a_total", "a", 2) // same family, different type
+	if err := pw.Flush(); err == nil || !strings.Contains(err.Error(), "re-declared") {
+		t.Fatalf("err = %v, want re-declared", err)
+	}
+}
+
+func TestLintExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{
+			"series before type",
+			"t_x_total 1\n",
+			"before any # TYPE",
+		},
+		{
+			"duplicate family",
+			"# TYPE t_x_total counter\nt_x_total 1\n# TYPE t_x_total counter\nt_x_total 2\n",
+			"duplicate family",
+		},
+		{
+			"duplicate series",
+			"# TYPE t_x_total counter\nt_x_total{class=\"a\"} 1\nt_x_total{class=\"a\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"unsorted series",
+			"# TYPE t_x_total counter\nt_x_total{class=\"b\"} 1\nt_x_total{class=\"a\"} 2\n",
+			"not sorted",
+		},
+		{
+			"foreign series in family",
+			"# TYPE t_x_total counter\nt_y_total 1\n",
+			"inside family",
+		},
+		{
+			"bad metric name",
+			"# TYPE t_x_total counter\n0bad 1\n",
+			"bad metric name",
+		},
+		{
+			"bad label escape",
+			"# TYPE t_x_total counter\nt_x_total{class=\"a\\t\"} 1\n",
+			`invalid escape`,
+		},
+		{
+			"unterminated label value",
+			"# TYPE t_x_total counter\nt_x_total{class=\"a} 1\n",
+			"unterminated",
+		},
+		{
+			"bad value",
+			"# TYPE t_x_total counter\nt_x_total nope\n",
+			"bad value",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"1\"} 5\nt_h_bucket{le=\"2\"} 3\nt_h_bucket{le=\"+Inf\"} 5\n" +
+				"t_h_sum 1\nt_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"le not increasing",
+			"# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"2\"} 1\nt_h_bucket{le=\"1\"} 2\nt_h_bucket{le=\"+Inf\"} 3\n" +
+				"t_h_sum 1\nt_h_count 3\n",
+			"le not increasing",
+		},
+		{
+			"histogram missing +Inf",
+			"# TYPE t_h histogram\nt_h_bucket{le=\"1\"} 1\nt_h_sum 1\nt_h_count 1\n",
+			"without its buckets",
+		},
+		{
+			"count mismatch",
+			"# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"+Inf\"} 3\nt_h_sum 1\nt_h_count 4\n",
+			"+Inf bucket",
+		},
+		{
+			"histogram truncated mid-child",
+			"# TYPE t_h histogram\nt_h_bucket{le=\"+Inf\"} 3\n",
+			"incomplete",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition(strings.NewReader(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want contains %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLintExpositionAcceptsClean(t *testing.T) {
+	clean := "# HELP t_x_total help\n# TYPE t_x_total counter\n" +
+		"t_x_total{class=\"a\"} 1\nt_x_total{class=\"b\"} 2\n" +
+		"# TYPE t_g gauge\nt_g 3\n" +
+		"# TYPE t_h histogram\n" +
+		"t_h_bucket{le=\"0.1\"} 1\nt_h_bucket{le=\"+Inf\"} 2\nt_h_sum 0.5\nt_h_count 2\n"
+	if err := LintExposition(strings.NewReader(clean)); err != nil {
+		t.Fatalf("clean exposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bounds on per-trace detail. A trace must cost O(1) memory no matter how
+// large the request is: a 10000-seed batch would otherwise record three
+// spans and dozens of kernel rounds per unit. Past the cap the counts keep
+// counting (DroppedSpans / DroppedRounds) so the snapshot says what is
+// missing.
+const (
+	defaultRingCapacity = 256
+	maxSpansPerTrace    = 256
+	maxRoundsPerTrace   = 4096
+)
+
+// Span is one completed phase of a traced request, recorded as an offset
+// from the trace's start plus a duration (both in microseconds — the paper's
+// own timing tables resolve no finer).
+type Span struct {
+	// Name identifies the phase: "admission", "queue", "graph_load",
+	// "kernel", "sweep", "encode", "stream".
+	Name string `json:"name"`
+	// StartUS is the span's start, in microseconds after the trace started.
+	StartUS int64 `json:"start_us"`
+	// DurationUS is the span's length in microseconds.
+	DurationUS int64 `json:"duration_us"`
+}
+
+// KernelRound is one per-round telemetry event emitted by a kernel through
+// the core Observer hook: which work unit, which synchronous round, and the
+// round's frontier/work shape — the paper's work counters (pushes, edges
+// touched) at per-round resolution, plus the engine's sparse/dense decision.
+type KernelRound struct {
+	// Unit is the work-unit index within the request's batch (one unit per
+	// seed, or 0 for a seed-set request).
+	Unit int `json:"unit"`
+	// Round is the 0-based synchronous round index within the unit.
+	Round int `json:"round"`
+	// Frontier is the round's frontier size |F|.
+	Frontier int `json:"frontier"`
+	// Pushes is the number of vertex pushes the round performed.
+	Pushes int64 `json:"pushes"`
+	// Edges is the number of edges the round touched (vol(F)).
+	Edges int64 `json:"edges"`
+	// Dense reports whether the engine chose the dense (bitmap-scan)
+	// traversal for this round.
+	Dense bool `json:"dense"`
+}
+
+// TraceSnapshot is the exported, immutable view of one trace — what
+// GET /v1/trace/{id} returns.
+type TraceSnapshot struct {
+	// ID is the request ID (the X-Request-Id header value).
+	ID string `json:"id"`
+	// Endpoint is the traced route, e.g. "POST /v1/cluster".
+	Endpoint string `json:"endpoint"`
+	// Graph, Algo and Class annotate the resolved request (empty until the
+	// request passed validation).
+	Graph string `json:"graph,omitempty"`
+	Algo  string `json:"algo,omitempty"`
+	Class string `json:"class,omitempty"`
+	// Outcome labels how the request ended ("ok", "error", "rejected",
+	// "deadline", ...); empty while the request is still in flight.
+	Outcome string `json:"outcome,omitempty"`
+	// Error is the terminal error message, if any.
+	Error string `json:"error,omitempty"`
+	// Start is the trace's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationUS is the end-to-end request duration in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Spans are the request's recorded phases, in completion order.
+	Spans []Span `json:"spans"`
+	// DroppedSpans counts spans past the per-trace cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// KernelRounds are the per-round kernel events, in completion order.
+	KernelRounds []KernelRound `json:"kernel_rounds,omitempty"`
+	// DroppedRounds counts kernel rounds past the per-trace cap.
+	DroppedRounds int `json:"dropped_rounds,omitempty"`
+}
+
+// TraceSummary is the one-line view of a trace — what GET /v1/trace lists.
+type TraceSummary struct {
+	// ID is the request ID.
+	ID string `json:"id"`
+	// Endpoint is the traced route.
+	Endpoint string `json:"endpoint"`
+	// Graph, Algo, Class and Outcome mirror the snapshot's annotations.
+	Graph   string `json:"graph,omitempty"`
+	Algo    string `json:"algo,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	// Start and DurationUS locate and size the request.
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	// Spans and Rounds count the recorded detail.
+	Spans  int `json:"spans"`
+	Rounds int `json:"rounds"`
+}
+
+// Trace accumulates one request's observability record: identity, phase
+// spans, and per-round kernel events. All methods are safe for concurrent
+// use (a batched request's units record from many goroutines) and safe on a
+// nil receiver, so untraced requests flow through the same instrumentation
+// at the cost of one nil check.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	start  time.Time
+
+	mu            sync.Mutex
+	endpoint      string
+	graph         string
+	algo          string
+	class         string
+	outcome       string
+	errMsg        string
+	end           time.Time
+	spans         []Span
+	droppedSpans  int
+	rounds        []KernelRound
+	droppedRounds int
+	done          bool
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's wall-clock start time (zero on a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Annotate records the resolved request identity. Empty arguments leave the
+// corresponding field unchanged, so partial resolution (class known, algo
+// not yet) annotates incrementally.
+func (t *Trace) Annotate(graph, algo, class string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if graph != "" {
+		t.graph = graph
+	}
+	if algo != "" {
+		t.algo = algo
+	}
+	if class != "" {
+		t.class = class
+	}
+	t.mu.Unlock()
+}
+
+// SetError records the terminal error message shown in the snapshot.
+func (t *Trace) SetError(msg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.errMsg = msg
+	t.mu.Unlock()
+}
+
+// Span records a completed phase that began at start and ends now. Name the
+// phases consistently ("admission", "queue", "kernel", ...): Server-Timing
+// aggregates spans by name.
+func (t *Trace) Span(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.droppedSpans++
+	} else {
+		t.spans = append(t.spans, Span{
+			Name:       name,
+			StartUS:    start.Sub(t.start).Microseconds(),
+			DurationUS: end.Sub(start).Microseconds(),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// KernelRound records one per-round kernel event (see the KernelRound type
+// for field meanings).
+func (t *Trace) KernelRound(unit, round, frontier int, pushes, edges int64, dense bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.rounds) >= maxRoundsPerTrace {
+		t.droppedRounds++
+	} else {
+		t.rounds = append(t.rounds, KernelRound{
+			Unit: unit, Round: round, Frontier: frontier,
+			Pushes: pushes, Edges: edges, Dense: dense,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace with its outcome label and publishes it to the
+// tracer's ring, where /v1/trace can find it. Idempotent; only the first
+// call's outcome sticks.
+func (t *Trace) Finish(outcome string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.outcome = outcome
+	t.end = time.Now()
+	t.mu.Unlock()
+	if t.tracer != nil {
+		t.tracer.add(t)
+	}
+}
+
+// ServerTiming renders the trace's spans recorded so far as a Server-Timing
+// header value, one metric per distinct span name (durations summed, in
+// milliseconds) in first-recorded order. Empty on a nil trace.
+func (t *Trace) ServerTiming() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	type agg struct {
+		name string
+		us   int64
+	}
+	var order []agg
+	idx := make(map[string]int, 8)
+	for _, sp := range t.spans {
+		i, ok := idx[sp.Name]
+		if !ok {
+			i = len(order)
+			idx[sp.Name] = i
+			order = append(order, agg{name: sp.Name})
+		}
+		order[i].us += sp.DurationUS
+	}
+	t.mu.Unlock()
+	var b strings.Builder
+	for i, a := range order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.2f", a.name, float64(a.us)/1e3)
+	}
+	return b.String()
+}
+
+// Snapshot returns an owned copy of the trace's current state. The zero
+// snapshot on a nil trace.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return TraceSnapshot{
+		ID:            t.id,
+		Endpoint:      t.endpoint,
+		Graph:         t.graph,
+		Algo:          t.algo,
+		Class:         t.class,
+		Outcome:       t.outcome,
+		Error:         t.errMsg,
+		Start:         t.start,
+		DurationUS:    end.Sub(t.start).Microseconds(),
+		Spans:         append([]Span(nil), t.spans...),
+		DroppedSpans:  t.droppedSpans,
+		KernelRounds:  append([]KernelRound(nil), t.rounds...),
+		DroppedRounds: t.droppedRounds,
+	}
+}
+
+// summary is Snapshot's one-line counterpart; caller holds no locks.
+func (t *Trace) summary() TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return TraceSummary{
+		ID:         t.id,
+		Endpoint:   t.endpoint,
+		Graph:      t.graph,
+		Algo:       t.algo,
+		Class:      t.class,
+		Outcome:    t.outcome,
+		Start:      t.start,
+		DurationUS: end.Sub(t.start).Microseconds(),
+		Spans:      len(t.spans),
+		Rounds:     len(t.rounds),
+	}
+}
+
+// Tracer mints request traces and retains the most recently finished ones
+// in a bounded FIFO ring for GET /v1/trace. A nil *Tracer is valid and
+// mints nil traces — the disabled configuration.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewTracer returns a tracer retaining the last capacity finished traces
+// (<= 0 selects the default of 256).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = defaultRingCapacity
+	}
+	return &Tracer{
+		ring: make([]*Trace, capacity),
+		byID: make(map[string]*Trace, capacity),
+	}
+}
+
+// Start mints a trace for one request on the given endpoint, with a fresh
+// request ID when id is empty. Nil tracers mint nil traces.
+func (tr *Tracer) Start(endpoint, id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if id == "" {
+		id = NewID()
+	}
+	return &Trace{tracer: tr, id: id, start: time.Now(), endpoint: endpoint}
+}
+
+// add publishes a finished trace to the ring, evicting the oldest.
+func (tr *Tracer) add(t *Trace) {
+	tr.mu.Lock()
+	if old := tr.ring[tr.next]; old != nil {
+		delete(tr.byID, old.id)
+	}
+	tr.ring[tr.next] = t
+	tr.byID[t.id] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	tr.mu.Unlock()
+}
+
+// Get returns the snapshot of a finished trace by request ID.
+func (tr *Tracer) Get(id string) (TraceSnapshot, bool) {
+	if tr == nil {
+		return TraceSnapshot{}, false
+	}
+	tr.mu.Lock()
+	t := tr.byID[id]
+	tr.mu.Unlock()
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	return t.Snapshot(), true
+}
+
+// Recent returns summaries of the most recently finished traces, newest
+// first, at most limit of them (<= 0 = the whole ring).
+func (tr *Tracer) Recent(limit int) []TraceSummary {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	n := len(tr.ring)
+	traces := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		if t := tr.ring[(tr.next-i+n)%n]; t != nil {
+			traces = append(traces, t)
+		}
+	}
+	tr.mu.Unlock()
+	if limit > 0 && len(traces) > limit {
+		traces = traces[:limit]
+	}
+	out := make([]TraceSummary, len(traces))
+	for i, t := range traces {
+		out[i] = t.summary()
+	}
+	return out
+}
+
+// ctxKey is the context key type for request traces.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t; FromContext recovers it.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — and a nil trace is
+// safe to use, so callers need no ok-check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceAndTracerAreSafe(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("POST /v1/cluster", "abc") // nil tracer mints nil traces
+	if tc != nil {
+		t.Fatal("nil tracer minted a non-nil trace")
+	}
+	// Every method must be a no-op on the nil trace.
+	tc.Annotate("g", "a", "c")
+	tc.SetError("boom")
+	tc.Span("kernel", time.Now())
+	tc.KernelRound(0, 0, 1, 2, 3, false)
+	tc.Finish("ok")
+	if tc.ID() != "" || tc.ServerTiming() != "" {
+		t.Fatal("nil trace leaked state")
+	}
+	if _, ok := tr.Get("abc"); ok {
+		t.Fatal("nil tracer returned a trace")
+	}
+	if tr.Recent(10) != nil {
+		t.Fatal("nil tracer returned summaries")
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	ids := []string{"a", "b", "c", "d"}
+	for _, id := range ids {
+		tc := tr.Start("POST /v1/cluster", id)
+		tc.Annotate("g", "prnibble", "interactive")
+		tc.KernelRound(0, 0, 5, 10, 20, true)
+		tc.Finish("ok")
+	}
+	if _, ok := tr.Get("a"); ok {
+		t.Fatal("oldest trace survived past the ring capacity")
+	}
+	snap, ok := tr.Get("c")
+	if !ok {
+		t.Fatal("trace c evicted early")
+	}
+	if snap.Outcome != "ok" || snap.Algo != "prnibble" || len(snap.KernelRounds) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	kr := snap.KernelRounds[0]
+	if kr.Frontier != 5 || kr.Pushes != 10 || kr.Edges != 20 || !kr.Dense {
+		t.Fatalf("kernel round = %+v", kr)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("Recent = %d traces, want 3", len(recent))
+	}
+	if recent[0].ID != "d" || recent[2].ID != "b" {
+		t.Fatalf("Recent order = %s..%s, want newest first", recent[0].ID, recent[2].ID)
+	}
+	if got := tr.Recent(1); len(got) != 1 || got[0].ID != "d" {
+		t.Fatalf("Recent(1) = %+v", got)
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	tc := tr.Start("POST /v1/ncp", "x")
+	tc.Finish("ok")
+	tc.Finish("error") // must not overwrite or re-publish
+	snap, ok := tr.Get("x")
+	if !ok || snap.Outcome != "ok" {
+		t.Fatalf("snapshot = %+v ok=%v", snap, ok)
+	}
+	if got := tr.Recent(0); len(got) != 1 {
+		t.Fatalf("double Finish published twice: %d entries", len(got))
+	}
+}
+
+func TestTraceDetailCaps(t *testing.T) {
+	tr := NewTracer(1)
+	tc := tr.Start("POST /v1/cluster", "big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tc.Span("kernel", time.Now())
+	}
+	for i := 0; i < maxRoundsPerTrace+7; i++ {
+		tc.KernelRound(0, i, 1, 1, 1, false)
+	}
+	tc.Finish("ok")
+	snap, _ := tr.Get("big")
+	if len(snap.Spans) != maxSpansPerTrace || snap.DroppedSpans != 10 {
+		t.Fatalf("spans = %d dropped = %d", len(snap.Spans), snap.DroppedSpans)
+	}
+	if len(snap.KernelRounds) != maxRoundsPerTrace || snap.DroppedRounds != 7 {
+		t.Fatalf("rounds = %d dropped = %d", len(snap.KernelRounds), snap.DroppedRounds)
+	}
+}
+
+func TestServerTimingAggregatesByName(t *testing.T) {
+	tr := NewTracer(1)
+	tc := tr.Start("POST /v1/cluster", "st")
+	base := time.Now().Add(-10 * time.Millisecond)
+	tc.Span("kernel", base)
+	tc.Span("kernel", base)
+	tc.Span("sweep", base)
+	header := tc.ServerTiming()
+	if strings.Count(header, "kernel;dur=") != 1 {
+		t.Fatalf("kernel spans not aggregated: %q", header)
+	}
+	if !strings.Contains(header, "sweep;dur=") {
+		t.Fatalf("sweep span missing: %q", header)
+	}
+	if i, j := strings.Index(header, "kernel"), strings.Index(header, "sweep"); i > j {
+		t.Fatalf("spans not in first-recorded order: %q", header)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	tr := NewTracer(1)
+	tc := tr.Start("POST /v1/cluster", "ctx")
+	ctx := NewContext(context.Background(), tc)
+	if FromContext(ctx) != tc {
+		t.Fatal("trace lost in context round trip")
+	}
+}
+
+func TestNewID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTracerConcurrent hammers the ring from many goroutines while readers
+// snapshot it; run with -race in CI.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc := tr.Start("POST /v1/cluster", "")
+				tc.Span("kernel", time.Now())
+				tc.KernelRound(0, i, 1, 1, 1, i%2 == 0)
+				tc.Finish("ok")
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, s := range tr.Recent(4) {
+				if _, ok := tr.Get(s.ID); ok {
+					// Racing an eviction; either answer is fine.
+					_ = s
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(tr.Recent(0)); got != 8 {
+		t.Fatalf("ring holds %d traces, want full capacity 8", got)
+	}
+}

@@ -18,6 +18,26 @@ const mergeSeqCutoff = 1 << 14
 // search). O(n log n) work and O(log^2 n) depth, matching the comparison
 // sort bound the paper cites. The sort is not stable.
 func Sort[T any](p int, x []T, less func(a, b T) bool) {
+	SortScratch(p, x, nil, less)
+}
+
+// SortScratchLen returns the scratch length SortScratch needs for an input
+// of length n with p workers: n when the parallel merge path runs, 0 when
+// the call falls back to the sequential sort and allocates nothing. Callers
+// pooling sort scratch use this to borrow memory only when it will be used.
+func SortScratchLen(p, n int) int {
+	if ResolveProcs(p) == 1 || n < sortSeqCutoff {
+		return 0
+	}
+	return n
+}
+
+// SortScratch is Sort using scratch as the merge buffer when it is at least
+// len(x) long (allocating one otherwise) — the allocation-free path for
+// callers that recycle sort scratch across runs, mirroring
+// RadixSortUint64Scratch. scratch's contents are clobbered; it must not
+// alias x. The sequential fallback (see SortScratchLen) never touches it.
+func SortScratch[T any](p int, x, scratch []T, less func(a, b T) bool) {
 	p = ResolveProcs(p)
 	n := len(x)
 	if p == 1 || n < sortSeqCutoff {
@@ -42,7 +62,12 @@ func Sort[T any](p int, x []T, less func(a, b T) bool) {
 		}
 		return 0
 	}
-	buf := make([]T, n)
+	buf := scratch
+	if len(buf) < n {
+		buf = make([]T, n)
+	} else {
+		buf = buf[:n]
+	}
 	// sortWith sorts a in place, using scratch (same length) as workspace.
 	// sortTo sorts the contents of a into dst, destroying a.
 	// The mutual recursion alternates buffers so every level merges out of

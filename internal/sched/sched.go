@@ -142,6 +142,16 @@ type Config struct {
 	MaxQueue int
 	// DefaultDeadline is applied to requests that carry none (0 = none).
 	DefaultDeadline time.Duration
+	// OnDeadlineMiss, when non-nil, is invoked once per deadline miss with
+	// the class, the graph (empty when the miss precedes graph resolution
+	// inside Admit), and the stage at which the miss was detected: "admit"
+	// (rejected at admission), "start" (expired before a unit could start),
+	// "queued" (expired while parked in the grant queue), or "wait" (the
+	// unit's context deadline fired while it waited for tokens). The hook
+	// runs with the scheduler lock held: it must return quickly and must
+	// not call back into the scheduler — bump a counter or hand the event
+	// to a logger, nothing more.
+	OnDeadlineMiss func(class Class, graph, stage string)
 }
 
 // defaultWeights are the class weights used for Config entries <= 0.
@@ -216,8 +226,20 @@ type Scheduler struct {
 	draining    bool
 	drained     chan struct{}
 
+	// onMiss is Config.OnDeadlineMiss (nil = no hook); see missLocked.
+	onMiss func(Class, string, string)
+
 	// now is the clock, swappable by tests.
 	now func() time.Time
+}
+
+// missLocked counts one deadline miss for class c and fires the configured
+// hook. Callers hold s.mu.
+func (s *Scheduler) missLocked(c Class, graph, stage string) {
+	s.classes[c].deadlineMissed++
+	if s.onMiss != nil {
+		s.onMiss(c, graph, stage)
+	}
 }
 
 // New builds a scheduler from cfg.
@@ -235,6 +257,7 @@ func New(cfg Config) *Scheduler {
 		avail:    tokens,
 		maxQueue: maxQueue,
 		defaultD: cfg.DefaultDeadline,
+		onMiss:   cfg.OnDeadlineMiss,
 		inFlight: make(map[string]int),
 		drained:  make(chan struct{}),
 		now:      time.Now,
@@ -320,11 +343,11 @@ func (s *Scheduler) Admit(class Class, graph string, deadline time.Time) (*Ticke
 	}
 	if !deadline.IsZero() {
 		if !deadline.After(now) {
-			cs.deadlineMissed++
+			s.missLocked(class, graph, "admit")
 			return nil, fmt.Errorf("%w: deadline already passed at admission", ErrDeadlineExceeded)
 		}
 		if wait := s.waitEstimateLocked(class); wait > 0 && now.Add(wait).After(deadline) {
-			cs.deadlineMissed++
+			s.missLocked(class, graph, "admit")
 			return nil, fmt.Errorf("%w: cannot be met (estimated queue wait %s exceeds the %s remaining)",
 				ErrDeadlineExceeded, wait.Round(time.Millisecond), deadline.Sub(now).Round(time.Millisecond))
 		}
@@ -387,7 +410,7 @@ func (t *Ticket) Acquire(ctx context.Context, n int) (*Grant, error) {
 	// waiter exists and every token is free.
 	if cs.queued == 0 && s.avail == s.tokens && n <= s.avail {
 		if !t.deadline.IsZero() && !t.deadline.After(s.now()) {
-			cs.deadlineMissed++
+			s.missLocked(t.class, t.graph, "start")
 			s.mu.Unlock()
 			return nil, fmt.Errorf("%w: before unit start", ErrDeadlineExceeded)
 		}
@@ -438,7 +461,7 @@ func (t *Ticket) Acquire(ctx context.Context, n int) (*Grant, error) {
 		}
 		s.removeWaiterLocked(cs, t.graph, w)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			cs.deadlineMissed++
+			s.missLocked(t.class, t.graph, "wait")
 		}
 		// Removing a wide waiter can unblock the grant loop for narrower
 		// ones behind it.
@@ -523,12 +546,13 @@ func (s *Scheduler) grantLocked() {
 	now := time.Time{} // lazily read: most passes never need the clock
 	for {
 		var best *classState
-		for _, cs := range s.classes {
+		var bestClass Class
+		for c, cs := range s.classes {
 			if cs.queued == 0 {
 				continue
 			}
 			if best == nil || cs.pass < best.pass {
-				best = cs
+				best, bestClass = cs, Class(c)
 			}
 		}
 		if best == nil {
@@ -550,7 +574,7 @@ func (s *Scheduler) grantLocked() {
 				} else {
 					best.next = (best.next + 1) % len(best.ring)
 				}
-				best.deadlineMissed++
+				s.missLocked(bestClass, q.name, "queued")
 				w.err = fmt.Errorf("%w: expired while queued", ErrDeadlineExceeded)
 				close(w.ready)
 				continue

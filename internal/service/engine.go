@@ -14,6 +14,7 @@ import (
 	"parcluster/internal/api"
 	"parcluster/internal/core"
 	"parcluster/internal/graph"
+	"parcluster/internal/obs"
 	"parcluster/internal/sched"
 	"parcluster/internal/sparse"
 	"parcluster/internal/workspace"
@@ -74,6 +75,13 @@ type Config struct {
 	// DefaultDeadline is applied to requests that carry no deadline_ms
 	// (0 = none).
 	DefaultDeadline time.Duration
+	// TraceRing is the capacity of the recent-trace ring served at
+	// /v1/trace (0 = 256, negative = tracing disabled).
+	TraceRing int
+	// OnDeadlineMiss, when non-nil, receives one event per scheduler
+	// deadline miss (class, graph, detection stage — see
+	// sched.Config.OnDeadlineMiss, including its held-lock constraints).
+	OnDeadlineMiss func(class, graph, stage string)
 }
 
 // Engine dispatches typed requests to the core algorithms over graphs from
@@ -94,6 +102,11 @@ type Engine struct {
 	// re-running the diffusion (same singleflight shape as Registry.loads).
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// tracer keeps recent request traces for /v1/trace (nil = disabled);
+	// metrics holds the latency histograms /metrics exposes (see observe.go).
+	tracer  *obs.Tracer
+	metrics engineMetrics
 
 	queries    atomic.Int64
 	errors     atomic.Int64
@@ -121,6 +134,14 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if size == 0 {
 		size = 1024
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceRing >= 0 {
+		tracer = obs.NewTracer(cfg.TraceRing)
+	}
+	var onMiss func(sched.Class, string, string)
+	if f := cfg.OnDeadlineMiss; f != nil {
+		onMiss = func(c sched.Class, graph, stage string) { f(c.String(), graph, stage) }
+	}
 	return &Engine{
 		reg: reg,
 		sched: sched.New(sched.Config{
@@ -128,7 +149,10 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			Weights:         cfg.ClassWeights,
 			MaxQueue:        cfg.MaxQueue,
 			DefaultDeadline: cfg.DefaultDeadline,
+			OnDeadlineMiss:  onMiss,
 		}),
+		tracer:          tracer,
+		metrics:         newEngineMetrics(),
 		maxProcs:        maxProcs,
 		defaultFrontier: cfg.DefaultFrontier,
 		cache:           newLRUCache(size), // nil (disabled) when size < 0
@@ -572,10 +596,14 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 	if rp.algo == "evolving" && req.SeedSet && len(req.Seeds) > 1 {
 		return nil, fmt.Errorf("%w: the evolving set process starts from a single vertex; drop seed_set to run one process per seed", ErrBadRequest)
 	}
+	tr := obs.FromContext(ctx)
+	admitStart := time.Now()
 	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Interactive)
 	if err != nil {
 		return nil, err
 	}
+	tr.Span("admission", admitStart)
+	tr.Annotate(req.Graph, rp.algo, ticket.Class().String())
 	// Every error path below must return the admission slot. The request
 	// context (caller ctx bounded by the admission deadline) governs
 	// everything from here on — including the graph-load wait, so a
@@ -586,10 +614,12 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 		ticket.Close()
 		return nil, err
 	}
+	loadStart := time.Now()
 	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
 	if err != nil {
 		return fail(err)
 	}
+	tr.Span("graph_load", loadStart)
 	n := g.NumVertices()
 	for _, s := range req.Seeds {
 		// Compare in uint64: int(s) can wrap negative on 32-bit platforms.
@@ -652,7 +682,7 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 				if i >= len(units) {
 					return
 				}
-				res, arena, err := e.runCached(runCtx, g, wsPool, ticket, req.Graph, units[i], rp, procs, req.NoCache)
+				res, arena, err := e.runCached(runCtx, g, wsPool, ticket, req.Graph, i, units[i], rp, procs, req.NoCache)
 				if err != nil {
 					st.ch <- streamUnit{idx: i, err: err}
 					// Stop the rest of the batch promptly: queued units fail
@@ -774,8 +804,8 @@ func (st *ClusterStream) account(idx int, r *ClusterResult) {
 	st.agg.TotalEdges += r.Stats.EdgesTouched
 }
 
-// finish settles the stream's engine counters and scheduler ticket exactly
-// once.
+// finish settles the stream's engine counters, latency histogram, and
+// scheduler ticket exactly once.
 func (st *ClusterStream) finish(err error) {
 	st.finished.Do(func() {
 		st.cancel()
@@ -787,6 +817,9 @@ func (st *ClusterStream) finish(err error) {
 			st.eng.completed.Add(1)
 		}
 		st.eng.inFlight.Add(-1)
+		st.eng.metrics.requestDur.
+			With(st.Algo, st.ticket.Class().String(), outcomeLabel(err)).
+			Observe(time.Since(st.start))
 	})
 }
 
@@ -820,10 +853,10 @@ type flight struct {
 // the caller (released after the response is written). Cache hits and
 // flight followers return owned memory and a nil arena: only the goroutine
 // that actually ran the diffusion holds borrowed memory.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, graphName string, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, graphName string, unit int, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
 	key := rp.key(graphName, seeds)
 	if noCache {
-		res, _, arena, err := e.compute(ctx, g, wsPool, ticket, key, seeds, rp, procs)
+		res, _, arena, err := e.compute(ctx, g, wsPool, ticket, key, unit, seeds, rp, procs)
 		return res, arena, err
 	}
 	for {
@@ -860,7 +893,7 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 		e.flightMu.Unlock()
 		e.misses.Add(1) // only lookups that happened count toward the hit rate
 
-		res, owned, arena, err := e.compute(ctx, g, wsPool, ticket, key, seeds, rp, procs)
+		res, owned, arena, err := e.compute(ctx, g, wsPool, ticket, key, unit, seeds, rp, procs)
 		if err == nil {
 			// Followers may outlive this unit's arena (it is released once
 			// our response is written), so the flight publishes an owned
@@ -893,13 +926,17 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 // and its arena recycled before the error returns. The returned arena backs
 // the returned (borrowed) result and is owned by the caller; owned is the
 // cache's detached copy, nil when caching is disabled.
-func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, key string, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
+func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, key string, unit int, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
+	tr := obs.FromContext(ctx)
+	queueStart := time.Now()
 	grant, err := ticket.Acquire(ctx, procs)
+	e.metrics.queueWait.With(ticket.Class().String()).Observe(time.Since(queueStart))
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	tr.Span("queue_wait", queueStart)
 	arena = wsPool.AcquireResult()
-	res = e.runUnit(g, wsPool, arena, seeds, rp, procs, ctx.Done())
+	res = e.runUnit(g, wsPool, arena, seeds, rp, procs, ctx.Done(), tr, unit)
 	grant.Release()
 	if err := ctx.Err(); err != nil {
 		// The deadline fired (or the client vanished) mid-run: the kernel
@@ -922,7 +959,9 @@ func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Po
 // graph-sized scratch state from the graph's workspace pool and snapshotting
 // the result into arena. cancel (a context's Done channel) stops the kernel
 // at its next round boundary; the partial result is the caller's to discard.
-func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int, cancel <-chan struct{}) *ClusterResult {
+// tr (nil for untraced requests) receives the unit's kernel and sweep spans
+// plus the kernels' per-round events under the given unit index.
+func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int, cancel <-chan struct{}, tr *obs.Trace, unit int) *ClusterResult {
 	e.diffusions.Add(1)
 	if rp.algo != "randhk" {
 		// rand-HK-PR aggregates walk endpoints and never touches the
@@ -930,12 +969,16 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 		e.modeCounts[rp.frontier].Add(1)
 	}
 	p := rp.p
+	kernelStart := time.Now()
 	if rp.algo == "evolving" {
 		res, st := core.EvolvingSetPar(g, seeds[0], core.EvolvingSetOptions{
 			MaxIter: p.MaxIter, TargetPhi: p.TargetPhi, GrowOnly: p.GrowOnly,
 			Seed: p.WalkSeed, Procs: procs, Frontier: rp.frontier,
 			Workspace: wsPool, Result: arena, Cancel: cancel,
+			Observer: kernelObserver(tr, unit),
 		})
+		e.metrics.kernelDur.With(rp.algo).Observe(time.Since(kernelStart))
+		tr.Span("kernel", kernelStart)
 		return &ClusterResult{
 			Seeds: seeds, Members: res.Set, Size: len(res.Set),
 			Conductance: res.Conductance, Volume: res.Volume, Cut: res.Cut, Stats: st,
@@ -943,7 +986,10 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 	}
 	var vec *sparse.Map
 	var st core.Stats
-	cfg := core.RunConfig{Procs: procs, Frontier: rp.frontier, Workspace: wsPool, Result: arena, Cancel: cancel}
+	cfg := core.RunConfig{
+		Procs: procs, Frontier: rp.frontier, Workspace: wsPool,
+		Result: arena, Cancel: cancel, Observer: kernelObserver(tr, unit),
+	}
 	switch rp.algo {
 	case "nibble":
 		vec, st = core.NibbleRun(g, seeds, p.Epsilon, p.T, cfg)
@@ -960,7 +1006,12 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 	default:
 		panic("service: unreachable algo " + rp.algo) // resolveParams validated
 	}
-	return sweepResult(g, seeds, procs, arena, vec, st)
+	e.metrics.kernelDur.With(rp.algo).Observe(time.Since(kernelStart))
+	tr.Span("kernel", kernelStart)
+	sweepStart := time.Now()
+	out := sweepResult(g, seeds, procs, arena, vec, st)
+	tr.Span("sweep", sweepStart)
+	return out
 }
 
 // sweepResult rounds a diffusion vector into a ClusterResult whose Members
@@ -1009,7 +1060,7 @@ func (e *Engine) NCP(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 	return resp, nil
 }
 
-func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error) {
+func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (resp *NCPResponse, err error) {
 	if req.Seeds > maxNCPRuns || len(req.SeedVertices) > maxNCPRuns {
 		return nil, fmt.Errorf("%w: seed count exceeds the per-request maximum %d", ErrBadRequest, maxNCPRuns)
 	}
@@ -1025,30 +1076,46 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (*NCPResponse, error)
 	}
 	// NCP profiles default to the batch class: they are many-diffusion
 	// scans, not interactive probes.
+	tr := obs.FromContext(ctx)
+	admitStart := time.Now()
 	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Batch)
 	if err != nil {
 		return nil, err
 	}
 	defer ticket.Close()
+	tr.Span("admission", admitStart)
+	tr.Annotate(req.Graph, "ncp", ticket.Class().String())
+	defer func(start time.Time) {
+		e.metrics.requestDur.
+			With("ncp", ticket.Class().String(), outcomeLabel(err)).
+			Observe(time.Since(start))
+	}(admitStart)
 	// The admission deadline bounds the graph-load wait too.
 	runCtx, cancel := requestContext(ctx, ticket)
 	defer cancel()
+	loadStart := time.Now()
 	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
 	if err != nil {
 		return nil, err
 	}
+	tr.Span("graph_load", loadStart)
 	for _, s := range req.SeedVertices {
 		if uint64(s) >= uint64(g.NumVertices()) {
 			return nil, fmt.Errorf("%w: seed vertex %d out of range [0,%d)", ErrBadRequest, s, g.NumVertices())
 		}
 	}
 	procs := e.resolveProcs(req.Procs)
+	queueStart := time.Now()
 	grant, err := ticket.Acquire(runCtx, procs)
+	e.metrics.queueWait.With(ticket.Class().String()).Observe(time.Since(queueStart))
 	if err != nil {
 		return nil, err
 	}
 	defer grant.Release()
+	tr.Span("queue_wait", queueStart)
 
+	kernelStart := time.Now()
+	defer func(start time.Time) { tr.Span("kernel", start) }(kernelStart)
 	points := core.NCP(g, core.NCPOptions{
 		Seeds:        req.Seeds,
 		SeedVertices: req.SeedVertices,

@@ -1,0 +1,108 @@
+package service
+
+// observe.go wires internal/obs into the engine: the per-engine histogram
+// set served at /metrics, the adapter that forwards core kernel round
+// events into a request's trace, and the outcome labels that keep the
+// metric label space bounded. The server side (middleware, handlers) lives
+// in obshttp.go.
+
+import (
+	"context"
+	"errors"
+
+	"parcluster/internal/core"
+	"parcluster/internal/obs"
+	"parcluster/internal/sched"
+)
+
+// engineMetrics bundles the engine's histogram handles. The vecs are
+// registered once at engine construction; every label value below comes
+// from a server-resolved enumeration (algorithm names, scheduler classes,
+// outcome labels), never from raw client input, so the series cardinality
+// is bounded by design.
+type engineMetrics struct {
+	reg *obs.Metrics
+	// requestDur is end-to-end latency, admission through the stream's
+	// settlement, by algo x class x outcome ("ncp" counts as an algo).
+	requestDur *obs.HistogramVec
+	// queueWait is the time one unit's token acquisition spent in the
+	// scheduler, by class — observed on success and failure alike, so
+	// deadline-missed waits show up instead of vanishing.
+	queueWait *obs.HistogramVec
+	// kernelDur is one unit's diffusion kernel time (sweep excluded), by
+	// algo.
+	kernelDur *obs.HistogramVec
+	// flushDur is the per-line encode+flush time on the NDJSON streaming
+	// path — the client-facing write, not the kernel behind it.
+	flushDur *obs.HistogramVec
+}
+
+func newEngineMetrics() engineMetrics {
+	reg := obs.NewMetrics()
+	return engineMetrics{
+		reg: reg,
+		requestDur: reg.NewHistogramVec("lgc_request_duration_seconds",
+			"End-to-end request latency from validation to settlement.",
+			nil, "algo", "class", "outcome"),
+		queueWait: reg.NewHistogramVec("lgc_queue_wait_seconds",
+			"Scheduler token-acquisition wait per work unit.",
+			nil, "class"),
+		kernelDur: reg.NewHistogramVec("lgc_kernel_seconds",
+			"Diffusion kernel time per work unit, excluding the sweep.",
+			nil, "algo"),
+		flushDur: reg.NewHistogramVec("lgc_stream_flush_seconds",
+			"Per-line NDJSON encode and flush time on the streaming path.",
+			nil),
+	}
+}
+
+// Metrics returns the engine's histogram registry, for embedders that mount
+// their own exposition endpoint. The HTTP server's GET /metrics already
+// exposes it.
+func (e *Engine) Metrics() *obs.Metrics { return e.metrics.reg }
+
+// Tracer returns the engine's request tracer (nil when tracing is disabled
+// via Config.TraceRing < 0).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// traceObserver forwards the frontier engine's per-round events of one work
+// unit into the request's trace. It implements core.Observer by value — one
+// interface allocation per traced unit, zero for untraced requests (which
+// pass a nil Observer and take the kernels' no-op path).
+type traceObserver struct {
+	tr   *obs.Trace
+	unit int
+}
+
+// Round implements core.Observer.
+func (o traceObserver) Round(round, frontier int, pushes, edges int64, dense bool) {
+	o.tr.KernelRound(o.unit, round, frontier, pushes, edges, dense)
+}
+
+// kernelObserver returns the observer a unit's kernels run under: nil when
+// the request is untraced, so core's nil check keeps the hot path free.
+func kernelObserver(tr *obs.Trace, unit int) core.Observer {
+	if tr == nil {
+		return nil
+	}
+	return traceObserver{tr: tr, unit: unit}
+}
+
+// outcomeLabel maps a request's terminal error to the bounded outcome label
+// set of the requestDur histogram.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, sched.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrDraining):
+		return "rejected"
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownGraph):
+		return "invalid"
+	default:
+		return "error"
+	}
+}

@@ -7,13 +7,16 @@ import (
 	"expvar"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parcluster/internal/api"
+	"parcluster/internal/obs"
 	"parcluster/internal/sched"
 )
 
@@ -30,8 +33,17 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/ncp             — NCPRequest -> NCPResponse
 //	GET  /v1/graphs          — registry listing
 //	GET  /v1/stats           — EngineStats
+//	GET  /v1/trace           — recent request-trace summaries
+//	GET  /v1/trace/{id}      — one trace: spans + per-round kernel events
+//	GET  /metrics            — Prometheus text exposition (histograms,
+//	                           counters, Go runtime gauges)
 //	GET  /healthz            — liveness probe (503 while draining)
 //	GET  /debug/vars         — expvar (aggregated over all engines in-process)
+//
+// Every response carries an X-Request-Id header (echoing the client's, or
+// generated), and traced work endpoints add Server-Timing with the
+// request's span durations; the same ID keys the request's trace at
+// /v1/trace/{id}. See obshttp.go for the middleware and handlers.
 //
 // Errors come back as {"error": "..."} with 400 for invalid requests, 404
 // for unknown graphs, 405 for wrong methods, 429 + Retry-After when a
@@ -49,6 +61,13 @@ type Server struct {
 	started time.Time
 	// Logf receives one line per failed request (nil = log.Printf).
 	Logf func(format string, args ...any)
+	// Logger receives the structured per-request records (see
+	// obshttp.go's logRequest; nil = only slow and failed requests, via
+	// slog.Default).
+	Logger *slog.Logger
+	// SlowQuery is the duration at or above which a request is logged at
+	// Warn with slow=true (0 = never).
+	SlowQuery time.Duration
 }
 
 // NewServer wraps eng in an HTTP handler and registers it with the
@@ -60,15 +79,42 @@ func NewServer(eng *Engine) *Server {
 	s.mux.HandleFunc("/v1/ncp", s.handleNCP)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
+	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	publishExpvar(eng)
 	return s
 }
 
-// ServeHTTP dispatches to the server's mux, making Server mountable as a
-// plain http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP is the per-request middleware in front of the mux: it assigns
+// the request ID, starts a trace for the work endpoints, injects the
+// X-Request-Id and Server-Timing headers, and emits the structured request
+// log on the way out.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get(api.HeaderRequestID)
+	if id == "" {
+		id = obs.NewID()
+	}
+	w.Header().Set(api.HeaderRequestID, id)
+	ctx := withRequestID(r.Context(), id)
+	var tr *obs.Trace
+	if tracedEndpoint(r.URL.Path) {
+		tr = s.eng.tracer.Start(r.Method+" "+r.URL.Path, id)
+		ctx = obs.NewContext(ctx, tr)
+	}
+	r = r.WithContext(ctx)
+	ow := &obsWriter{ResponseWriter: w, tr: tr}
+	s.mux.ServeHTTP(ow, r)
+	status := ow.status
+	if status == 0 {
+		status = http.StatusOK // nothing written: net/http will send 200
+	}
+	tr.Finish(outcomeFromStatus(status))
+	s.logRequest(r, id, status, time.Since(start))
+}
 
 // Close detaches the server's engine from the process-wide expvar export.
 // A long-lived daemon never needs it; embedders that build and discard
@@ -81,53 +127,102 @@ func (s *Server) Close() {
 	for i, e := range expEngines {
 		if e == s.eng {
 			expEngines = append(expEngines[:i], expEngines[i+1:]...)
+			expSnap.Store(nil) // the cached sum includes the removed engine
 			return
 		}
 	}
 }
 
 // expvar's registry is process-global and panics on duplicate names, so
-// all engines (tests build several) share one "lgc" Func that sums their
-// counters at read time. Server.Close removes an engine from the export.
+// all engines (tests build several) share one "lgc" Func that reports a
+// summed snapshot. The summation runs outside every lock — each
+// Engine.Stats takes that engine's own mutexes, and the old scheme of
+// walking all engines while holding expMu let one slow scrape stall both
+// concurrent scrapes and server construction. Rebuilds reuse one scratch
+// slice for the engine-list copy and are cached for expSnapTTL, so a
+// scrape storm serves the cached sum instead of re-snapshotting every
+// engine per request. Server.Close removes an engine from the export.
 var (
-	expOnce    sync.Once
-	expMu      sync.Mutex
-	expEngines []*Engine
+	expOnce      sync.Once
+	expMu        sync.Mutex // guards expEngines
+	expEngines   []*Engine
+	expRefreshMu sync.Mutex // serializes snapshot rebuilds; owns expScratch
+	expScratch   []*Engine
+	expSnap      atomic.Pointer[expSnapshot]
 )
+
+// expSnapTTL bounds the staleness of the cached expvar aggregate.
+const expSnapTTL = time.Second
+
+// expSnapshot is one cached summation of every registered engine's stats.
+type expSnapshot struct {
+	stats EngineStats
+	when  time.Time
+}
 
 func publishExpvar(e *Engine) {
 	expMu.Lock()
 	expEngines = append(expEngines, e)
 	expMu.Unlock()
+	expSnap.Store(nil) // the engine set changed; drop the cached sum
 	expOnce.Do(func() {
 		expvar.Publish("lgc", expvar.Func(func() any {
-			expMu.Lock()
-			engines := append([]*Engine(nil), expEngines...)
-			expMu.Unlock()
-			var total EngineStats
-			var latW float64
-			for _, e := range engines {
-				st := e.Stats()
-				total.Queries += st.Queries
-				total.Errors += st.Errors
-				total.InFlight += st.InFlight
-				total.CacheHits += st.CacheHits
-				total.CacheMisses += st.CacheMisses
-				total.CacheEntries += st.CacheEntries
-				total.CacheBytes += st.CacheBytes
-				total.Diffusions += st.Diffusions
-				total.GraphLoads += st.GraphLoads
-				total.ProcBudget += st.ProcBudget
-				total.Workspace.Add(st.Workspace)
-				total.Sched.Add(st.Sched)
-				latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
+			if snap := expSnap.Load(); snap != nil && time.Since(snap.when) < expSnapTTL {
+				return snap.stats
 			}
-			if done := total.Queries - total.Errors; done > 0 {
-				total.AvgLatencyMS = latW / float64(done)
-			}
-			return total
+			return refreshExpvar().stats
 		}))
 	})
+}
+
+// refreshExpvar rebuilds the cached aggregate: the engine list is copied
+// into the reused scratch slice under expMu, then each engine's stats are
+// summed with no lock held. Concurrent scrapes serialize on expRefreshMu
+// and all but the first reuse the rebuilt snapshot.
+func refreshExpvar() *expSnapshot {
+	expRefreshMu.Lock()
+	defer expRefreshMu.Unlock()
+	if snap := expSnap.Load(); snap != nil && time.Since(snap.when) < expSnapTTL {
+		return snap // another scrape rebuilt it while we waited
+	}
+	expMu.Lock()
+	expScratch = append(expScratch[:0], expEngines...)
+	expMu.Unlock()
+	snap := &expSnapshot{when: time.Now()}
+	total := &snap.stats
+	var latW float64
+	for _, e := range expScratch {
+		st := e.Stats()
+		total.Queries += st.Queries
+		total.Errors += st.Errors
+		total.InFlight += st.InFlight
+		total.CacheHits += st.CacheHits
+		total.CacheMisses += st.CacheMisses
+		total.CacheEntries += st.CacheEntries
+		total.CacheBytes += st.CacheBytes
+		total.Diffusions += st.Diffusions
+		total.GraphLoads += st.GraphLoads
+		total.ProcBudget += st.ProcBudget
+		total.Workspace.Add(st.Workspace)
+		total.Sched.Add(st.Sched)
+		latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
+	}
+	if done := total.Queries - total.Errors; done > 0 {
+		total.AvgLatencyMS = latW / float64(done)
+	}
+	clear(expScratch) // drop the engine refs so a closed engine isn't pinned
+	expSnap.Store(snap)
+	return snap
+}
+
+// handleDebugVars refreshes the aggregated "lgc" snapshot (bounded by
+// expSnapTTL) and delegates to the standard expvar handler.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	refreshExpvar()
+	expvar.Handler().ServeHTTP(w, r)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -185,6 +280,15 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, sched.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
+		// A missed deadline means this class is over-committed; log each one
+		// with the IDs that find its trace at /v1/trace/{id}.
+		s.slogger().LogAttrs(r.Context(), slog.LevelWarn, "deadline miss",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("request_id", requestIDFrom(r.Context())),
+			slog.String("trace_id", obs.FromContext(r.Context()).ID()),
+			slog.String("error", err.Error()),
+		)
 	case errors.Is(err, http.ErrHandlerTimeout):
 		status = http.StatusServiceUnavailable
 	case r.Context().Err() != nil:
@@ -260,6 +364,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	// a panicking ResponseWriter — so arenas cannot leak to slow or
 	// vanishing clients.
 	defer release()
+	encStart := time.Now()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := api.WriteClusterResponse(w, resp); err != nil {
@@ -267,6 +372,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		// so all we can do is log and drop the connection.
 		s.logf("lgc-serve: streaming cluster response: %v", err)
 	}
+	obs.FromContext(r.Context()).Span("encode", encStart)
 }
 
 func (s *Server) handleClusterStream(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +421,7 @@ func (s *Server) streamCluster(w http.ResponseWriter, r *http.Request, req *Clus
 		if !ok {
 			break
 		}
+		lineStart := time.Now()
 		err := api.WriteClusterResultLine(w, res)
 		release() // the line is encoded; recycle the arena now
 		if err != nil {
@@ -323,6 +430,9 @@ func (s *Server) streamCluster(w http.ResponseWriter, r *http.Request, req *Clus
 			return
 		}
 		flush()
+		// One observation per delivered line: the client-facing encode+flush,
+		// not the kernel behind it.
+		s.eng.metrics.flushDur.With().Observe(time.Since(lineStart))
 	}
 	if err := st.Err(); err != nil {
 		// The batch died after the header: end the stream with a terminal

@@ -378,6 +378,105 @@ func BenchmarkWorkspacePool(b *testing.B) {
 	})
 }
 
+// --- Bit-parallel batched diffusion --------------------------------------
+
+var (
+	batchFixOnce  sync.Once
+	fixLJ         *graph.CSR
+	fixLJErr      error
+	fixBatchSeeds []uint32
+)
+
+// batchFixtures builds the soc-LiveJournal stand-in and a 64-seed working
+// set: the largest component's canonical seed plus 63 vertices collected
+// breadth-first around it, the shape of a "cluster these related users"
+// batch.
+func batchFixtures(b *testing.B) {
+	batchFixOnce.Do(func() {
+		fixLJ, fixLJErr = gen.StandIn(0, "soc-LJ", gen.Small)
+		if fixLJErr != nil {
+			return
+		}
+		seed, _ := fixLJ.LargestComponent()
+		seen := map[uint32]bool{seed: true}
+		fixBatchSeeds = []uint32{seed}
+		for at := 0; at < len(fixBatchSeeds) && len(fixBatchSeeds) < 64; at++ {
+			for _, v := range fixLJ.Neighbors(fixBatchSeeds[at]) {
+				if len(fixBatchSeeds) >= 64 {
+					break
+				}
+				if !seen[v] {
+					seen[v] = true
+					fixBatchSeeds = append(fixBatchSeeds, v)
+				}
+			}
+		}
+	})
+	if fixLJErr != nil {
+		b.Fatal(fixLJErr)
+	}
+	if len(fixBatchSeeds) != 64 {
+		b.Fatalf("collected %d seeds, want 64", len(fixBatchSeeds))
+	}
+}
+
+// batchBenchEps keeps per-seed PR-Nibble work meaningful on the Small-scale
+// stand-in without making the 64-run fan-out baseline dominate the suite.
+const batchBenchEps = 1e-6
+
+// BenchmarkBatchedDiffusion is the tentpole measurement for DESIGN.md §9:
+// answering 64 same-parameter PR-Nibble queries one diffusion at a time
+// (the serving fan-out baseline) versus one bit-parallel batch whose lanes
+// share every edge traversal. One benchmark op answers all 64 units. The
+// per-lane vectors are verified bit-identical to the unbatched runs before
+// timing starts; per-lane work (pushes, rounds) is identical by
+// construction, so the whole gap is traversal sharing.
+func BenchmarkBatchedDiffusion(b *testing.B) {
+	batchFixtures(b)
+	pool := workspace.NewPool(fixLJ.NumVertices())
+	units := func() []core.BatchUnit {
+		u := make([]core.BatchUnit, len(fixBatchSeeds))
+		for i, s := range fixBatchSeeds {
+			u[i] = core.BatchUnit{Seeds: []uint32{s}}
+		}
+		return u
+	}
+	// Identity guard, outside all timing: every lane must reproduce its
+	// unbatched run bit for bit. The dense single-proc run is the exact
+	// anchor (the batch's ID-sorted union frontier reproduces the dense
+	// traversal's per-vertex accumulation order; unbatched sparse rounds
+	// may accumulate in a different — equally valid — order).
+	vecs, _ := core.PRNibbleBatch(fixLJ, units(), benchAlpha, batchBenchEps, core.OptimizedRule,
+		core.BatchConfig{Procs: 1, Workspace: pool})
+	for i, s := range fixBatchSeeds {
+		want, _ := core.PRNibbleRun(fixLJ, []uint32{s}, benchAlpha, batchBenchEps, core.OptimizedRule, 1,
+			core.RunConfig{Procs: 1, Frontier: core.FrontierDense, Workspace: pool})
+		if want.Len() != vecs[i].Len() {
+			b.Fatalf("lane %d: support %d != unbatched %d", i, vecs[i].Len(), want.Len())
+		}
+		bad := false
+		want.ForEach(func(k uint32, v float64) { bad = bad || vecs[i].Get(k) != v })
+		if bad {
+			b.Fatalf("lane %d: batched vector differs from unbatched", i)
+		}
+	}
+
+	b.Run("fanout", func(b *testing.B) {
+		cfg := core.RunConfig{Workspace: pool}
+		for i := 0; i < b.N; i++ {
+			for _, s := range fixBatchSeeds {
+				core.PRNibbleRun(fixLJ, []uint32{s}, benchAlpha, batchBenchEps, core.OptimizedRule, 1, cfg)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		cfg := core.BatchConfig{Workspace: pool}
+		for i := 0; i < b.N; i++ {
+			core.PRNibbleBatch(fixLJ, units(), benchAlpha, batchBenchEps, core.OptimizedRule, cfg)
+		}
+	})
+}
+
 // --- Result path: snapshot + sweep + response encoding -------------------
 
 // BenchmarkResultPath measures the steady-state allocation profile of the

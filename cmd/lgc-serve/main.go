@@ -69,6 +69,7 @@ type serveConfig struct {
 	procs           int
 	maxQProcs       int
 	cacheSize       int
+	batchLanes      int
 	dynamic         bool
 	preload         string
 	frontier        string
@@ -89,6 +90,7 @@ func main() {
 	flag.IntVar(&cfg.procs, "procs", 0, "total worker budget shared by all queries (0 = all cores)")
 	flag.IntVar(&cfg.maxQProcs, "max-query-procs", 0, "per-query worker clamp (0 = the full budget)")
 	flag.IntVar(&cfg.cacheSize, "cache", 1024, "result cache capacity in entries (negative = disable)")
+	flag.IntVar(&cfg.batchLanes, "batch-lanes", 0, "coalesce up to this many same-params diffusions into one bit-parallel traversal (0 or 1 = off, max 64)")
 	flag.BoolVar(&cfg.dynamic, "dynamic", true, "allow generator specs as graph names in queries (capped at 64 distinct specs)")
 	flag.StringVar(&cfg.preload, "preload", "", "comma-separated graph names to load before serving")
 	flag.StringVar(&cfg.frontier, "frontier", "auto", "default frontier representation: auto, sparse, dense (requests may override)")
@@ -176,6 +178,7 @@ func run(cfg serveConfig) error {
 		ProcBudget:       procs,
 		MaxProcsPerQuery: maxQProcs,
 		CacheSize:        cacheSize,
+		BatchLanes:       cfg.batchLanes,
 		DefaultFrontier:  mode,
 		ClassWeights:     weights,
 		MaxQueue:         cfg.maxQueue,

@@ -77,6 +77,18 @@
 // rules (who acquires, who releases, what happens on panic) are documented
 // in docs/ARCHITECTURE.md.
 //
+// # Batched diffusion
+//
+// Many same-parameter queries against one graph can share their edge
+// traversals: NibbleBatch and PRNibbleBatch run up to MaxBatchLanes (64)
+// diffusions as bit lanes of per-vertex uint64 masks, advancing all of
+// them through one traversal per round. Each lane's floating-point work
+// is identical in value and order to its unbatched run, so per-lane
+// results are bit-identical to Nibble/PRNibble — the batch changes
+// wall clock only (11x measured on a 64-seed batch at tight epsilon;
+// DESIGN.md §9). lgc-serve applies the same kernels automatically to
+// eligible multi-seed requests under -batch-lanes.
+//
 // # lgc-serve
 //
 // Command lgc-serve turns the one-shot pipeline into a long-lived query

@@ -33,6 +33,14 @@ type Params struct {
 	// Results are identical in every mode — the knob trades constant
 	// factors only — so it does not participate in the cache key.
 	Frontier string `json:"frontier,omitempty"`
+	// Batching overrides the engine's bit-parallel batching of this
+	// request's fan-out: "auto"/"on" allow it (the default), "off" forces
+	// the per-unit fan-out. Like Frontier and Procs it is an execution
+	// knob: per-unit results are identical either way, so it does not
+	// participate in the cache key. It has effect only when the server
+	// enables batching (-batch-lanes > 1) and the algorithm is batchable
+	// (nibble, or prnibble without a β-fraction).
+	Batching string `json:"batching,omitempty"`
 	// OriginalRule selects the unoptimized PR-Nibble push rule.
 	OriginalRule bool `json:"original_rule,omitempty"`
 	// MaxIter / TargetPhi / GrowOnly configure the evolving set process.
@@ -200,6 +208,21 @@ type WorkspaceStats struct {
 	// ResultBytesRecycled totals the result-sized bytes served from
 	// recycled arenas instead of the allocator.
 	ResultBytesRecycled int64 `json:"result_bytes_recycled"`
+	// BatchAcquires counts batch-workspace checkouts across all pools
+	// (BatchHits + BatchMisses). A batch workspace carries the lane-striped
+	// scratch of one bit-parallel batched diffusion — far heavier than a
+	// per-run workspace (~1.5–2 KB per vertex), which is why it has its own
+	// pool tier and counters.
+	BatchAcquires int64 `json:"batch_acquires"`
+	// BatchHits counts batch-workspace checkouts served by recycling.
+	BatchHits int64 `json:"batch_hits"`
+	// BatchMisses counts batch-workspace checkouts that allocated fresh.
+	BatchMisses int64 `json:"batch_misses"`
+	// BatchReleases counts batch workspaces returned to their pool.
+	BatchReleases int64 `json:"batch_releases"`
+	// BatchBytesRecycled totals the lane-striped bytes served from recycled
+	// batch workspaces instead of the allocator.
+	BatchBytesRecycled int64 `json:"batch_bytes_recycled"`
 }
 
 // Add accumulates o into w. Every aggregation site (the registry's per-pool
@@ -217,6 +240,11 @@ func (w *WorkspaceStats) Add(o WorkspaceStats) {
 	w.ResultMisses += o.ResultMisses
 	w.ResultReleases += o.ResultReleases
 	w.ResultBytesRecycled += o.ResultBytesRecycled
+	w.BatchAcquires += o.BatchAcquires
+	w.BatchHits += o.BatchHits
+	w.BatchMisses += o.BatchMisses
+	w.BatchReleases += o.BatchReleases
+	w.BatchBytesRecycled += o.BatchBytesRecycled
 }
 
 // SchedClassStats is one priority class's scheduler counters.
@@ -270,6 +298,10 @@ type SchedStats struct {
 	// GraphInFlight maps graph name to worker tokens currently granted
 	// against it — the per-graph fairness picture at a glance.
 	GraphInFlight map[string]int `json:"graph_in_flight,omitempty"`
+	// ServiceModels is the number of (graph, algorithm) pairs with a
+	// learned unit service-time model feeding admission-control wait
+	// estimates (bounded by an internal cap).
+	ServiceModels int `json:"service_models"`
 }
 
 // Add accumulates o into s, mirroring WorkspaceStats.Add for the expvar
@@ -281,12 +313,33 @@ func (s *SchedStats) Add(o SchedStats) {
 	s.Interactive.add(o.Interactive)
 	s.Batch.add(o.Batch)
 	s.Background.add(o.Background)
+	s.ServiceModels += o.ServiceModels
 	for g, n := range o.GraphInFlight {
 		if s.GraphInFlight == nil {
 			s.GraphInFlight = make(map[string]int, len(o.GraphInFlight))
 		}
 		s.GraphInFlight[g] += n
 	}
+}
+
+// BatchStats counts the engine's bit-parallel batched diffusions: groups
+// of same-parameter units coalesced into one shared-traversal run.
+type BatchStats struct {
+	// Groups counts batched runs executed (each covering 2–64 units).
+	Groups int64 `json:"groups"`
+	// LanesFilled totals the units served by batched runs; LanesFilled /
+	// (64 * Groups) is the mean lane occupancy.
+	LanesFilled int64 `json:"lanes_filled"`
+	// TraversalsSaved totals the per-unit traversals avoided by coalescing
+	// (units per group minus the one shared traversal).
+	TraversalsSaved int64 `json:"traversals_saved"`
+}
+
+// Add accumulates o into b (expvar cross-engine aggregation).
+func (b *BatchStats) Add(o BatchStats) {
+	b.Groups += o.Groups
+	b.LanesFilled += o.LanesFilled
+	b.TraversalsSaved += o.TraversalsSaved
 }
 
 // EngineStats is a snapshot of the query engine's counters
@@ -305,6 +358,7 @@ type EngineStats struct {
 	CacheBytes    int64              `json:"cache_bytes"`
 	Diffusions    int64              `json:"diffusions"`
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
+	Batch         BatchStats         `json:"batch"`
 	GraphLoads    int64              `json:"graph_loads"`
 	Workspace     WorkspaceStats     `json:"workspace"`
 	Sched         SchedStats         `json:"sched"`

@@ -47,6 +47,7 @@ type Stats struct {
 	EdgesTouched int64 `json:"edges_touched"`
 }
 
+// String renders the counters in a compact single-line form for logs.
 func (s Stats) String() string {
 	return fmt.Sprintf("pushes=%d iterations=%d edges=%d", s.Pushes, s.Iterations, s.EdgesTouched)
 }

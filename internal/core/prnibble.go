@@ -27,6 +27,7 @@ const (
 	OptimizedRule
 )
 
+// String returns the rule's wire name ("original" or "optimized").
 func (r PushRule) String() string {
 	if r == OriginalRule {
 		return "original"

@@ -18,8 +18,10 @@
 //     queue-length factor.
 //   - Deadlines with admission control. A request may carry a deadline.
 //     Work whose deadline has already passed — or that the scheduler
-//     estimates cannot start in time, based on an EWMA of observed unit
-//     service times and the queue ahead of it — is rejected at admission
+//     estimates cannot start in time, based on per-(graph, algorithm)
+//     EWMAs of observed unit service times (falling back to the class
+//     average until a pair has history) and the queue ahead of it — is
+//     rejected at admission
 //     with a structured error instead of wasting tokens on an answer nobody
 //     will read. A waiter whose deadline expires while queued is failed at
 //     wake-up time, and running kernels observe the same deadline through
@@ -171,7 +173,11 @@ const strideScale = 1 << 16
 type waiter struct {
 	n        int
 	deadline time.Time // zero = none
-	ready    chan struct{}
+	// estUS is the unit's expected service time, resolved at enqueue from
+	// the (graph, algo) model (class EWMA fallback); wait estimates sum
+	// these instead of assuming every queued unit costs the class average.
+	estUS int64
+	ready chan struct{}
 	// granted / failed are written under the scheduler mutex before ready
 	// is closed; err is the failure cause (deadline expiry at wake-up).
 	granted bool
@@ -204,10 +210,19 @@ type classState struct {
 	completed      int64
 
 	// ewmaUS is an exponentially-weighted moving average of this class's
-	// unit service times (grant to release), in microseconds — the basis of
-	// admission-time wait estimates.
+	// unit service times (grant to release), in microseconds — the fallback
+	// for admission-time wait estimates when a (graph, algo) pair has no
+	// model yet.
 	ewmaUS int64
 }
+
+// maxServiceModels bounds the per-(graph, algo) service-time model map:
+// past the cap, unseen pairs fall back to the class EWMA instead of
+// growing the map without bound on adversarial graph names.
+const maxServiceModels = 512
+
+// modelKey is the service-time model index for a (graph, algo) pair.
+func modelKey(graph, algo string) string { return graph + "|" + algo }
 
 // Scheduler is the token scheduler. Construct with New; all methods are
 // safe for concurrent use.
@@ -218,6 +233,10 @@ type Scheduler struct {
 	maxQueue int
 	defaultD time.Duration
 	classes  [NumClasses]*classState
+	// models holds the per-(graph, algo) unit service-time EWMAs in
+	// microseconds, fed by grant releases and read at enqueue; capacity is
+	// bounded by maxServiceModels.
+	models map[string]int64
 	// inFlight counts tokens held per graph (fairness/observability).
 	inFlight map[string]int
 	// openTickets counts admitted, unclosed tickets across classes; drain
@@ -258,6 +277,7 @@ func New(cfg Config) *Scheduler {
 		maxQueue: maxQueue,
 		defaultD: cfg.DefaultDeadline,
 		onMiss:   cfg.OnDeadlineMiss,
+		models:   make(map[string]int64),
 		inFlight: make(map[string]int),
 		drained:  make(chan struct{}),
 		now:      time.Now,
@@ -303,6 +323,7 @@ type Ticket struct {
 	s        *Scheduler
 	class    Class
 	graph    string
+	algo     string
 	deadline time.Time // zero = none
 	closed   bool
 	mu       sync.Mutex
@@ -316,14 +337,15 @@ func (t *Ticket) Class() Class { return t.class }
 // zero means none.
 func (t *Ticket) Deadline() time.Time { return t.deadline }
 
-// Admit performs admission control for one request against graph: it
-// resolves the deadline (applying the scheduler default when the request
-// carries none), rejects immediately when the scheduler is draining, when
-// the class's admission bound is reached (QueueFullError with a
-// Retry-After hint), or when the deadline has passed or is estimated
+// Admit performs admission control for one request against graph running
+// algo: it resolves the deadline (applying the scheduler default when the
+// request carries none), rejects immediately when the scheduler is
+// draining, when the class's admission bound is reached (QueueFullError
+// with a Retry-After hint), or when the deadline has passed or is estimated
 // unmeetable — and otherwise returns a Ticket the caller must Close exactly
-// once when the request is finished.
-func (s *Scheduler) Admit(class Class, graph string, deadline time.Time) (*Ticket, error) {
+// once when the request is finished. The algo keys, together with graph,
+// the service-time model the ticket's units feed and consult.
+func (s *Scheduler) Admit(class Class, graph, algo string, deadline time.Time) (*Ticket, error) {
 	if class >= NumClasses {
 		class = Interactive
 	}
@@ -355,31 +377,45 @@ func (s *Scheduler) Admit(class Class, graph string, deadline time.Time) (*Ticke
 	cs.open++
 	cs.admitted++
 	s.openTickets++
-	return &Ticket{s: s, class: class, graph: graph, deadline: deadline}, nil
+	return &Ticket{s: s, class: class, graph: graph, algo: algo, deadline: deadline}, nil
+}
+
+// unitEstimateLocked returns the expected unit service time for a (graph,
+// algo) pair in microseconds: its model when one exists, the class EWMA
+// otherwise (0 = no history anywhere).
+func (s *Scheduler) unitEstimateLocked(c Class, key string) int64 {
+	if est, ok := s.models[key]; ok && est > 0 {
+		return est
+	}
+	return s.classes[c].ewmaUS
 }
 
 // waitEstimateLocked estimates how long a new unit of class c would queue:
-// the tokens already queued ahead of it (all classes) divided by the total
-// token budget, scaled by the class's observed mean unit service time. With
-// no service-time history the estimate is zero — admission then only
-// rejects deadlines that have already passed.
+// every queued waiter contributes its own expected token-time — the
+// (graph, algo) model estimate resolved when it enqueued, scaled by its
+// token width — and the sum is divided by the total token budget. Waiters
+// with no history anywhere are charged the admitting class's EWMA, which
+// preserves the old class-level estimate until models warm up; with no
+// history at all the estimate is zero and admission only rejects deadlines
+// that have already passed.
 func (s *Scheduler) waitEstimateLocked(c Class) time.Duration {
-	ewma := s.classes[c].ewmaUS
-	if ewma <= 0 {
-		return 0
-	}
-	queuedTokens := 0
+	fallback := s.classes[c].ewmaUS
+	var totalUS int64
 	for _, cs := range s.classes {
 		for _, q := range cs.ring {
 			for _, w := range q.waiters {
-				queuedTokens += w.n
+				est := w.estUS
+				if est <= 0 {
+					est = fallback
+				}
+				totalUS += est * int64(w.n)
 			}
 		}
 	}
-	if queuedTokens == 0 {
+	if totalUS <= 0 {
 		return 0
 	}
-	return time.Duration(ewma) * time.Microsecond * time.Duration(queuedTokens) / time.Duration(s.tokens)
+	return time.Duration(totalUS) * time.Microsecond / time.Duration(s.tokens)
 }
 
 // retryAfterLocked suggests a client backoff for a full class queue: the
@@ -419,7 +455,12 @@ func (t *Ticket) Acquire(ctx context.Context, n int) (*Grant, error) {
 		s.mu.Unlock()
 		return &Grant{t: t, n: n, started: s.now()}, nil
 	}
-	w := &waiter{n: n, deadline: t.deadline, ready: make(chan struct{})}
+	w := &waiter{
+		n:        n,
+		deadline: t.deadline,
+		estUS:    s.unitEstimateLocked(t.class, modelKey(t.graph, t.algo)),
+		ready:    make(chan struct{}),
+	}
 	q := cs.queues[t.graph]
 	if q == nil {
 		q = &graphQueue{name: t.graph}
@@ -607,22 +648,40 @@ type Grant struct {
 }
 
 // Release returns the grant's tokens and feeds the unit's service time into
-// the class's EWMA. It must be called exactly once per grant.
-func (g *Grant) Release() {
+// the class EWMA and the (graph, algo) model. It must be called exactly
+// once per grant (ReleaseUnits counts as the one call).
+func (g *Grant) Release() { g.ReleaseUnits(1) }
+
+// ReleaseUnits is Release for a grant that served units requests in one
+// run — a bit-parallel batch. The measured duration is divided by units
+// before feeding the service-time models, so a 64-lane batch teaches the
+// scheduler the per-unit cost, not the traversal cost, and the class's
+// completion counter advances by units. Must be called exactly once per
+// grant; units < 1 is treated as 1.
+func (g *Grant) ReleaseUnits(units int) {
 	if g.done {
 		panic("sched: double release of a token grant")
 	}
 	g.done = true
+	if units < 1 {
+		units = 1
+	}
 	s := g.t.s
-	dur := s.now().Sub(g.started).Microseconds()
+	unitUS := s.now().Sub(g.started).Microseconds() / int64(units)
 	s.mu.Lock()
 	cs := s.classes[g.t.class]
 	if cs.ewmaUS == 0 {
-		cs.ewmaUS = dur
+		cs.ewmaUS = unitUS
 	} else {
-		cs.ewmaUS += (dur - cs.ewmaUS) / 8
+		cs.ewmaUS += (unitUS - cs.ewmaUS) / 8
 	}
-	cs.completed++
+	key := modelKey(g.t.graph, g.t.algo)
+	if prev, ok := s.models[key]; ok {
+		s.models[key] = prev + (unitUS-prev)/8
+	} else if len(s.models) < maxServiceModels {
+		s.models[key] = unitUS
+	}
+	cs.completed += int64(units)
 	s.avail += g.n
 	s.inFlight[g.t.graph] -= g.n
 	if s.inFlight[g.t.graph] == 0 {
@@ -712,13 +771,16 @@ type Stats struct {
 	Classes [NumClasses]ClassStats
 	// GraphInFlight maps graph name to tokens currently granted against it.
 	GraphInFlight map[string]int
+	// ServiceModels is the number of (graph, algo) pairs with a learned
+	// service-time model (bounded by an internal cap).
+	ServiceModels int
 }
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := Stats{Tokens: s.tokens, Avail: s.avail, Draining: s.draining}
+	out := Stats{Tokens: s.tokens, Avail: s.avail, Draining: s.draining, ServiceModels: len(s.models)}
 	for c, cs := range s.classes {
 		out.Classes[c] = ClassStats{
 			Weight:         cs.weight,

@@ -32,7 +32,7 @@ func TestParseClass(t *testing.T) {
 // admitAcquire is the test shorthand for one unit: admit, acquire n tokens.
 func admitAcquire(t *testing.T, s *Scheduler, c Class, graph string, n int) (*Ticket, *Grant) {
 	t.Helper()
-	tk, err := s.Admit(c, graph, time.Time{})
+	tk, err := s.Admit(c, graph, "prnibble", time.Time{})
 	if err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
@@ -51,7 +51,7 @@ func TestSchedulerBoundsTokens(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tk, err := s.Admit(Class(i%NumClasses), "g", time.Time{})
+			tk, err := s.Admit(Class(i%NumClasses), "g", "prnibble", time.Time{})
 			if err != nil {
 				t.Errorf("Admit: %v", err)
 				return
@@ -92,7 +92,7 @@ func TestAcquireCancelWhileQueued(t *testing.T) {
 	tkA, gA := admitAcquire(t, s, Interactive, "g", 1)
 	defer tkA.Close()
 
-	tkB, err := s.Admit(Interactive, "g", time.Time{})
+	tkB, err := s.Admit(Interactive, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,15 +111,15 @@ func TestAcquireCancelWhileQueued(t *testing.T) {
 
 func TestQueueFullBackpressure(t *testing.T) {
 	s := New(Config{Tokens: 1, MaxQueue: 2})
-	tk1, err := s.Admit(Batch, "g", time.Time{})
+	tk1, err := s.Admit(Batch, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tk2, err := s.Admit(Batch, "g", time.Time{})
+	tk2, err := s.Admit(Batch, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Admit(Batch, "g", time.Time{})
+	_, err = s.Admit(Batch, "g", "prnibble", time.Time{})
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third admit = %v, want ErrQueueFull", err)
 	}
@@ -128,7 +128,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 		t.Fatalf("queue-full error carries no usable Retry-After: %v", err)
 	}
 	// Other classes are not affected by this class's bound.
-	if tk, err := s.Admit(Interactive, "g", time.Time{}); err != nil {
+	if tk, err := s.Admit(Interactive, "g", "prnibble", time.Time{}); err != nil {
 		t.Fatalf("interactive admit blocked by batch bound: %v", err)
 	} else {
 		tk.Close()
@@ -137,7 +137,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 	tk1.Close()
-	if tk, err := s.Admit(Batch, "g", time.Time{}); err != nil {
+	if tk, err := s.Admit(Batch, "g", "prnibble", time.Time{}); err != nil {
 		t.Fatalf("admit after a slot freed: %v", err)
 	} else {
 		tk.Close()
@@ -147,7 +147,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 func TestDeadlineRejectedAtAdmission(t *testing.T) {
 	s := New(Config{Tokens: 1})
-	_, err := s.Admit(Interactive, "g", time.Now().Add(-time.Second))
+	_, err := s.Admit(Interactive, "g", "prnibble", time.Now().Add(-time.Second))
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("expired deadline admit = %v, want ErrDeadlineExceeded", err)
 	}
@@ -158,7 +158,7 @@ func TestDeadlineRejectedAtAdmission(t *testing.T) {
 
 func TestDefaultDeadlineApplied(t *testing.T) {
 	s := New(Config{Tokens: 1, DefaultDeadline: time.Hour})
-	tk, err := s.Admit(Interactive, "g", time.Time{})
+	tk, err := s.Admit(Interactive, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestAdmissionRejectsUnmeetableDeadline(t *testing.T) {
 
 	// Build a backlog: A holds the token, B queues behind it.
 	tkA, gA := admitAcquire(t, s, Interactive, "g", 1)
-	tkB, err := s.Admit(Interactive, "g", time.Time{})
+	tkB, err := s.Admit(Interactive, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,12 +205,12 @@ func TestAdmissionRejectsUnmeetableDeadline(t *testing.T) {
 
 	// Estimated wait is now ~100ms (one queued token at the observed
 	// service rate); a 10ms deadline cannot be met.
-	_, err = s.Admit(Interactive, "g", s.now().Add(10*time.Millisecond))
+	_, err = s.Admit(Interactive, "g", "prnibble", s.now().Add(10*time.Millisecond))
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("unmeetable deadline admit = %v, want ErrDeadlineExceeded", err)
 	}
 	// A generous deadline is admitted.
-	tkC, err := s.Admit(Interactive, "g", s.now().Add(time.Hour))
+	tkC, err := s.Admit(Interactive, "g", "prnibble", s.now().Add(time.Hour))
 	if err != nil {
 		t.Fatalf("meetable deadline rejected: %v", err)
 	}
@@ -231,7 +231,7 @@ func TestDeadlineFailsWhileQueued(t *testing.T) {
 	tkA, gA := admitAcquire(t, s, Interactive, "g", 1)
 	defer tkA.Close()
 
-	tkB, err := s.Admit(Interactive, "g", time.Now().Add(30*time.Millisecond))
+	tkB, err := s.Admit(Interactive, "g", "prnibble", time.Now().Add(30*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func drainOrder(t *testing.T, s *Scheduler, perClass int, classes []Class) []Cla
 	var wg sync.WaitGroup
 	for _, c := range classes {
 		for i := 0; i < perClass; i++ {
-			tk, err := s.Admit(c, "g", time.Time{})
+			tk, err := s.Admit(c, "g", "prnibble", time.Time{})
 			if err != nil {
 				t.Fatalf("Admit: %v", err)
 			}
@@ -341,7 +341,7 @@ func TestPerGraphFairness(t *testing.T) {
 	queued := 0
 	enqueue := func(graph string, n int) {
 		for i := 0; i < n; i++ {
-			tk, err := s.Admit(Interactive, graph, time.Time{})
+			tk, err := s.Admit(Interactive, graph, "prnibble", time.Time{})
 			if err != nil {
 				t.Fatalf("Admit: %v", err)
 			}
@@ -391,7 +391,7 @@ func TestPerGraphFairness(t *testing.T) {
 
 func TestDrain(t *testing.T) {
 	s := New(Config{Tokens: 1})
-	tk, err := s.Admit(Interactive, "g", time.Time{})
+	tk, err := s.Admit(Interactive, "g", "prnibble", time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestDrain(t *testing.T) {
 	if !s.Draining() {
 		t.Fatal("Draining() false after BeginDrain")
 	}
-	if _, err := s.Admit(Interactive, "g", time.Time{}); !errors.Is(err, ErrDraining) {
+	if _, err := s.Admit(Interactive, "g", "prnibble", time.Time{}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("admit while draining = %v, want ErrDraining", err)
 	}
 	select {
@@ -443,7 +443,7 @@ func TestMixedPriorityLatency(t *testing.T) {
 						return
 					default:
 					}
-					tk, err := s.Admit(Background, "hot", time.Time{})
+					tk, err := s.Admit(Background, "hot", "prnibble", time.Time{})
 					if err != nil {
 						continue
 					}
@@ -468,7 +468,7 @@ func TestMixedPriorityLatency(t *testing.T) {
 		// pool's policy); in the weighted run only the class differs.
 		waits := make([]time.Duration, 0, probes)
 		for i := 0; i < probes; i++ {
-			tk, err := s.Admit(probeClass, "hot", time.Time{})
+			tk, err := s.Admit(probeClass, "hot", "prnibble", time.Time{})
 			if err != nil {
 				t.Fatalf("probe admit: %v", err)
 			}
@@ -515,7 +515,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			c := Class(i.Add(1) % NumClasses)
-			tk, err := s.Admit(c, "g", time.Time{})
+			tk, err := s.Admit(c, "g", "prnibble", time.Time{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -64,6 +64,13 @@ type Config struct {
 	// DefaultFrontier is the frontier-representation mode used for requests
 	// that do not set Params.Frontier (zero value = FrontierAuto).
 	DefaultFrontier core.FrontierMode
+	// BatchLanes enables bit-parallel batching of multi-seed fan-outs: up
+	// to this many same-parameter units of one request are coalesced into a
+	// single shared-traversal batched diffusion (clamped to the kernel's
+	// 64-lane capacity; 0 or 1 = always fan out per unit). Only batchable
+	// algorithms coalesce — nibble, and prnibble without a β-fraction — and
+	// Params.Batching "off" opts a request out.
+	BatchLanes int
 	// ClassWeights are the scheduler's per-class stride weights, indexed by
 	// sched.Class; entries <= 0 take the defaults (16/4/1 for
 	// interactive/batch/background).
@@ -93,6 +100,7 @@ type Engine struct {
 	sched           *sched.Scheduler
 	maxProcs        int
 	defaultFrontier core.FrontierMode
+	batchLanes      int
 
 	cacheMu sync.Mutex
 	cache   *lruCache
@@ -118,6 +126,10 @@ type Engine struct {
 	completed  atomic.Int64
 	// Executed diffusions by frontier mode (indexed by core.FrontierMode).
 	modeCounts [3]atomic.Int64
+	// Bit-parallel batching counters (see api.BatchStats).
+	batchGroups          atomic.Int64
+	batchLanesFilled     atomic.Int64
+	batchTraversalsSaved atomic.Int64
 }
 
 // NewEngine builds an engine over reg.
@@ -142,6 +154,13 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if f := cfg.OnDeadlineMiss; f != nil {
 		onMiss = func(c sched.Class, graph, stage string) { f(c.String(), graph, stage) }
 	}
+	lanes := cfg.BatchLanes
+	if lanes > core.MaxBatchLanes {
+		lanes = core.MaxBatchLanes
+	}
+	if lanes < 0 {
+		lanes = 0
+	}
 	return &Engine{
 		reg: reg,
 		sched: sched.New(sched.Config{
@@ -155,6 +174,7 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		metrics:         newEngineMetrics(),
 		maxProcs:        maxProcs,
 		defaultFrontier: cfg.DefaultFrontier,
+		batchLanes:      lanes,
 		cache:           newLRUCache(size), // nil (disabled) when size < 0
 		flights:         make(map[string]*flight),
 	}
@@ -208,6 +228,11 @@ func (e *Engine) Stats() EngineStats {
 			Sparse: e.modeCounts[core.FrontierSparse].Load(),
 			Dense:  e.modeCounts[core.FrontierDense].Load(),
 		},
+		Batch: api.BatchStats{
+			Groups:          e.batchGroups.Load(),
+			LanesFilled:     e.batchLanesFilled.Load(),
+			TraversalsSaved: e.batchTraversalsSaved.Load(),
+		},
 		GraphLoads: e.reg.Loads(),
 		Workspace:  e.reg.WorkspaceStats(),
 		Sched:      schedStats(e.sched.Stats()),
@@ -241,14 +266,16 @@ func schedStats(st sched.Stats) api.SchedStats {
 		Batch:         cls(sched.Batch),
 		Background:    cls(sched.Background),
 		GraphInFlight: st.GraphInFlight,
+		ServiceModels: st.ServiceModels,
 	}
 }
 
 // admit resolves a request's class and deadline and performs admission
 // control against the scheduler, returning the ticket the fan-out acquires
 // its unit tokens through. The caller must Close the ticket on every path.
-// admitClass is the class used when the request names none.
-func (e *Engine) admit(graphName, class string, deadlineMS int64, admitClass sched.Class) (*sched.Ticket, error) {
+// admitClass is the class used when the request names none; algo keys the
+// scheduler's per-(graph, algorithm) service-time model.
+func (e *Engine) admit(graphName, algo, class string, deadlineMS int64, admitClass sched.Class) (*sched.Ticket, error) {
 	cls := admitClass
 	if class != "" {
 		var err error
@@ -263,7 +290,7 @@ func (e *Engine) admit(graphName, class string, deadlineMS int64, admitClass sch
 	if deadlineMS > 0 {
 		deadline = time.Now().Add(time.Duration(deadlineMS) * time.Millisecond)
 	}
-	return e.sched.Admit(cls, graphName, deadline)
+	return e.sched.Admit(cls, graphName, algo, deadline)
 }
 
 // requestContext derives the context a request's kernels and token waits
@@ -298,6 +325,11 @@ func resolveParams(algo string, p Params, defaultFrontier core.FrontierMode) (re
 		if frontier, err = core.ParseFrontierMode(p.Frontier); err != nil {
 			return resolved{}, fmt.Errorf("%w: frontier mode %q (want auto, sparse or dense)", ErrBadRequest, p.Frontier)
 		}
+	}
+	switch p.Batching {
+	case "", "auto", "on", "off":
+	default:
+		return resolved{}, fmt.Errorf("%w: batching %q (want auto, on or off)", ErrBadRequest, p.Batching)
 	}
 	switch algo {
 	case "nibble":
@@ -598,7 +630,7 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 	}
 	tr := obs.FromContext(ctx)
 	admitStart := time.Now()
-	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Interactive)
+	ticket, err := e.admit(req.Graph, rp.algo, req.Class, req.DeadlineMS, sched.Interactive)
 	if err != nil {
 		return nil, err
 	}
@@ -659,6 +691,14 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 		start:   start,
 		agg:     Aggregate{Queries: len(units), BestConductance: 2},
 		bestIdx: len(units),
+	}
+
+	// Eligible multi-unit requests take the bit-parallel lane path: one
+	// planner goroutine groups the units into shared traversals instead of
+	// fanning one diffusion per worker.
+	if e.batchEligible(rp, req, len(units)) {
+		go e.runBatched(runCtx, cancel, st, g, wsPool, ticket, req, rp, units, procs)
+		return st, nil
 	}
 
 	// Fan the units over a bounded set of workers: wide enough to keep the
@@ -1078,7 +1118,7 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (resp *NCPResponse, e
 	// scans, not interactive probes.
 	tr := obs.FromContext(ctx)
 	admitStart := time.Now()
-	ticket, err := e.admit(req.Graph, req.Class, req.DeadlineMS, sched.Batch)
+	ticket, err := e.admit(req.Graph, "ncp", req.Class, req.DeadlineMS, sched.Batch)
 	if err != nil {
 		return nil, err
 	}

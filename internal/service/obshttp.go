@@ -157,11 +157,15 @@ func writeEngineMetrics(pw *obs.PromWriter, st EngineStats) {
 	pw.Counter("lgc_cache_misses_total", "Result-cache misses.", float64(st.CacheMisses))
 	pw.Counter("lgc_diffusions_total", "Diffusion kernels executed.", float64(st.Diffusions))
 	pw.Counter("lgc_graph_loads_total", "Graphs loaded by the registry.", float64(st.GraphLoads))
+	pw.Counter("lgc_batch_groups_total", "Bit-parallel lane groups executed by the batching planner.", float64(st.Batch.Groups))
+	pw.Counter("lgc_batch_lanes_filled_total", "Diffusions answered through shared-traversal lanes.", float64(st.Batch.LanesFilled))
+	pw.Counter("lgc_batch_traversals_saved_total", "Edge traversals avoided by lane sharing (lanes minus groups).", float64(st.Batch.TraversalsSaved))
 	pw.Gauge("lgc_in_flight", "Requests currently admitted and unfinished.", float64(st.InFlight))
 	pw.Gauge("lgc_cache_entries", "Result-cache entries resident.", float64(st.CacheEntries))
 	pw.Gauge("lgc_cache_bytes", "Approximate result-cache footprint in bytes.", float64(st.CacheBytes))
 	pw.Gauge("lgc_proc_budget", "Scheduler worker-token budget.", float64(st.ProcBudget))
 	pw.Gauge("lgc_sched_tokens_available", "Scheduler tokens not currently granted.", float64(st.Sched.Avail))
+	pw.Gauge("lgc_sched_service_models", "Per-(graph, algorithm) service-time models tracked by the scheduler.", float64(st.Sched.ServiceModels))
 
 	classes := []struct {
 		name string
@@ -182,7 +186,7 @@ func writeEngineMetrics(pw *obs.PromWriter, st EngineStats) {
 		func(cs api.SchedClassStats) float64 { return float64(cs.Rejected) })
 	counter("lgc_sched_deadline_missed_total", "Deadline misses detected by the scheduler, by class.",
 		func(cs api.SchedClassStats) float64 { return float64(cs.DeadlineMissed) })
-	counter("lgc_sched_completed_total", "Tickets closed, by class.",
+	counter("lgc_sched_completed_total", "Work units completed, by class.",
 		func(cs api.SchedClassStats) float64 { return float64(cs.Completed) })
 	for _, c := range classes {
 		pw.Gauge("lgc_sched_queue_depth", "Units queued for tokens, by class.",

@@ -226,6 +226,11 @@ func (r *Registry) WorkspaceStats() api.WorkspaceStats {
 			ResultMisses:        s.ResultMisses,
 			ResultReleases:      s.ResultReleases,
 			ResultBytesRecycled: s.ResultBytesRecycled,
+			BatchAcquires:       s.BatchAcquires,
+			BatchHits:           s.BatchHits,
+			BatchMisses:         s.BatchMisses,
+			BatchReleases:       s.BatchReleases,
+			BatchBytesRecycled:  s.BatchBytesRecycled,
 		})
 	}
 	return out

@@ -205,6 +205,7 @@ func refreshExpvar() *expSnapshot {
 		total.ProcBudget += st.ProcBudget
 		total.Workspace.Add(st.Workspace)
 		total.Sched.Add(st.Sched)
+		total.Batch.Add(st.Batch)
 		latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
 	}
 	if done := total.Queries - total.Errors; done > 0 {

@@ -81,6 +81,19 @@ type Pool struct {
 	resultMisses   atomic.Int64
 	resultReleases atomic.Int64
 	resultRecycled atomic.Int64 // result-sized bytes served from recycled arenas
+
+	// Batch workspaces (batch.go) are a third two-tier store: lane-striped
+	// scratch is an order of magnitude heavier than a Workspace, so it must
+	// neither evict the per-run arenas nor be pinned by them.
+	batchMu       sync.Mutex
+	batchHot      *BatchWorkspace // single-slot LIFO fast path; nil when checked out
+	batchOverflow sync.Pool
+
+	batchAcquires atomic.Int64
+	batchHits     atomic.Int64
+	batchMisses   atomic.Int64
+	batchReleases atomic.Int64
+	batchRecycled atomic.Int64 // lane-striped bytes served from recycled arenas
 }
 
 // NewPool returns an empty workspace pool for graphs with n vertices.
@@ -168,6 +181,20 @@ type PoolStats struct {
 	// payloads, sweep arrays, member lists) served from recycled arenas
 	// instead of the allocator.
 	ResultBytesRecycled int64 `json:"result_bytes_recycled"`
+
+	// BatchAcquires counts AcquireBatch calls (BatchHits + BatchMisses).
+	BatchAcquires int64 `json:"batch_acquires"`
+	// BatchHits counts batch-workspace acquisitions served by recycling.
+	BatchHits int64 `json:"batch_hits"`
+	// BatchMisses counts batch-workspace acquisitions that allocated fresh —
+	// each one pays for ~1.5–2 KB/vertex of lane-striped scratch, so a
+	// steady-state batch server should see these stay flat after warm-up.
+	BatchMisses int64 `json:"batch_misses"`
+	// BatchReleases counts batch workspaces returned to the pool.
+	BatchReleases int64 `json:"batch_releases"`
+	// BatchBytesRecycled totals the lane-striped bytes (lane banks, share
+	// slabs, mask and ID buffers) served from recycled arenas.
+	BatchBytesRecycled int64 `json:"batch_bytes_recycled"`
 }
 
 // Stats snapshots the pool's counters.
@@ -184,6 +211,11 @@ func (p *Pool) Stats() PoolStats {
 		ResultMisses:        p.resultMisses.Load(),
 		ResultReleases:      p.resultReleases.Load(),
 		ResultBytesRecycled: p.resultRecycled.Load(),
+		BatchAcquires:       p.batchAcquires.Load(),
+		BatchHits:           p.batchHits.Load(),
+		BatchMisses:         p.batchMisses.Load(),
+		BatchReleases:       p.batchReleases.Load(),
+		BatchBytesRecycled:  p.batchRecycled.Load(),
 	}
 }
 

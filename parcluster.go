@@ -409,6 +409,45 @@ func RandHKPRFrom(g *Graph, seeds []uint32, opts RandHKPROptions) (*Vector, Stat
 	return core.RandHKPRParFrom(g, seeds, opts.T, opts.K, opts.Walks, opts.Seed, opts.Procs)
 }
 
+// Batched diffusions share one edge traversal between up to MaxBatchLanes
+// same-parameter runs: each vertex carries a 64-bit mask of the lanes it is
+// active in, so a batch touches every edge at most once per round no matter
+// how many lanes cross it. Per-lane results and statistics are identical to
+// running each unit alone.
+
+// MaxBatchLanes is the most diffusions one batched call may carry — the
+// width of the per-vertex active-lane mask.
+const MaxBatchLanes = core.MaxBatchLanes
+
+// BatchUnit is one diffusion of a batched run: its seed set plus optional
+// per-unit result arena, cancel channel, and per-round observer. See
+// internal/core.BatchUnit.
+type BatchUnit = core.BatchUnit
+
+// NibbleBatch runs up to MaxBatchLanes Nibble diffusions through shared
+// traversals. Parameters and execution knobs come from opts exactly as for
+// Nibble; the Sequential and Result fields are ignored (batches are always
+// parallel, and arenas are per-unit via BatchUnit.Result). vecs[i] and
+// stats[i] belong to units[i] and match an unbatched run bit for bit.
+func NibbleBatch(g *Graph, units []BatchUnit, opts NibbleOptions) (vecs []*Vector, stats []Stats) {
+	opts.defaults()
+	return core.NibbleBatch(g, units, opts.Epsilon, opts.T, core.BatchConfig{
+		Procs: opts.Procs, Frontier: opts.Frontier, Workspace: opts.Workspace, Cancel: opts.Cancel,
+	})
+}
+
+// PRNibbleBatch runs up to MaxBatchLanes PR-Nibble diffusions through
+// shared traversals. Parameters come from opts exactly as for PRNibble; the
+// Sequential, PriorityQueue, Result and Beta fields are ignored (the
+// β-fraction variant ranks vertices across one run's frontier and has no
+// per-lane analogue — batches always process the full frontier, β = 1).
+func PRNibbleBatch(g *Graph, units []BatchUnit, opts PRNibbleOptions) (vecs []*Vector, stats []Stats) {
+	opts.defaults()
+	return core.PRNibbleBatch(g, units, opts.Alpha, opts.Epsilon, opts.Rule, core.BatchConfig{
+		Procs: opts.Procs, Frontier: opts.Frontier, Workspace: opts.Workspace, Cancel: opts.Cancel,
+	})
+}
+
 // EvolvingSetOptions configures EvolvingSet; see internal/core.
 type EvolvingSetOptions = core.EvolvingSetOptions
 

@@ -16,9 +16,17 @@
 //	curl -s localhost:8080/v1/graphs
 //	curl -s localhost:8080/v1/stats
 //
-// Endpoints: POST /v1/cluster, POST /v1/ncp, GET /v1/graphs, GET /v1/stats,
-// GET /v1/trace, GET /v1/trace/{id}, GET /metrics (Prometheus text
-// exposition), GET /healthz, GET /debug/vars (expvar).
+// Endpoints: POST /v1/cluster, POST /v1/ncp, POST /v1/graphs/{name}/edges,
+// GET /v1/graphs, GET /v1/stats, GET /v1/trace, GET /v1/trace/{id},
+// GET /metrics (Prometheus text exposition), GET /healthz, GET /debug/vars
+// (expvar).
+//
+// Graphs are live: POST /v1/graphs/{name}/edges applies an atomic batch of
+// edge inserts/deletes (optionally growing the vertex universe) and advances
+// the graph's epoch. Queries pin the epoch current at admission and run
+// against that immutable snapshot to completion; a background compactor
+// folds accumulated deltas into fresh base CSRs every -compact-interval, or
+// as soon as a graph's pending-delta count crosses -max-delta-edges.
 //
 // Observability: every response carries X-Request-Id, work requests are
 // traced into a bounded ring served at /v1/trace (capacity set by
@@ -77,6 +85,8 @@ type serveConfig struct {
 	defaultDeadline time.Duration
 	maxQueue        int
 	drainTimeout    time.Duration
+	compactInterval time.Duration
+	maxDeltaEdges   int
 	slowQuery       time.Duration
 	pprofAddr       string
 	traceRing       int
@@ -98,6 +108,8 @@ func main() {
 	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "deadline applied to requests without deadline_ms (0 = none)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "per-class admitted-request bound before 429s (0 = 256, negative = unbounded)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight work after SIGTERM")
+	flag.DurationVar(&cfg.compactInterval, "compact-interval", 0, "how often the background compactor folds ingested deltas into base CSRs (0 = 30s, negative = disable)")
+	flag.IntVar(&cfg.maxDeltaEdges, "max-delta-edges", 0, "pending-delta count that kicks an early compaction (0 = 65536, negative = timer-only)")
 	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "log requests at Warn when they take at least this long (0 = never)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "finished-trace ring capacity behind /v1/trace (0 = 256, negative = disable tracing)")
@@ -184,11 +196,15 @@ func run(cfg serveConfig) error {
 		MaxQueue:         cfg.maxQueue,
 		DefaultDeadline:  cfg.defaultDeadline,
 		TraceRing:        cfg.traceRing,
+		CompactInterval:  cfg.compactInterval,
+		MaxDeltaEdges:    cfg.maxDeltaEdges,
 		OnDeadlineMiss: func(class, graph, stage string) {
 			slog.Warn("scheduler deadline miss",
 				"class", class, "graph", graph, "stage", stage)
 		},
 	})
+
+	defer eng.Close() // stop the background compactor on every exit path
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

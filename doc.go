@@ -94,9 +94,12 @@
 // Command lgc-serve turns the one-shot pipeline into a long-lived query
 // service for the paper's interactive-analyst workload: graphs load once
 // into a shared registry (concurrent loads are deduplicated), and repeated
-// queries are answered from an LRU result cache — graphs are immutable and
-// every algorithm is deterministic given its parameters, so cached results
-// never go stale.
+// queries are answered from an LRU result cache. Graphs accept live edge
+// ingestion (POST /v1/graphs/{name}/edges): each batch advances the
+// graph's epoch, queries run against epoch-pinned immutable snapshots,
+// and the epoch is part of the cache key — every algorithm is
+// deterministic given its parameters, so a cached result always answers
+// exactly for the edge set it was computed on and never goes stale.
 //
 //	lgc-serve -addr :8080 -gen web=caveman:cliques=64,k=16
 //	curl -s localhost:8080/v1/cluster -d '{"graph":"web","seeds":[0,16,32]}'

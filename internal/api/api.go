@@ -114,9 +114,15 @@ type Aggregate struct {
 
 // ClusterResponse is the reply to a ClusterRequest.
 type ClusterResponse struct {
-	Graph     string          `json:"graph"`
-	Vertices  int             `json:"vertices"`
-	Edges     uint64          `json:"edges"`
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    uint64 `json:"edges"`
+	// Epoch identifies the graph version the whole request ran against: the
+	// snapshot pinned at admission, unchanged by concurrent ingestion or
+	// compaction for the request's lifetime. A client that ingests a batch
+	// (receiving epoch E) and then queries is guaranteed a response epoch
+	// >= E — never a cached pre-ingest answer.
+	Epoch     uint64          `json:"epoch"`
 	Algo      string          `json:"algo"`
 	Results   []ClusterResult `json:"results"`
 	Aggregate Aggregate       `json:"aggregate"`
@@ -160,6 +166,45 @@ type GraphInfo struct {
 	Loaded   bool   `json:"loaded"`
 	Vertices int    `json:"vertices,omitempty"`
 	Edges    uint64 `json:"edges,omitempty"`
+	// Epoch is the graph's current version: 0 for a never-mutated graph,
+	// advancing once per accepted ingest batch.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Pending is the number of ingested delta records not yet folded into
+	// the base CSR by the compactor.
+	Pending int `json:"pending,omitempty"`
+}
+
+// IngestRequest is a batch of live edge mutations for one registered graph
+// (POST /v1/graphs/{name}/edges). The batch is atomic: any invalid record
+// (self loop, endpoint outside the universe, malformed pair) rejects the
+// whole batch with a 400 and mutates nothing.
+type IngestRequest struct {
+	// Edges is the list of undirected edges to insert, each a [u, v] pair.
+	// Inserting an edge that already exists is a no-op.
+	Edges [][2]uint32 `json:"edges,omitempty"`
+	// Deletes is the list of undirected edges to remove. Deleting an absent
+	// edge is a no-op, keeping delete batches idempotent.
+	Deletes [][2]uint32 `json:"deletes,omitempty"`
+	// Vertices, when positive, grows the graph's vertex universe to this
+	// size before the batch applies, so inserts may reference brand-new
+	// vertices. The universe never shrinks.
+	Vertices int `json:"vertices,omitempty"`
+}
+
+// IngestResponse is the reply to an IngestRequest.
+type IngestResponse struct {
+	Graph string `json:"graph"`
+	// Epoch is the graph version after this batch. Queries answered at this
+	// epoch or later see every mutation the batch carried.
+	Epoch uint64 `json:"epoch"`
+	// Vertices is the universe size after this batch.
+	Vertices int `json:"vertices"`
+	// Inserted and Deleted count the records accepted from this batch.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Pending is the delta-log length after this batch — the records a
+	// future compaction will fold into the base CSR.
+	Pending int `json:"pending"`
 }
 
 // FrontierModeCounts breaks the executed diffusions down by the frontier
@@ -342,6 +387,39 @@ func (b *BatchStats) Add(o BatchStats) {
 	b.TraversalsSaved += o.TraversalsSaved
 }
 
+// IngestStats aggregates the live-mutation counters of every versioned
+// graph the registry holds (GET /v1/stats "ingest" block and the
+// ingest.{edges,batches,compactions,epoch} metrics).
+type IngestStats struct {
+	// Edges and Deletes count accepted insert / delete records.
+	Edges   int64 `json:"edges"`
+	Deletes int64 `json:"deletes"`
+	// Batches counts accepted ingest batches (epoch advances).
+	Batches int64 `json:"batches"`
+	// Compactions counts delta-log folds into a fresh base CSR.
+	Compactions int64 `json:"compactions"`
+	// Pending is the current total delta-log length across graphs.
+	Pending int64 `json:"pending"`
+	// Epoch sums the per-graph epochs — a monotone mutation clock for the
+	// whole registry (per-graph epochs are in GET /v1/graphs).
+	Epoch uint64 `json:"epoch"`
+	// Pins is the number of currently pinned snapshots (in-flight requests
+	// holding a graph version). A quiescent server shows 0; a value that
+	// grows without bound is a snapshot leak.
+	Pins int64 `json:"pins"`
+}
+
+// Add accumulates o into s (expvar cross-engine aggregation).
+func (s *IngestStats) Add(o IngestStats) {
+	s.Edges += o.Edges
+	s.Deletes += o.Deletes
+	s.Batches += o.Batches
+	s.Compactions += o.Compactions
+	s.Pending += o.Pending
+	s.Epoch += o.Epoch
+	s.Pins += o.Pins
+}
+
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
@@ -359,6 +437,7 @@ type EngineStats struct {
 	Diffusions    int64              `json:"diffusions"`
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
 	Batch         BatchStats         `json:"batch"`
+	Ingest        IngestStats        `json:"ingest"`
 	GraphLoads    int64              `json:"graph_loads"`
 	Workspace     WorkspaceStats     `json:"workspace"`
 	Sched         SchedStats         `json:"sched"`

@@ -8,7 +8,7 @@
 //
 // Framing (each record is a single line, '\n'-terminated):
 //
-//	{"graph":...,"vertices":...,"edges":...,"algo":...,"results":K}   header
+//	{"graph":...,"vertices":...,"edges":...,"epoch":...,"algo":...,"results":K}   header
 //	{"seeds":[...],"members":[...],...}                                one per completed unit
 //	{"aggregate":{...}}                                                trailer (success)
 //	{"error":"..."}                                                    terminal error record
@@ -26,9 +26,10 @@ package api
 import "io"
 
 // WriteClusterStreamHeader writes the NDJSON header record announcing the
-// batch: the graph's identity and the number of result records (units) the
-// stream will carry on success.
-func WriteClusterStreamHeader(w io.Writer, graph string, vertices int, edges uint64, algo string, units int) error {
+// batch: the graph's identity (including the pinned epoch every unit of the
+// stream runs at) and the number of result records (units) the stream will
+// carry on success.
+func WriteClusterStreamHeader(w io.Writer, graph string, vertices int, edges uint64, epoch uint64, algo string, units int) error {
 	jw := newJSONWriter(w)
 	jw.objOpen()
 	jw.key("graph")
@@ -37,6 +38,8 @@ func WriteClusterStreamHeader(w io.Writer, graph string, vertices int, edges uin
 	jw.int64(int64(vertices))
 	jw.key("edges")
 	jw.uint64(edges)
+	jw.key("epoch")
+	jw.uint64(epoch)
 	jw.key("algo")
 	jw.string(algo)
 	jw.key("results")

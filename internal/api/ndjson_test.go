@@ -19,7 +19,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the NDJSON golden file")
 // nil-vs-empty slices, the optional truncated flag, and a non-ASCII error
 // message.
 func goldenStream(w *bytes.Buffer) error {
-	if err := WriteClusterStreamHeader(w, `toy<graph>&"demo"`, 192, 1536, "prnibble", 3); err != nil {
+	if err := WriteClusterStreamHeader(w, `toy<graph>&"demo"`, 192, 1536, 7, "prnibble", 3); err != nil {
 		return err
 	}
 	r1 := ClusterResult{
@@ -137,13 +137,14 @@ func TestResultLineMatchesEncodingJSON(t *testing.T) {
 // decode into the documented key sets.
 func TestStreamHeaderAndTrailerShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteClusterStreamHeader(&buf, "g", 10, 20, "hkpr", 3); err != nil {
+	if err := WriteClusterStreamHeader(&buf, "g", 10, 20, 4, "hkpr", 3); err != nil {
 		t.Fatal(err)
 	}
 	var hdr struct {
 		Graph    string `json:"graph"`
 		Vertices int    `json:"vertices"`
 		Edges    uint64 `json:"edges"`
+		Epoch    uint64 `json:"epoch"`
 		Algo     string `json:"algo"`
 		Results  int    `json:"results"`
 	}
@@ -152,7 +153,7 @@ func TestStreamHeaderAndTrailerShape(t *testing.T) {
 	if err := dec.Decode(&hdr); err != nil {
 		t.Fatalf("header: %v", err)
 	}
-	if hdr.Graph != "g" || hdr.Vertices != 10 || hdr.Edges != 20 || hdr.Algo != "hkpr" || hdr.Results != 3 {
+	if hdr.Graph != "g" || hdr.Vertices != 10 || hdr.Edges != 20 || hdr.Epoch != 4 || hdr.Algo != "hkpr" || hdr.Results != 3 {
 		t.Fatalf("header = %+v", hdr)
 	}
 

@@ -39,6 +39,8 @@ func WriteClusterResponse(w io.Writer, resp *ClusterResponse) error {
 	jw.int64(int64(resp.Vertices))
 	jw.key("edges")
 	jw.uint64(resp.Edges)
+	jw.key("epoch")
+	jw.uint64(resp.Epoch)
 	jw.key("algo")
 	jw.string(resp.Algo)
 	jw.key("results")

@@ -87,6 +87,20 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 		return d > 0 && r.Get(v) >= eps*float64(d)
 	}
 	frontier := ligra.VertexFilter(procs, ligra.FromIDs(seeds), above)
+	// The β-fraction comparator is loop-invariant (it reads r through the
+	// captured variable); building it once keeps the per-round ranking free
+	// of the closure allocations the generic sort would otherwise force.
+	var betaLess func(a, b uint32) bool
+	if beta < 1 {
+		betaLess = func(a, b uint32) bool {
+			sa := r.Get(a) / float64(g.Degree(a))
+			sb := r.Get(b) / float64(g.Degree(b))
+			if sa != sb {
+				return sa > sb
+			}
+			return a < b
+		}
+	}
 	delta := newVec(n, mode, 16, ws)
 	eng := newFrontierEngine(g, procs, mode, &st, ws, obs)
 	// The spec is loop-invariant (its closures read r/p/delta through the
@@ -109,7 +123,7 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 			break // partial vector; see RunConfig.Cancel
 		}
 		if beta < 1 && frontier.Size() > 1 {
-			frontier = topBetaFraction(procs, g, r, frontier, beta)
+			frontier = topBetaFraction(procs, frontier, beta, ws, betaLess)
 		}
 		touched := eng.round(frontier, spec)
 		// Merge the deltas into r; only touched entries change, so the next
@@ -123,26 +137,28 @@ func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRul
 	return vecFromTableInto(p, res), st
 }
 
-// topBetaFraction returns the ceil(beta*|frontier|) vertices with the
-// largest r(v)/d(v), implementing the β-fraction work/parallelism trade-off
-// of §3.3. Ties break toward the smaller vertex ID so the schedule is
-// deterministic.
-func topBetaFraction(procs int, g *graph.CSR, r sparse.Vector, frontier ligra.VertexSubset, beta float64) ligra.VertexSubset {
-	ids := append([]uint32(nil), frontier.IDs()...)
-	keep := int(beta*float64(len(ids)) + 0.999999)
+// topBetaFraction returns the ceil(beta*|frontier|) vertices ranked best by
+// less — largest r(v)/d(v) first, ties toward the smaller vertex ID so the
+// schedule is deterministic — implementing the β-fraction work/parallelism
+// trade-off of §3.3. The ranking buffer and the merge scratch are borrowed
+// from the workspace and the comparator is built once per run, so a
+// steady-state β-fraction round allocates nothing; the returned subset
+// aliases the buffer only until the round's filter builds the next frontier
+// from separate storage.
+func topBetaFraction(procs int, frontier ligra.VertexSubset, beta float64, ws *workspace.Workspace, less func(a, b uint32) bool) ligra.VertexSubset {
+	src := frontier.IDs()
+	keep := int(beta*float64(len(src)) + 0.999999)
 	if keep < 1 {
 		keep = 1
 	}
-	if keep >= len(ids) {
+	if keep >= len(src) {
 		return frontier
 	}
-	score := func(v uint32) float64 { return r.Get(v) / float64(g.Degree(v)) }
-	parallel.Sort(procs, ids, func(a, b uint32) bool {
-		sa, sb := score(a), score(b)
-		if sa != sb {
-			return sa > sb
-		}
-		return a < b
-	})
+	ids := append(ws.SortIDs(), src...)
+	var scratch []uint32
+	if need := parallel.SortScratchLen(procs, len(ids)); need > 0 {
+		scratch = ws.SortScratch(need)
+	}
+	parallel.SortScratch(procs, ids, scratch, less)
 	return ligra.FromIDs(ids[:keep])
 }

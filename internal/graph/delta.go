@@ -1,0 +1,345 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"parcluster/internal/parallel"
+)
+
+// This file makes graphs mutable without giving up the immutability every
+// query-side layer leans on. A Versioned graph is a base CSR plus an
+// append-only delta log of edge inserts and deletes. Queries never see the
+// log: they pin an epoch-stamped Snapshot — an ordinary immutable *CSR
+// materialized lazily from base+log — and keep it for their whole lifetime,
+// while writers keep appending and a compactor periodically folds the log
+// into a fresh base. The epoch advances once per applied batch, so an epoch
+// uniquely identifies an edge set and is safe to use as a cache-key
+// component; compaction rebases storage without changing the edge set and
+// therefore does not advance it.
+
+// deltaRec is one logged edge mutation. u < v always (undirected edges are
+// canonicalized at Apply time); del marks a deletion.
+type deltaRec struct {
+	u, v uint32
+	del  bool
+}
+
+// Versioned is a mutable graph: an immutable base CSR, an append-only delta
+// log, and a lazily frozen snapshot of base+log. All methods are safe for
+// concurrent use. Snapshots returned by Snapshot are pinned and must be
+// released; the pin balance is observable via Pins for leak detection.
+type Versioned struct {
+	mu      sync.Mutex
+	procs   int
+	base    *CSR
+	n       int // current universe size; >= base.NumVertices()
+	log     []deltaRec
+	version uint64
+	snap    *Snapshot // cached frozen view of the current version, or nil
+
+	edges, deletes, batches, compactions uint64
+
+	pins atomic.Int64 // outstanding Snapshot pins across all epochs
+}
+
+// VersionedStats is a point-in-time counter snapshot for stats endpoints.
+type VersionedStats struct {
+	Edges       uint64 // insert records accepted across all batches
+	Deletes     uint64 // delete records accepted across all batches
+	Batches     uint64 // Apply calls that were accepted
+	Compactions uint64 // delta-log folds into a fresh base CSR
+	Epoch       uint64 // current version
+	Pending     int    // delta records not yet compacted
+	Vertices    int    // current universe size
+	BaseEdges   uint64 // edge count of the base CSR (exact when Pending == 0)
+}
+
+// NewVersioned wraps base in a mutable, epoch-versioned graph. procs is the
+// worker count used for lazy snapshot freezes (<= 0 = all cores); Compact
+// may override it per call.
+func NewVersioned(procs int, base *CSR) *Versioned {
+	return &Versioned{procs: procs, base: base, n: base.NumVertices()}
+}
+
+// maxVertexID bounds the universe so every vertex fits in uint32.
+const maxVertexID = math.MaxUint32
+
+// Apply validates and appends one batch of edge mutations, returning the new
+// epoch. The batch is atomic: any invalid record (self loop, endpoint outside
+// the universe) rejects the whole batch and mutates nothing. vertices > 0
+// grows the universe to that size first, so inserts may reference brand-new
+// vertices; the universe never shrinks. Deleting an absent edge and
+// inserting a present one are no-ops in the materialized graph (last write
+// per pair wins), keeping batches idempotent. Work is O(len(ins)+len(del)).
+func (v *Versioned) Apply(ins, del []Edge, vertices int) (uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.n
+	if vertices > n {
+		if vertices > maxVertexID {
+			return v.version, fmt.Errorf("graph: vertices %d exceeds max universe %d", vertices, maxVertexID)
+		}
+		n = vertices
+	}
+	if err := validateBatch(ins, n); err != nil {
+		return v.version, err
+	}
+	if err := validateBatch(del, n); err != nil {
+		return v.version, err
+	}
+	if len(ins) == 0 && len(del) == 0 && n == v.n {
+		return v.version, nil // nothing changes; don't advance the epoch
+	}
+	for _, e := range ins {
+		v.log = append(v.log, canonRec(e, false))
+	}
+	for _, e := range del {
+		v.log = append(v.log, canonRec(e, true))
+	}
+	v.n = n
+	v.version++
+	v.batches++
+	v.edges += uint64(len(ins))
+	v.deletes += uint64(len(del))
+	return v.version, nil
+}
+
+func validateBatch(edges []Edge, n int) error {
+	for _, e := range edges {
+		if e.U == e.V {
+			return fmt.Errorf("graph: self loop %d-%d rejected", e.U, e.V)
+		}
+		if int(e.U) >= n || int(e.V) >= n {
+			return fmt.Errorf("graph: edge %d-%d outside universe of %d vertices", e.U, e.V, n)
+		}
+	}
+	return nil
+}
+
+func canonRec(e Edge, del bool) deltaRec {
+	u, w := e.U, e.V
+	if u > w {
+		u, w = w, u
+	}
+	return deltaRec{u: u, v: w, del: del}
+}
+
+// Snapshot pins and returns the frozen view of the current epoch: an
+// immutable CSR structurally identical to FromEdges of the same edge set.
+// The view is materialized at most once per epoch (the first Snapshot after
+// an Apply pays the freeze; later ones share it). The caller must call
+// Release exactly once when done — typically at the end of a request.
+func (v *Versioned) Snapshot() *Snapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.freezeLocked()
+	s.refs.Add(1)
+	v.pins.Add(1)
+	return s
+}
+
+// freezeLocked returns the cached snapshot of the current version, building
+// it if the version moved since the last freeze. Callers hold v.mu.
+func (v *Versioned) freezeLocked() *Snapshot {
+	if v.snap == nil || v.snap.epoch != v.version {
+		g := v.base
+		if len(v.log) > 0 || v.n != v.base.NumVertices() {
+			g = mergeDeltas(v.procs, v.base, v.log, v.n)
+		}
+		v.snap = &Snapshot{g: g, epoch: v.version, pending: len(v.log), vg: v}
+	}
+	return v.snap
+}
+
+// Compact folds every pending delta into a fresh base CSR and truncates the
+// log. The edge set — and therefore the epoch — is unchanged: compaction is
+// a storage rebase, invisible to queries except that post-compaction
+// snapshots read a flat CSR instead of base+overlay. Returns whether any
+// folding happened and the current epoch. procs <= 0 uses the constructor's
+// worker count.
+func (v *Versioned) Compact(procs int) (bool, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.log) == 0 && v.n == v.base.NumVertices() {
+		return false, v.version
+	}
+	if procs <= 0 {
+		procs = v.procs
+	}
+	var g *CSR
+	if v.snap != nil && v.snap.epoch == v.version {
+		g = v.snap.g // the frozen view already embodies every pending delta
+	} else {
+		g = mergeDeltas(procs, v.base, v.log, v.n)
+	}
+	v.base = g
+	v.log = nil
+	v.compactions++
+	v.snap = &Snapshot{g: g, epoch: v.version, pending: 0, vg: v}
+	return true, v.version
+}
+
+// Pending returns the number of delta records not yet compacted.
+func (v *Versioned) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.log)
+}
+
+// Epoch returns the current version.
+func (v *Versioned) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// Pins returns the number of outstanding snapshot pins across every epoch.
+// A quiescent Versioned has zero; anything else is a leak.
+func (v *Versioned) Pins() int64 { return v.pins.Load() }
+
+// Stats returns a point-in-time copy of the mutation counters.
+func (v *Versioned) Stats() VersionedStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return VersionedStats{
+		Edges:       v.edges,
+		Deletes:     v.deletes,
+		Batches:     v.batches,
+		Compactions: v.compactions,
+		Epoch:       v.version,
+		Pending:     len(v.log),
+		Vertices:    v.n,
+		BaseEdges:   v.base.NumEdges(),
+	}
+}
+
+// Snapshot is a pinned, immutable view of one epoch. The underlying CSR is
+// canonical (sorted, deduplicated, symmetric, loop-free) regardless of how
+// many deltas were pending at freeze time, so kernels run on it unchanged
+// and produce bit-identical results to a from-scratch build.
+type Snapshot struct {
+	g       *CSR
+	epoch   uint64
+	pending int
+	vg      *Versioned
+	refs    atomic.Int64
+}
+
+// Graph returns the snapshot's immutable CSR.
+func (s *Snapshot) Graph() *CSR { return s.g }
+
+// Epoch returns the version this snapshot was frozen at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Pending returns how many delta records the freeze folded in on top of the
+// then-current base (0 right after a compaction).
+func (s *Snapshot) Pending() int { return s.pending }
+
+// Release drops one pin. Each Snapshot call must be balanced by exactly one
+// Release; over-releasing panics, like workspace double-release, because it
+// means some other request's view could be torn down under it.
+func (s *Snapshot) Release() {
+	if s.refs.Add(-1) < 0 {
+		panic("graph: snapshot released more times than acquired")
+	}
+	s.vg.pins.Add(-1)
+}
+
+// mergeDeltas materializes base+log on n vertices as a canonical CSR. The
+// log is folded in order (last write per undirected pair wins), diffed
+// against base membership, and merged per vertex in parallel:
+// O(Δ log Δ + n + m/P) for Δ log records — no global rebuild, no re-sort of
+// untouched adjacency. Because the output is canonical, it is structurally
+// identical to FromEdges of the union edge set.
+func mergeDeltas(p int, base *CSR, log []deltaRec, n int) *CSR {
+	p = parallel.ResolveProcs(p)
+	baseN := base.NumVertices()
+
+	// Fold the log: final desired membership per touched pair.
+	final := make(map[uint64]bool, len(log))
+	for _, r := range log {
+		final[uint64(r.u)<<32|uint64(r.v)] = !r.del
+	}
+	// Diff against base to get the effective patch, as directed half-edges
+	// packed u<<32|v so one sort orders them per source vertex.
+	var ins, del []uint64
+	for key, present := range final {
+		u, w := uint32(key>>32), uint32(key)
+		inBase := int(w) < baseN && base.HasEdge(u, w)
+		switch {
+		case present && !inBase:
+			ins = append(ins, key, uint64(w)<<32|uint64(u))
+		case !present && inBase:
+			del = append(del, key, uint64(w)<<32|uint64(u))
+		}
+	}
+	slices.Sort(ins)
+	slices.Sort(del)
+	insStart := vertexStarts(ins, n)
+	delStart := vertexStarts(del, n)
+
+	offsets := make([]uint64, n+1)
+	var total uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		d := insStart[v+1] - insStart[v] - (delStart[v+1] - delStart[v])
+		if v < baseN {
+			d += int(base.Degree(uint32(v)))
+		}
+		total += uint64(d)
+	}
+	offsets[n] = total
+
+	adj := make([]uint32, total)
+	parallel.For(p, n, 64, func(vi int) {
+		var bs []uint32
+		if vi < baseN {
+			bs = base.Neighbors(uint32(vi))
+		}
+		insP := ins[insStart[vi]:insStart[vi+1]]
+		delP := del[delStart[vi]:delStart[vi+1]]
+		o := offsets[vi]
+		j, k := 0, 0
+		for _, w := range bs {
+			for j < len(insP) && uint32(insP[j]) < w {
+				adj[o] = uint32(insP[j])
+				o++
+				j++
+			}
+			for k < len(delP) && uint32(delP[k]) < w {
+				k++
+			}
+			if k < len(delP) && uint32(delP[k]) == w {
+				k++
+				continue
+			}
+			adj[o] = w
+			o++
+		}
+		for j < len(insP) {
+			adj[o] = uint32(insP[j])
+			o++
+			j++
+		}
+	})
+	return &CSR{offsets: offsets, adj: adj, m: total / 2, maxDeg: maxDegreeOf(p, offsets)}
+}
+
+// vertexStarts returns, for each vertex v in [0, n], the index of the first
+// packed half-edge whose source is >= v — turning one sorted pair list into
+// per-vertex patch slices.
+func vertexStarts(pairs []uint64, n int) []int {
+	starts := make([]int, n+1)
+	i := 0
+	for v := 0; v <= n; v++ {
+		for i < len(pairs) && int(pairs[i]>>32) < v {
+			i++
+		}
+		starts[v] = i
+	}
+	return starts
+}

@@ -60,7 +60,7 @@ type laneLeader struct {
 // taken in request order, grouped into chunks of at most batchLanes, and
 // each chunk answered by one shared traversal. It owns st.ch and closes it
 // when every unit has been delivered or failed.
-func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, units [][]uint32, procs int) {
+func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, procs int) {
 	defer close(st.ch)
 	tr := obs.FromContext(ctx)
 	for lo := 0; lo < len(units); lo += e.batchLanes {
@@ -68,7 +68,7 @@ func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *
 		if hi > len(units) {
 			hi = len(units)
 		}
-		e.runBatchGroup(ctx, cancel, st, g, wsPool, ticket, req, rp, units, lo, hi, procs, tr)
+		e.runBatchGroup(ctx, cancel, st, g, wsPool, ticket, req, rp, keyBase, units, lo, hi, procs, tr)
 	}
 }
 
@@ -79,14 +79,14 @@ func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *
 // unit, which is exactly the traversal-sharing win — and releases them as
 // len(pending) completed units so the scheduler's per-(graph, algo) service
 // model learns the per-unit cost, not the group cost.
-func (e *Engine) runBatchGroup(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, units [][]uint32, lo, hi, procs int, tr *obs.Trace) {
+func (e *Engine) runBatchGroup(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, lo, hi, procs int, tr *obs.Trace) {
 	pending := make([]*laneLeader, 0, hi-lo)
 	var byKey map[string]*laneLeader
 	if !req.NoCache {
 		byKey = make(map[string]*laneLeader, hi-lo)
 	}
 	for i := lo; i < hi; i++ {
-		key := rp.key(req.Graph, units[i])
+		key := rp.key(keyBase, units[i])
 		if !req.NoCache {
 			e.cacheMu.Lock()
 			res, ok := e.cache.get(key)

@@ -89,6 +89,17 @@ type Config struct {
 	// deadline miss (class, graph, detection stage — see
 	// sched.Config.OnDeadlineMiss, including its held-lock constraints).
 	OnDeadlineMiss func(class, graph, stage string)
+	// CompactInterval is how often the background compactor folds each
+	// graph's pending ingest deltas into a fresh base CSR (0 = 30s,
+	// negative = periodic compaction disabled). Compaction passes admit
+	// through the scheduler as background-class work, so they yield to
+	// queries and stop at drain.
+	CompactInterval time.Duration
+	// MaxDeltaEdges triggers an immediate compaction pass when an ingest
+	// batch leaves a graph with at least this many pending delta records
+	// (0 = 65536, negative = no threshold — timer only). It bounds the
+	// per-query snapshot-freeze cost, which is linear in the delta log.
+	MaxDeltaEdges int
 }
 
 // Engine dispatches typed requests to the core algorithms over graphs from
@@ -115,6 +126,17 @@ type Engine struct {
 	// metrics holds the latency histograms /metrics exposes (see observe.go).
 	tracer  *obs.Tracer
 	metrics engineMetrics
+
+	// The background compactor: a goroutine that periodically (and on
+	// kick, when an ingest batch crosses maxDeltaEdges) folds every
+	// graph's pending deltas into fresh base CSRs. compactDone closes when
+	// the goroutine exits; Close stops it.
+	maxDeltaEdges int
+	compactKick   chan struct{}
+	compactCtx    context.Context
+	compactCancel context.CancelFunc
+	compactDone   chan struct{}
+	closeOnce     sync.Once
 
 	queries    atomic.Int64
 	errors     atomic.Int64
@@ -161,7 +183,15 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if lanes < 0 {
 		lanes = 0
 	}
-	return &Engine{
+	interval := cfg.CompactInterval
+	if interval == 0 {
+		interval = 30 * time.Second
+	}
+	maxDelta := cfg.MaxDeltaEdges
+	if maxDelta == 0 {
+		maxDelta = 1 << 16
+	}
+	e := &Engine{
 		reg: reg,
 		sched: sched.New(sched.Config{
 			Tokens:          budget,
@@ -177,7 +207,25 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		batchLanes:      lanes,
 		cache:           newLRUCache(size), // nil (disabled) when size < 0
 		flights:         make(map[string]*flight),
+		maxDeltaEdges:   maxDelta,
+		compactKick:     make(chan struct{}, 1),
+		compactDone:     make(chan struct{}),
 	}
+	e.compactCtx, e.compactCancel = context.WithCancel(context.Background())
+	if interval > 0 {
+		go e.compactor(interval)
+	} else {
+		close(e.compactDone)
+	}
+	return e
+}
+
+// Close stops the engine's background compactor and waits for an in-flight
+// compaction pass to finish. It does not drain queries — that is
+// BeginDrain/Drained's job. Idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(e.compactCancel)
+	<-e.compactDone
 }
 
 // Registry returns the engine's graph registry.
@@ -233,6 +281,7 @@ func (e *Engine) Stats() EngineStats {
 			LanesFilled:     e.batchLanesFilled.Load(),
 			TraversalsSaved: e.batchTraversalsSaved.Load(),
 		},
+		Ingest:     e.reg.IngestStats(),
 		GraphLoads: e.reg.Loads(),
 		Workspace:  e.reg.WorkspaceStats(),
 		Sched:      schedStats(e.sched.Stats()),
@@ -448,13 +497,22 @@ func validateParams(p Params) error {
 	return nil
 }
 
-// key builds the canonical cache key for one unit of work. Only parameters
-// the algorithm consults appear, so equivalent requests collide as they
+// epochKey is the graph fragment of a cache key: the name qualified by the
+// epoch the request pinned. Results computed at different epochs therefore
+// live under different keys — ingestion invalidates nothing; entries for
+// superseded epochs just stop being addressed and age out of the LRU.
+func epochKey(graphName string, epoch uint64) string {
+	return fmt.Sprintf("%s@%d", graphName, epoch)
+}
+
+// key builds the canonical cache key for one unit of work from the
+// epoch-qualified graph fragment (see epochKey). Only parameters the
+// algorithm consults appear, so equivalent requests collide as they
 // should. Procs is deliberately absent: every algorithm returns the same
 // result regardless of worker count.
-func (r resolved) key(graphName string, seeds []uint32) string {
+func (r resolved) key(keyBase string, seeds []uint32) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|", graphName, r.algo)
+	fmt.Fprintf(&b, "%s|%s|", keyBase, r.algo)
 	p := r.p
 	switch r.algo {
 	case "nibble":
@@ -534,6 +592,7 @@ func (e *Engine) ClusterBorrowed(ctx context.Context, req *ClusterRequest) (*Clu
 		Graph:     st.Graph,
 		Vertices:  st.Vertices,
 		Edges:     st.Edges,
+		Epoch:     st.Epoch,
 		Algo:      st.Algo,
 		Results:   results,
 		Aggregate: st.Aggregate(),
@@ -566,11 +625,15 @@ type streamUnit struct {
 // side of the NDJSON streaming path. Obtain one from StreamCluster, consume
 // it with Next from a single goroutine, and Close it on every path.
 type ClusterStream struct {
-	// Graph, Vertices, Edges and Algo identify the resolved graph and
-	// algorithm (the stream header's fields).
+	// Graph, Vertices, Edges, Epoch and Algo identify the resolved graph
+	// snapshot and algorithm (the stream header's fields). Epoch is the
+	// graph version pinned at admission; every unit of the stream runs
+	// against exactly that edge set, however much concurrent ingestion
+	// lands meanwhile.
 	Graph    string
 	Vertices int
 	Edges    uint64
+	Epoch    uint64
 	Algo     string
 	// Units is the number of result records the stream delivers on success
 	// (one per seed, or one for a seed-set request).
@@ -578,6 +641,7 @@ type ClusterStream struct {
 
 	eng    *Engine
 	ticket *sched.Ticket
+	pin    *PinnedGraph
 	cancel context.CancelFunc
 	ch     chan streamUnit
 	start  time.Time
@@ -636,22 +700,32 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 	}
 	tr.Span("admission", admitStart)
 	tr.Annotate(req.Graph, rp.algo, ticket.Class().String())
-	// Every error path below must return the admission slot. The request
-	// context (caller ctx bounded by the admission deadline) governs
-	// everything from here on — including the graph-load wait, so a
-	// deadline cannot be burned inside a slow first load.
+	// Every error path below must return the admission slot (and the
+	// snapshot pin, once acquired). The request context (caller ctx bounded
+	// by the admission deadline) governs everything from here on —
+	// including the graph-load wait, so a deadline cannot be burned inside
+	// a slow first load.
 	runCtx, cancel := requestContext(ctx, ticket)
+	var pin *PinnedGraph
 	fail := func(err error) (*ClusterStream, error) {
 		cancel()
 		ticket.Close()
+		if pin != nil {
+			pin.Release()
+		}
 		return nil, err
 	}
 	loadStart := time.Now()
-	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
+	pin, err = e.reg.Acquire(runCtx, req.Graph)
 	if err != nil {
 		return fail(err)
 	}
 	tr.Span("graph_load", loadStart)
+	// The pinned snapshot is the whole request's world: every unit runs
+	// against this epoch's CSR, and the epoch qualifies every cache key, so
+	// entries computed at older epochs can never answer this request.
+	g, wsPool := pin.G, pin.Pool
+	keyBase := epochKey(req.Graph, pin.Epoch)
 	n := g.NumVertices()
 	for _, s := range req.Seeds {
 		// Compare in uint64: int(s) can wrap negative on 32-bit platforms.
@@ -679,10 +753,12 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 		Graph:    req.Graph,
 		Vertices: n,
 		Edges:    g.NumEdges(),
+		Epoch:    pin.Epoch,
 		Algo:     rp.algo,
 		Units:    len(units),
 		eng:      e,
 		ticket:   ticket,
+		pin:      pin,
 		cancel:   cancel,
 		// Buffered to the batch size so workers never block on the
 		// consumer: a slow client cannot pin worker goroutines, and error
@@ -697,7 +773,7 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 	// planner goroutine groups the units into shared traversals instead of
 	// fanning one diffusion per worker.
 	if e.batchEligible(rp, req, len(units)) {
-		go e.runBatched(runCtx, cancel, st, g, wsPool, ticket, req, rp, units, procs)
+		go e.runBatched(runCtx, cancel, st, g, wsPool, ticket, req, rp, keyBase, units, procs)
 		return st, nil
 	}
 
@@ -722,7 +798,7 @@ func (e *Engine) openStream(ctx context.Context, req *ClusterRequest) (*ClusterS
 				if i >= len(units) {
 					return
 				}
-				res, arena, err := e.runCached(runCtx, g, wsPool, ticket, req.Graph, i, units[i], rp, procs, req.NoCache)
+				res, arena, err := e.runCached(runCtx, g, wsPool, ticket, keyBase, i, units[i], rp, procs, req.NoCache)
 				if err != nil {
 					st.ch <- streamUnit{idx: i, err: err}
 					// Stop the rest of the batch promptly: queued units fail
@@ -850,6 +926,7 @@ func (st *ClusterStream) finish(err error) {
 	st.finished.Do(func() {
 		st.cancel()
 		st.ticket.Close()
+		st.pin.Release() // the stream is the request's epoch pin holder
 		if err != nil {
 			st.eng.errors.Add(1)
 		} else {
@@ -893,8 +970,8 @@ type flight struct {
 // the caller (released after the response is written). Cache hits and
 // flight followers return owned memory and a nil arena: only the goroutine
 // that actually ran the diffusion holds borrowed memory.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, graphName string, unit int, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
-	key := rp.key(graphName, seeds)
+func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, keyBase string, unit int, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
+	key := rp.key(keyBase, seeds)
 	if noCache {
 		res, _, arena, err := e.compute(ctx, g, wsPool, ticket, key, unit, seeds, rp, procs)
 		return res, arena, err
@@ -1134,10 +1211,14 @@ func (e *Engine) ncp(ctx context.Context, req *NCPRequest) (resp *NCPResponse, e
 	runCtx, cancel := requestContext(ctx, ticket)
 	defer cancel()
 	loadStart := time.Now()
-	g, wsPool, err := e.reg.GetWithWorkspace(runCtx, req.Graph)
+	// An NCP is a many-diffusion scan; pin one epoch so every probe runs
+	// against the same edge set even under concurrent ingestion.
+	pin, err := e.reg.Acquire(runCtx, req.Graph)
 	if err != nil {
 		return nil, err
 	}
+	defer pin.Release()
+	g, wsPool := pin.G, pin.Pool
 	tr.Span("graph_load", loadStart)
 	for _, s := range req.SeedVertices {
 		if uint64(s) >= uint64(g.NumVertices()) {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -32,6 +33,28 @@ func fuzzServer() *Server {
 	eng := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 64})
 	srv := NewServer(eng)
 	srv.Logf = func(string, ...any) {} // panics still surface; noise does not
+	return srv
+}
+
+// fuzzIngestServer builds a server for the ingest fuzz target: the same
+// two-clique graph, but with the background compactor disabled so the only
+// work a fuzz iteration can trigger is the O(batch) Apply itself.
+func fuzzIngestServer() *Server {
+	var edges []graph.Edge
+	for c := uint32(0); c < 2; c++ {
+		base := c * 8
+		for i := uint32(0); i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j})
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 8})
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", graph.FromEdges(1, 0, edges))
+	eng := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, CompactInterval: -1})
+	srv := NewServer(eng)
+	srv.Logf = func(string, ...any) {}
 	return srv
 }
 
@@ -99,6 +122,132 @@ func requireJSONAnswer(t *testing.T, rec *httptest.ResponseRecorder, body []byte
 	}
 	if !bytes.Equal(streamed.Bytes(), rec.Body.Bytes()) {
 		t.Fatalf("streaming re-encode diverges\nserved %q\nstream %q", rec.Body.Bytes(), streamed.Bytes())
+	}
+}
+
+// FuzzIngestRequest throws arbitrary bytes at POST /v1/graphs/{name}/edges.
+// The handler must never panic, every non-200 must carry a JSON error body
+// (malformed JSON, self loops, out-of-range endpoints, and oversized
+// universes are all 400s, never 500s), and every 200 must decode strictly
+// into an IngestResponse whose counters match the accepted batch. State
+// accrued across iterations is folded or reset so a long fuzz run's memory
+// stays bounded by one batch, not by the history of all batches.
+func FuzzIngestRequest(f *testing.F) {
+	f.Add([]byte(`{"edges":[[0,1]]}`))
+	f.Add([]byte(`{"edges":[[0,8],[1,9]],"deletes":[[0,1]]}`))
+	f.Add([]byte(`{"deletes":[[2,3]]}`))
+	f.Add([]byte(`{"vertices":32,"edges":[[16,31]]}`))
+	f.Add([]byte(`{"edges":[[5,5]]}`))
+	f.Add([]byte(`{"edges":[[0,70000]]}`))
+	f.Add([]byte(`{"vertices":-5}`))
+	f.Add([]byte(`{"vertices":268435457}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"edges":[[0,1]],"wat":true}`))
+	f.Add([]byte(`not json at all`))
+	srv := fuzzIngestServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs/g/edges", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic, whatever the body
+		requireIngestAnswer(t, rec, body)
+		// Bound cross-iteration state: fold a long delta log; replace the
+		// server outright once a batch has legitimately grown the universe
+		// big enough that folding it would itself be the expensive step.
+		vg, err := srv.eng.reg.Versioned(context.Background(), "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st := vg.Stats(); {
+		case st.Vertices > 1<<20:
+			srv = fuzzIngestServer()
+		case st.Pending > 4096:
+			srv.eng.CompactNow()
+		}
+	})
+}
+
+// requireIngestAnswer checks the ingest handler's reply invariants for any
+// input.
+func requireIngestAnswer(t *testing.T, rec *httptest.ResponseRecorder, body []byte) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q for body %q", ct, body)
+	}
+	if rec.Code != http.StatusOK {
+		if rec.Code < 400 || rec.Code >= 500 {
+			t.Fatalf("ingest status = %d for body %q (only 200s and 4xx are reachable)", rec.Code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("status %d without a JSON error body: %q (req %q)", rec.Code, rec.Body.Bytes(), body)
+		}
+		return
+	}
+	var resp api.IngestResponse
+	dec := json.NewDecoder(bytes.NewReader(rec.Body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("200 body does not decode into IngestResponse: %v\nbody: %q", err, rec.Body.Bytes())
+	}
+	if resp.Graph != "g" || resp.Inserted < 0 || resp.Deleted < 0 || resp.Pending < 0 {
+		t.Fatalf("accepted batch produced an inconsistent reply: %+v (req %q)", resp, body)
+	}
+}
+
+// TestIngestRequestSeedCorpus replays the ingest seed corpus under plain
+// `go test`, so the handler invariants run in every CI job, race included.
+func TestIngestRequestSeedCorpus(t *testing.T) {
+	srv := fuzzIngestServer()
+	bodies := []string{
+		`{"edges":[[0,1]]}`,
+		`{"edges":[[0,8],[1,9]],"deletes":[[0,1]]}`,
+		`{"vertices":32,"edges":[[16,31]]}`,
+		`{"edges":[[5,5]]}`,
+		`{"edges":[[0,70000]]}`,
+		`{"deletes":[[0,4294967295]]}`,
+		`{"vertices":-5}`,
+		`{"vertices":268435457}`,
+		`{}`,
+		`[]`,
+		`{"edges":null,"deletes":null}`,
+		`{"edges":[[0,1]]} trailing`,
+	}
+	for _, body := range bodies {
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs/g/edges", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		requireIngestAnswer(t, rec, []byte(body))
+	}
+}
+
+// TestIngestAllocsIndependentOfGraphSize pins the input-proportionality
+// contract: accepting a one-edge batch allocates a small constant, even
+// when the graph universe is a million vertices — ingestion must never
+// touch O(n) or O(m) state on the write path.
+func TestIngestAllocsIndependentOfGraphSize(t *testing.T) {
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("big", graph.FromEdges(1, 1<<20, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	e := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, CompactInterval: -1})
+	t.Cleanup(e.Close)
+	ctx := context.Background()
+
+	ins := &api.IngestRequest{Edges: [][2]uint32{{500000, 900000}}}
+	del := &api.IngestRequest{Deletes: [][2]uint32{{500000, 900000}}}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		req := ins
+		if i%2 == 1 {
+			req = del
+		}
+		i++
+		if _, err := e.Ingest(ctx, "big", req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 24 {
+		t.Fatalf("one-edge ingest on a 2^20-vertex graph allocates %.1f objects per batch, want a small constant", avg)
 	}
 }
 

@@ -1,0 +1,159 @@
+// ingest.go is the mutation side of the engine: live edge batches applied
+// through the registry's graph.Versioned overlays (POST
+// /v1/graphs/{name}/edges), and the background compactor that folds the
+// accumulated delta logs into fresh base CSRs. Queries never see either
+// happen mid-flight — they run against the epoch snapshot pinned at
+// admission (Registry.Acquire), and the epoch is part of every cache key,
+// so a mutation invalidates nothing: stale entries simply stop being
+// addressed and age out of the LRU.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"parcluster/internal/api"
+	"parcluster/internal/graph"
+	"parcluster/internal/sched"
+)
+
+// Ingest-size bounds, in the same spirit as the query caps: one batch must
+// not be able to monopolize the server (oversized streams belong in
+// multiple batches), and a hostile vertices value must not allocate an
+// offsets array of arbitrary size on the next snapshot freeze.
+const (
+	maxIngestRecords  = 1 << 20
+	maxIngestVertices = 1 << 28
+)
+
+// Ingest applies one atomic batch of edge mutations to a registered graph
+// and returns the epoch the batch produced. The whole batch validates
+// before anything applies: a single bad record (self loop, endpoint outside
+// the universe) rejects it with a 400-mapped error and mutates nothing.
+// Ingesting into a registered-but-unloaded graph loads it first. While the
+// engine drains, ingestion refuses with sched.ErrDraining (503) like any
+// other new work.
+//
+// A batch that crosses the engine's pending-delta threshold kicks the
+// background compactor instead of folding inline, so ingest latency stays
+// proportional to the batch, not the graph.
+func (e *Engine) Ingest(ctx context.Context, graphName string, req *api.IngestRequest) (*api.IngestResponse, error) {
+	if e.Draining() {
+		return nil, sched.ErrDraining
+	}
+	if graphName == "" {
+		return nil, fmt.Errorf("%w: missing graph name", ErrBadRequest)
+	}
+	total := len(req.Edges) + len(req.Deletes)
+	if total == 0 && req.Vertices == 0 {
+		return nil, fmt.Errorf("%w: empty ingest batch", ErrBadRequest)
+	}
+	if total > maxIngestRecords {
+		return nil, fmt.Errorf("%w: %d records exceeds the per-batch maximum %d", ErrBadRequest, total, maxIngestRecords)
+	}
+	if req.Vertices < 0 || req.Vertices > maxIngestVertices {
+		return nil, fmt.Errorf("%w: vertices %d outside [0, %d]", ErrBadRequest, req.Vertices, maxIngestVertices)
+	}
+	vg, err := e.reg.Versioned(ctx, graphName)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := vg.Apply(toEdges(req.Edges), toEdges(req.Deletes), req.Vertices)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	st := vg.Stats()
+	if e.maxDeltaEdges > 0 && st.Pending >= e.maxDeltaEdges {
+		e.kickCompactor()
+	}
+	return &api.IngestResponse{
+		Graph:    graphName,
+		Epoch:    epoch,
+		Vertices: st.Vertices,
+		Inserted: len(req.Edges),
+		Deleted:  len(req.Deletes),
+		Pending:  st.Pending,
+	}, nil
+}
+
+func toEdges(pairs [][2]uint32) []graph.Edge {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return out
+}
+
+// kickCompactor requests an immediate compaction pass; a pass already
+// requested (or running) absorbs the kick.
+func (e *Engine) kickCompactor() {
+	select {
+	case e.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// compactor is the background fold loop: every interval (or immediately on
+// kick) it walks the loaded graphs and folds any pending deltas. It exits
+// when Engine.Close cancels compactCtx.
+func (e *Engine) compactor(interval time.Duration) {
+	defer close(e.compactDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.compactCtx.Done():
+			return
+		case <-t.C:
+		case <-e.compactKick:
+		}
+		e.compactAll()
+	}
+}
+
+// compactAll folds every loaded graph with pending deltas, each fold
+// admitted through the scheduler as background-class work: compactions
+// yield to queries under load, and a draining engine refuses them at
+// admission — so Drained is never held back by a fold that hasn't started,
+// while one already holding a ticket finishes and is waited for.
+func (e *Engine) compactAll() {
+	for name, vg := range e.reg.versioned() {
+		if vg.Pending() == 0 {
+			continue
+		}
+		e.compactGraph(name, vg)
+	}
+}
+
+// compactGraph folds one graph's delta log under a scheduler ticket.
+// Admission failure (draining, class saturated) just skips the fold — the
+// deltas stay queryable through snapshots and the next pass retries.
+func (e *Engine) compactGraph(name string, vg *graph.Versioned) {
+	ticket, err := e.sched.Admit(sched.Background, name, "compact", time.Time{})
+	if err != nil {
+		return
+	}
+	defer ticket.Close()
+	grant, err := ticket.Acquire(e.compactCtx, 1)
+	if err != nil {
+		return
+	}
+	start := time.Now()
+	folded, _ := vg.Compact(1) // one token acquired, one worker used
+	grant.Release()
+	if folded {
+		e.metrics.kernelDur.With("compact").Observe(time.Since(start))
+	}
+}
+
+// CompactNow synchronously folds every graph's pending deltas, bypassing
+// the scheduler — a test and shutdown hook, not a serving-path API.
+func (e *Engine) CompactNow() {
+	for _, vg := range e.reg.versioned() {
+		vg.Compact(e.resolveProcs(0))
+	}
+}

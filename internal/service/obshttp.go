@@ -34,13 +34,15 @@ func requestIDFrom(ctx context.Context) string {
 // tracedEndpoint reports whether a path names one of the work endpoints
 // whose requests get a trace. Reads of /v1/trace itself, listings, stats
 // and probes stay out of the ring — they would bury the kernel traces the
-// ring exists to keep.
+// ring exists to keep. Ingest batches (POST /v1/graphs/{name}/edges) are
+// work too: mutation is rarer than querying, and tracing it answers "which
+// batch advanced the epoch".
 func tracedEndpoint(path string) bool {
 	switch path {
 	case "/v1/cluster", "/v1/cluster/stream", "/v1/ncp":
 		return true
 	}
-	return false
+	return strings.HasPrefix(path, "/v1/graphs/") && strings.HasSuffix(path, "/edges")
 }
 
 // obsWriter wraps the ResponseWriter to capture the status code and inject

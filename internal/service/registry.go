@@ -23,9 +23,13 @@ type GraphInfo = api.GraphInfo
 // Registry is a concurrency-safe catalog of graphs. Sources are registered
 // under a name and materialized lazily on first Get; concurrent Gets for
 // the same name share a single load (singleflight), and a successful load
-// is kept forever — graphs are immutable, so every query receives the same
-// *graph.CSR. A failed load is not kept: the error is reported to everyone
-// waiting on that load, and the next Get retries the source.
+// is kept forever. A failed load is not kept: the error is reported to
+// everyone waiting on that load, and the next Get retries the source.
+//
+// Every loaded graph is wrapped in a graph.Versioned overlay, so it can
+// mutate through ingest batches (Versioned) while queries run against
+// pinned epoch snapshots (Acquire). The CSR handed out for any one epoch
+// is immutable; mutation only ever produces new snapshots.
 type Registry struct {
 	mu      sync.Mutex
 	sources map[string]Source
@@ -47,16 +51,57 @@ type Registry struct {
 const maxDynamicGraphs = 64
 
 // load is one singleflight slot: the first Get for a name creates it and
-// runs the source; everyone else waits on done. A successful load also
-// receives the graph's workspace pool (ws), sized to its vertex universe:
-// the registry is the natural owner because a pool is exactly as immutable
-// and long-lived as the graph it serves.
+// runs the source; everyone else waits on done. A successful load wraps the
+// graph in its mutation overlay (vg) and owns one workspace pool per vertex
+// universe the graph has had: pools are sized to a universe, and ingest can
+// grow the universe, so a grown graph gets a fresh pool while snapshots of
+// older epochs keep borrowing from theirs.
 type load struct {
 	done chan struct{}
-	g    *graph.CSR
-	ws   *workspace.Pool
+	g    *graph.CSR // the base CSR as originally loaded (epoch 0)
+	vg   *graph.Versioned
 	err  error
+
+	poolMu sync.Mutex
+	pools  map[int]*workspace.Pool // universe size -> pool
 }
+
+// finish installs the overlay and the initial workspace pool for a
+// successfully sourced graph.
+func (l *load) finish(procs int, g *graph.CSR) {
+	l.g = g
+	l.vg = graph.NewVersioned(procs, g)
+	l.pools = map[int]*workspace.Pool{g.NumVertices(): workspace.NewPool(g.NumVertices())}
+}
+
+// pool returns the workspace pool for a vertex universe of size n, creating
+// it on first use after the universe grows.
+func (l *load) pool(n int) *workspace.Pool {
+	l.poolMu.Lock()
+	defer l.poolMu.Unlock()
+	p, ok := l.pools[n]
+	if !ok {
+		p = workspace.NewPool(n)
+		l.pools[n] = p
+	}
+	return p
+}
+
+// PinnedGraph is one epoch of one graph, pinned for the lifetime of a
+// request: G is the immutable CSR of that epoch, Pool the workspace pool
+// sized to its universe, and Epoch the version the request must report.
+// Release the pin — exactly once; it is idempotent — when the request
+// finishes, so leak detectors (Versioned.Pins) can prove quiescence.
+type PinnedGraph struct {
+	G     *graph.CSR
+	Epoch uint64
+	Pool  *workspace.Pool
+	snap  *graph.Snapshot
+	once  sync.Once
+}
+
+// Release returns the pin. Idempotent.
+func (p *PinnedGraph) Release() { p.once.Do(p.snap.Release) }
 
 // NewRegistry returns an empty registry. procs is the worker count passed
 // to sources (<= 0 = all cores). If dynamic is true, a Get for an
@@ -86,7 +131,9 @@ func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sources[name] = func(int) (*graph.CSR, error) { return g, nil }
-	r.loads[name] = &load{done: closedChan, g: g, ws: workspace.NewPool(g.NumVertices())}
+	l := &load{done: closedChan}
+	l.finish(r.procs, g)
+	r.loads[name] = l
 }
 
 // RegisterFile adds a graph file source (.adj, .bin, or edge list; see
@@ -113,19 +160,58 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// Get resolves name to its graph, loading it if necessary. Concurrent
-// calls for the same unloaded name perform one load between them. The
-// context only bounds this caller's wait — an in-flight load itself is
-// never abandoned, since another waiter may still want it.
+// Get resolves name to its current graph snapshot, loading it if
+// necessary. Concurrent calls for the same unloaded name perform one load
+// between them. The context only bounds this caller's wait — an in-flight
+// load itself is never abandoned, since another waiter may still want it.
 func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
 	g, _, err := r.GetWithWorkspace(ctx, name)
 	return g, err
 }
 
-// GetWithWorkspace is Get returning, alongside the graph, the per-graph
-// workspace pool the registry owns for it — the pool diffusions against
-// this graph should borrow their graph-sized scratch state from.
+// GetWithWorkspace is Get returning, alongside the graph, the workspace
+// pool the registry owns for its universe — the pool diffusions against
+// this graph should borrow their graph-sized scratch state from. The
+// returned CSR is one immutable epoch snapshot; callers that must hold a
+// single epoch across a whole request (and report which) use Acquire.
 func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CSR, *workspace.Pool, error) {
+	pin, err := r.Acquire(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The CSR and pool outlive the pin (both are immutable / registry-owned);
+	// only epoch accounting needs the pin held, and this caller reports none.
+	defer pin.Release()
+	return pin.G, pin.Pool, nil
+}
+
+// Acquire resolves name and pins its current epoch snapshot: the returned
+// CSR is immutable and stays this epoch's edge set no matter how many
+// ingest batches or compactions land while the request runs. The caller
+// must Release the pin when done with the graph.
+func (r *Registry) Acquire(ctx context.Context, name string) (*PinnedGraph, error) {
+	l, err := r.resolve(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	snap := l.vg.Snapshot()
+	g := snap.Graph()
+	return &PinnedGraph{G: g, Epoch: snap.Epoch(), Pool: l.pool(g.NumVertices()), snap: snap}, nil
+}
+
+// Versioned resolves name to its mutation overlay — the handle ingest
+// batches apply through and the compactor folds.
+func (r *Registry) Versioned(ctx context.Context, name string) (*graph.Versioned, error) {
+	l, err := r.resolve(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return l.vg, nil
+}
+
+// resolve returns the completed load slot for name, running or joining the
+// singleflight load as needed.
+func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 	r.mu.Lock()
 	if l, ok := r.loads[name]; ok {
 		r.mu.Unlock()
@@ -136,16 +222,16 @@ func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CS
 	if !ok {
 		if !r.dynamic {
 			r.mu.Unlock()
-			return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 		}
 		if r.dynamicCount >= r.dynamicLimit {
 			r.mu.Unlock()
-			return nil, nil, fmt.Errorf("%w: dynamic graph limit reached (%d specs materialized); register graphs at startup instead", ErrBadRequest, r.dynamicLimit)
+			return nil, fmt.Errorf("%w: dynamic graph limit reached (%d specs materialized); register graphs at startup instead", ErrBadRequest, r.dynamicLimit)
 		}
 		spec, err := gen.ParseSpec(name)
 		if err != nil {
 			r.mu.Unlock()
-			return nil, nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
+			return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
 		}
 		isDynamic = true
 		src = func(p int) (*graph.CSR, error) {
@@ -165,8 +251,9 @@ func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CS
 	}
 	r.mu.Unlock()
 
-	l.g, l.err = src(r.procs)
-	if l.err != nil {
+	g, err := src(r.procs)
+	if err != nil {
+		l.err = err
 		r.mu.Lock()
 		delete(r.loads, name) // let the next Get retry
 		if isDynamic {
@@ -174,19 +261,19 @@ func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CS
 		}
 		r.mu.Unlock()
 	} else {
-		l.ws = workspace.NewPool(l.g.NumVertices())
+		l.finish(r.procs, g)
 		r.loadCount.Add(1)
 	}
 	close(l.done)
-	return l.g, l.ws, l.err
+	return l, l.err
 }
 
-func (l *load) wait(ctx context.Context) (*graph.CSR, *workspace.Pool, error) {
+func (l *load) wait(ctx context.Context) (*load, error) {
 	select {
 	case <-l.done:
-		return l.g, l.ws, l.err
+		return l, l.err
 	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
@@ -199,18 +286,14 @@ func (r *Registry) Loads() int64 { return r.loadCount.Load() }
 // the registry owns (loads still in flight, which have no pool yet, are
 // skipped).
 func (r *Registry) WorkspaceStats() api.WorkspaceStats {
-	r.mu.Lock()
-	pools := make([]*workspace.Pool, 0, len(r.loads))
-	for _, l := range r.loads {
-		select {
-		case <-l.done:
-			if l.ws != nil {
-				pools = append(pools, l.ws)
-			}
-		default:
+	var pools []*workspace.Pool
+	for _, l := range r.completedLoads() {
+		l.poolMu.Lock()
+		for _, p := range l.pools {
+			pools = append(pools, p)
 		}
+		l.poolMu.Unlock()
 	}
-	r.mu.Unlock()
 	var out api.WorkspaceStats
 	for _, p := range pools {
 		s := p.Stats()
@@ -236,6 +319,57 @@ func (r *Registry) WorkspaceStats() api.WorkspaceStats {
 	return out
 }
 
+// completedLoads snapshots every load that has finished successfully.
+func (r *Registry) completedLoads() []*load {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*load, 0, len(r.loads))
+	for _, l := range r.loads {
+		select {
+		case <-l.done:
+			if l.err == nil {
+				out = append(out, l)
+			}
+		default: // load in flight
+		}
+	}
+	return out
+}
+
+// versioned snapshots the overlay of every loaded graph, keyed by name —
+// the compactor's work list.
+func (r *Registry) versioned() map[string]*graph.Versioned {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*graph.Versioned, len(r.loads))
+	for name, l := range r.loads {
+		select {
+		case <-l.done:
+			if l.err == nil {
+				out[name] = l.vg
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// IngestStats sums the mutation counters of every loaded graph's overlay.
+func (r *Registry) IngestStats() api.IngestStats {
+	var out api.IngestStats
+	for _, l := range r.completedLoads() {
+		st := l.vg.Stats()
+		out.Edges += int64(st.Edges)
+		out.Deletes += int64(st.Deletes)
+		out.Batches += int64(st.Batches)
+		out.Compactions += int64(st.Compactions)
+		out.Pending += int64(st.Pending)
+		out.Epoch += st.Epoch
+		out.Pins += l.vg.Pins()
+	}
+	return out
+}
+
 // List describes every registered or materialized graph, sorted by name.
 func (r *Registry) List() []GraphInfo {
 	r.mu.Lock()
@@ -252,9 +386,15 @@ func (r *Registry) List() []GraphInfo {
 			select {
 			case <-l.done:
 				if l.err == nil {
+					st := l.vg.Stats()
 					info.Loaded = true
-					info.Vertices = l.g.NumVertices()
-					info.Edges = l.g.NumEdges()
+					info.Vertices = st.Vertices
+					// Exact once compacted; between compactions the listing
+					// reports the base edge count with Pending uncompacted
+					// delta records alongside.
+					info.Edges = st.BaseEdges
+					info.Epoch = st.Epoch
+					info.Pending = st.Pending
 				}
 			default: // load in flight; report as not yet loaded
 			}

@@ -32,6 +32,8 @@ const maxBodyBytes = 8 << 20
 //	                           completed unit
 //	POST /v1/ncp             — NCPRequest -> NCPResponse
 //	GET  /v1/graphs          — registry listing
+//	POST /v1/graphs/{name}/edges — IngestRequest -> IngestResponse: apply
+//	                           one atomic batch of live edge mutations
 //	GET  /v1/stats           — EngineStats
 //	GET  /v1/trace           — recent request-trace summaries
 //	GET  /v1/trace/{id}      — one trace: spans + per-round kernel events
@@ -78,6 +80,7 @@ func NewServer(eng *Engine) *Server {
 	s.mux.HandleFunc("/v1/cluster/stream", s.handleClusterStream)
 	s.mux.HandleFunc("/v1/ncp", s.handleNCP)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
 	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
@@ -206,6 +209,7 @@ func refreshExpvar() *expSnapshot {
 		total.Workspace.Add(st.Workspace)
 		total.Sched.Add(st.Sched)
 		total.Batch.Add(st.Batch)
+		total.Ingest.Add(st.Ingest)
 		latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
 	}
 	if done := total.Queries - total.Errors; done > 0 {
@@ -412,7 +416,7 @@ func (s *Server) streamCluster(w http.ResponseWriter, r *http.Request, req *Clus
 	}
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
-	if err := api.WriteClusterStreamHeader(w, st.Graph, st.Vertices, st.Edges, st.Algo, st.Units); err != nil {
+	if err := api.WriteClusterStreamHeader(w, st.Graph, st.Vertices, st.Edges, st.Epoch, st.Algo, st.Units); err != nil {
 		s.logf("lgc-serve: ndjson header: %v", err)
 		return
 	}
@@ -469,6 +473,33 @@ func (s *Server) handleNCP(w http.ResponseWriter, r *http.Request) {
 	if err := api.WriteNCPResponse(w, resp); err != nil {
 		s.logf("lgc-serve: streaming ncp response: %v", err)
 	}
+}
+
+// handleGraphSub routes the per-graph subtree: /v1/graphs/{name}/edges is
+// the ingest endpoint; anything else under the prefix is a 404. Graph names
+// cannot contain '/' (registry names are flat), so the first segment is the
+// whole name.
+func (s *Server) handleGraphSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || op != "edges" {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown path " + r.URL.Path})
+		return
+	}
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req api.IngestRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp, err := s.eng.Ingest(r.Context(), name, &req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {

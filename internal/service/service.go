@@ -7,8 +7,11 @@
 //
 //   - Registry: a concurrency-safe graph catalog that loads or generates
 //     each graph exactly once (concurrent requests for the same graph are
-//     deduplicated, singleflight style) and hands the immutable CSR out to
-//     every query.
+//     deduplicated, singleflight style) and hands each query a pinned,
+//     epoch-stamped immutable snapshot of the graph. Graphs are mutable
+//     through Engine.Ingest (an append-only delta overlay per graph; see
+//     ingest.go), but no query ever observes a mutation mid-flight: the
+//     snapshot pinned at admission answers the whole request.
 //   - Engine: a query engine dispatching typed ClusterRequest / NCPRequest
 //     values to the core algorithms. Every request passes through the
 //     internal/sched scheduler: admission control (per-class queue bounds
@@ -17,15 +20,17 @@
 //     fairness, and worker-token grants bounding total concurrency at
 //     Config.ProcBudget. Deadlines cancel in-flight kernels at their next
 //     round boundary through core.RunConfig.Cancel.
-//   - an LRU result cache keyed on (graph, algorithm, parameters, seeds).
-//     Graphs are immutable and every algorithm is deterministic given its
-//     parameters (rand-HK-PR and the evolving set process take explicit
-//     RNG seeds), so a cached result is exactly the result a re-run would
-//     produce. Partial (cancelled) results are never cached.
+//   - an LRU result cache keyed on (graph at its epoch, algorithm,
+//     parameters, seeds). Snapshots are immutable and every algorithm is
+//     deterministic given its parameters (rand-HK-PR and the evolving set
+//     process take explicit RNG seeds), so a cached result is exactly the
+//     result a re-run at that epoch would produce; ingestion advances the
+//     epoch, making stale entries unaddressable instead of requiring
+//     invalidation. Partial (cancelled) results are never cached.
 //   - Server: an HTTP/JSON front end (see cmd/lgc-serve) exposing
 //     POST /v1/cluster, POST /v1/cluster/stream, POST /v1/ncp,
-//     GET /v1/graphs, GET /v1/stats, GET /healthz and expvar counters,
-//     using only the standard library.
+//     POST /v1/graphs/{name}/edges, GET /v1/graphs, GET /v1/stats,
+//     GET /healthz and expvar counters, using only the standard library.
 //
 // Batched multi-seed queries: a ClusterRequest carries a list of seed
 // vertices. By default each seed is an independent work unit fanned across

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end ingest smoke: start lgc-serve, mutate a graph over the wire,
+# query across a background compaction, and diff the post-compaction
+# (rebuilt-CSR) answer against the pre-compaction (overlay) answer. Run
+# from the repository root; used by the CI "ingest smoke" step.
+set -euo pipefail
+
+ADDR=127.0.0.1:18099
+BASE=http://$ADDR
+TMP=$(mktemp -d)
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/lgc-serve" ./cmd/lgc-serve
+"$TMP/lgc-serve" -addr "$ADDR" -gen g=caveman:cliques=4,k=8 \
+  -compact-interval 300ms -max-delta-edges 4 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  sleep 0.1
+done
+
+shape='.results[0] | {members, conductance, size}'
+
+# Baseline: epoch 0.
+curl -sf "$BASE/v1/cluster" -d '{"graph":"g","seeds":[0]}' > "$TMP/r0.json"
+jq -e '.epoch == 0' "$TMP/r0.json" >/dev/null
+
+# Mutate: bridge two cliques with enough edges to cross -max-delta-edges,
+# so this batch itself kicks the compactor.
+curl -sf "$BASE/v1/graphs/g/edges" \
+  -d '{"edges":[[0,8],[1,9],[2,10],[3,11],[4,12]]}' > "$TMP/ingest.json"
+jq -e '.epoch == 1 and .inserted == 5' "$TMP/ingest.json" >/dev/null
+
+# Query the overlay: the new epoch answers, and the answer must differ
+# from the pre-ingest cluster (the bridge is visible).
+curl -sf "$BASE/v1/cluster" -d '{"graph":"g","seeds":[0]}' > "$TMP/r1.json"
+jq -e '.epoch == 1' "$TMP/r1.json" >/dev/null
+if diff <(jq -c "$shape" "$TMP/r0.json") <(jq -c "$shape" "$TMP/r1.json") >/dev/null; then
+  echo "ingest smoke: mutation did not change the seed-0 cluster" >&2
+  exit 1
+fi
+
+# Wait for the background compaction to fold the deltas.
+for i in $(seq 1 50); do
+  pending=$(curl -sf "$BASE/v1/stats" | jq '.ingest.pending')
+  [ "$pending" = 0 ] && break
+  sleep 0.1
+done
+curl -sf "$BASE/v1/stats" | jq -e '.ingest.compactions >= 1 and .ingest.pending == 0' >/dev/null
+
+# Recompute (cache bypassed) against the rebuilt base CSR: the answer must
+# be identical to the overlay's, and the epoch must not have moved.
+curl -sf "$BASE/v1/cluster" -d '{"graph":"g","seeds":[0],"no_cache":true}' > "$TMP/r2.json"
+jq -e '.epoch == 1' "$TMP/r2.json" >/dev/null
+diff <(jq -c "$shape" "$TMP/r1.json") <(jq -c "$shape" "$TMP/r2.json")
+
+kill $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+echo "ingest smoke: OK"

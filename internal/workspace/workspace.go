@@ -238,9 +238,12 @@ type Workspace struct {
 	bits   []uint64  // frontier bitmap buffer
 	ids    []uint32  // frontier ID buffer (engine filter output)
 
+	sortIDs     []uint32 // β-fraction ranking buffer (frontier-ID copy)
+	sortScratch []uint32 // merge scratch paired with sortIDs
+
 	// First-borrow-per-checkout flags for the singleton buffers, so a
 	// recycled buffer credits BytesRecycled exactly once per run.
-	usedFloats, usedBits, usedIDs bool
+	usedFloats, usedBits, usedIDs, usedSortIDs, usedSortScratch bool
 }
 
 // credit records bytes served from a recycled arena toward the pool's
@@ -322,6 +325,38 @@ func (w *Workspace) IDs() []uint32 {
 	return w.ids[:0]
 }
 
+// SortIDs returns the workspace's sort-input ID buffer (capacity n, length
+// 0), allocating it on first use. The β-fraction ranking copies the frontier
+// into it before ordering, so the ranking pass never clobbers the frontier's
+// own storage; the returned slice stays owned by the workspace and is only
+// valid until the next SortIDs call.
+func (w *Workspace) SortIDs() []uint32 {
+	if w.sortIDs == nil {
+		w.sortIDs = make([]uint32, 0, w.n)
+	} else if !w.usedSortIDs {
+		w.credit(4 * int64(cap(w.sortIDs)))
+	}
+	w.usedSortIDs = true
+	return w.sortIDs[:0]
+}
+
+// SortScratch returns the workspace's merge-sort scratch buffer with length
+// size (at most n), allocating the backing array on first use. Contents are
+// unspecified — parallel.SortScratch clobbers it. Callers should consult
+// parallel.SortScratchLen first and skip the borrow when it reports 0.
+func (w *Workspace) SortScratch(size int) []uint32 {
+	if size > w.n {
+		size = w.n
+	}
+	if w.sortScratch == nil {
+		w.sortScratch = make([]uint32, w.n)
+	} else if !w.usedSortScratch {
+		w.credit(4 * int64(len(w.sortScratch)))
+	}
+	w.usedSortScratch = true
+	return w.sortScratch[:size]
+}
+
 // HasIDs reports whether the frontier ID buffer has already been paid for.
 // The engine only routes filter outputs through the buffer when a dense
 // round made graph-sized state worthwhile — or when a recycled workspace
@@ -337,6 +372,8 @@ func (w *Workspace) footprint() int64 {
 	b += 8 * int64(len(w.floats))
 	b += 8 * int64(len(w.bits))
 	b += 4 * int64(cap(w.ids))
+	b += 4 * int64(cap(w.sortIDs))
+	b += 4 * int64(cap(w.sortScratch))
 	return b
 }
 
@@ -353,6 +390,7 @@ func (w *Workspace) Release(procs int) {
 	}
 	w.denseUsed = 0
 	w.usedFloats, w.usedBits, w.usedIDs = false, false, false
+	w.usedSortIDs, w.usedSortScratch = false, false
 	w.inUse = false
 	if w.pool != nil {
 		w.pool.put(w)

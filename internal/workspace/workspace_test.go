@@ -70,6 +70,43 @@ func TestWorkspaceReuse(t *testing.T) {
 	}
 }
 
+// TestSortBufferReuse pins the β-fraction ranking buffers' recycling
+// contract: SortIDs comes back empty with full capacity, SortScratch keeps
+// identity across checkouts, and both credit BytesRecycled once per run.
+func TestSortBufferReuse(t *testing.T) {
+	const n = 1 << 10
+	p := NewPool(n)
+	w := p.Acquire()
+	ids := append(w.SortIDs(), 9, 8, 7)
+	_ = ids
+	scratch := w.SortScratch(n / 2)
+	if len(scratch) != n/2 {
+		t.Fatalf("SortScratch(%d) len = %d", n/2, len(scratch))
+	}
+	if len(w.SortScratch(2*n)) != n {
+		t.Fatal("SortScratch must clamp to the universe size")
+	}
+	before := p.Stats().BytesRecycled
+	w.Release(1)
+
+	w2 := p.Acquire()
+	if w2 != w {
+		t.Fatal("pool did not recycle the workspace")
+	}
+	got := w2.SortIDs()
+	if len(got) != 0 || cap(got) != n {
+		t.Fatalf("recycled SortIDs: len=%d cap=%d, want 0, %d", len(got), cap(got), n)
+	}
+	if &w2.SortScratch(1)[0] != &scratch[0] {
+		t.Fatal("SortScratch was reallocated instead of recycled")
+	}
+	// Two uint32 buffers of capacity n, credited once each on first borrow.
+	if d := p.Stats().BytesRecycled - before; d != 2*4*n {
+		t.Fatalf("BytesRecycled delta = %d, want %d", d, 2*4*n)
+	}
+	w2.Release(1)
+}
+
 // TestWorkspaceLazyAllocation checks a run that never needs graph-sized
 // state pays for none of it: a fresh workspace allocates arenas only on
 // demand.

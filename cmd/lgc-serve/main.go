@@ -28,6 +28,15 @@
 // folds accumulated deltas into fresh base CSRs every -compact-interval, or
 // as soon as a graph's pending-delta count crosses -max-delta-edges.
 //
+// Durability: with -wal-dir set, every graph gets a per-graph write-ahead
+// log under that directory — each accepted ingest batch is committed (and,
+// under the default -wal-fsync always, fsynced) before its epoch becomes
+// visible, a restart with the same -wal-dir replays the log to the exact
+// pre-crash epoch, and each background compaction persists a checkpoint
+// that truncates the replayed prefix. -wal-fsync accepts "always", "never",
+// or a flush interval ("100ms"); -wal-segment-bytes sets the segment
+// rotation threshold.
+//
 // Observability: every response carries X-Request-Id, work requests are
 // traced into a bounded ring served at /v1/trace (capacity set by
 // -trace-ring), requests slower than -slow-query are logged at Warn
@@ -69,6 +78,7 @@ import (
 	"parcluster/internal/core"
 	"parcluster/internal/sched"
 	"parcluster/internal/service"
+	"parcluster/internal/wal"
 )
 
 // serveConfig carries the parsed flag set into run.
@@ -87,6 +97,9 @@ type serveConfig struct {
 	drainTimeout    time.Duration
 	compactInterval time.Duration
 	maxDeltaEdges   int
+	walDir          string
+	walFsync        string
+	walSegmentBytes int64
 	slowQuery       time.Duration
 	pprofAddr       string
 	traceRing       int
@@ -110,6 +123,9 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight work after SIGTERM")
 	flag.DurationVar(&cfg.compactInterval, "compact-interval", 0, "how often the background compactor folds ingested deltas into base CSRs (0 = 30s, negative = disable)")
 	flag.IntVar(&cfg.maxDeltaEdges, "max-delta-edges", 0, "pending-delta count that kicks an early compaction (0 = 65536, negative = timer-only)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "root directory for per-graph ingest write-ahead logs (empty = durability off)")
+	flag.StringVar(&cfg.walFsync, "wal-fsync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
+	flag.Int64Var(&cfg.walSegmentBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB)")
 	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "log requests at Warn when they take at least this long (0 = never)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "finished-trace ring capacity behind /v1/trace (0 = 256, negative = disable tracing)")
@@ -169,6 +185,27 @@ func run(cfg serveConfig) error {
 		return fmt.Errorf("-class-weights: %w", err)
 	}
 	reg := service.NewRegistry(procs, dynamic)
+	if cfg.walDir != "" {
+		policy, interval, err := wal.ParseSyncPolicy(cfg.walFsync)
+		if err != nil {
+			return fmt.Errorf("-wal-fsync: %w", err)
+		}
+		if err := reg.EnableWAL(service.WALConfig{
+			Dir:          cfg.walDir,
+			SegmentBytes: cfg.walSegmentBytes,
+			Policy:       policy,
+			Interval:     interval,
+		}); err != nil {
+			return fmt.Errorf("-wal-dir: %w", err)
+		}
+		// Flush and close the logs after the engine (deferred below, so it
+		// runs first) has stopped the compactor and drained appliers.
+		defer func() {
+			if err := reg.Close(); err != nil {
+				log.Printf("closing WALs: %v", err)
+			}
+		}()
+	}
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -420,6 +420,40 @@ func (s *IngestStats) Add(o IngestStats) {
 	s.Pins += o.Pins
 }
 
+// WalStats aggregates the write-ahead-log counters of every graph the
+// registry persists (GET /v1/stats "wal" block and the wal.* metrics).
+// All-zero when the server runs without -wal-dir.
+type WalStats struct {
+	// Enabled reports whether a WAL is configured at all, so a dashboard can
+	// tell "durable and idle" apart from "not durable".
+	Enabled bool `json:"enabled"`
+	// Appends counts batches committed to the log; Bytes their framed size.
+	Appends int64 `json:"appends"`
+	Bytes   int64 `json:"bytes"`
+	// Fsyncs counts explicit fsyncs issued by the log.
+	Fsyncs int64 `json:"fsyncs"`
+	// ReplayedBatches counts batches re-applied from the log at load time;
+	// ReplayMS is the wall-clock time recovery spent scanning and replaying.
+	ReplayedBatches int64   `json:"replayed_batches"`
+	ReplayMS        float64 `json:"replay_ms"`
+	// Segments is the number of log segment files currently on disk;
+	// Checkpoints counts compaction checkpoints persisted.
+	Segments    int64 `json:"segments"`
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// Add accumulates o into s (expvar cross-engine aggregation).
+func (s *WalStats) Add(o WalStats) {
+	s.Enabled = s.Enabled || o.Enabled
+	s.Appends += o.Appends
+	s.Bytes += o.Bytes
+	s.Fsyncs += o.Fsyncs
+	s.ReplayedBatches += o.ReplayedBatches
+	s.ReplayMS += o.ReplayMS
+	s.Segments += o.Segments
+	s.Checkpoints += o.Checkpoints
+}
+
 // EngineStats is a snapshot of the query engine's counters
 // (GET /v1/stats and the "lgc" expvar).
 type EngineStats struct {
@@ -438,6 +472,7 @@ type EngineStats struct {
 	FrontierModes FrontierModeCounts `json:"frontier_modes"`
 	Batch         BatchStats         `json:"batch"`
 	Ingest        IngestStats        `json:"ingest"`
+	Wal           WalStats           `json:"wal"`
 	GraphLoads    int64              `json:"graph_loads"`
 	Workspace     WorkspaceStats     `json:"workspace"`
 	Sched         SchedStats         `json:"sched"`

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -40,10 +41,37 @@ type Versioned struct {
 	log     []deltaRec
 	version uint64
 	snap    *Snapshot // cached frozen view of the current version, or nil
+	commit  CommitFunc
 
 	edges, deletes, batches, compactions uint64
 
 	pins atomic.Int64 // outstanding Snapshot pins across all epochs
+}
+
+// CommitFunc is the durable-commit hook a registry installs with SetCommit.
+// Apply calls it after a batch validates but before the batch mutates
+// anything: ins and del are canonicalized (u < v) copies in Apply order,
+// vertices is the resolved post-batch universe size, and epoch is the
+// version the batch will produce. Returning an error rejects the whole
+// batch — the epoch does not advance and no record is logged — so the hook
+// is the write-ahead commit point: a batch is visible in memory only if it
+// is durable first. The hook runs under the Versioned mutex; it must not
+// call back into the same Versioned.
+type CommitFunc func(ins, del []Edge, vertices int, epoch uint64) error
+
+// ErrCommit wraps CommitFunc failures surfaced by Apply, so callers can
+// distinguish an invalid batch (caller error) from a durability failure
+// (server error).
+var ErrCommit = errors.New("graph: durable commit failed")
+
+// SetCommit installs (or clears, with nil) the durable-commit hook. Install
+// it before the graph is shared with writers: the hook is consulted under
+// the same mutex Apply holds, but there is no ordering guarantee for
+// batches already in flight when SetCommit runs.
+func (v *Versioned) SetCommit(fn CommitFunc) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.commit = fn
 }
 
 // VersionedStats is a point-in-time counter snapshot for stats endpoints.
@@ -65,34 +93,51 @@ func NewVersioned(procs int, base *CSR) *Versioned {
 	return &Versioned{procs: procs, base: base, n: base.NumVertices()}
 }
 
+// NewVersionedAt is NewVersioned starting at a non-zero epoch: the
+// WAL-recovery constructor, where base is a checkpoint snapshot that
+// already embodies every batch up to and including epoch, and the batches
+// after it are replayed through Apply.
+func NewVersionedAt(procs int, base *CSR, epoch uint64) *Versioned {
+	return &Versioned{procs: procs, base: base, n: base.NumVertices(), version: epoch}
+}
+
 // maxVertexID bounds the universe so every vertex fits in uint32.
 const maxVertexID = math.MaxUint32
 
-// Apply validates and appends one batch of edge mutations, returning the new
-// epoch. The batch is atomic: any invalid record (self loop, endpoint outside
-// the universe) rejects the whole batch and mutates nothing. vertices > 0
-// grows the universe to that size first, so inserts may reference brand-new
-// vertices; the universe never shrinks. Deleting an absent edge and
-// inserting a present one are no-ops in the materialized graph (last write
-// per pair wins), keeping batches idempotent. Work is O(len(ins)+len(del)).
-func (v *Versioned) Apply(ins, del []Edge, vertices int) (uint64, error) {
+// Apply validates and appends one batch of edge mutations, returning the
+// stats snapshot of the state the batch produced — Epoch, Pending and
+// Vertices from the same critical section, so concurrent later batches or
+// compactions cannot leak into the response describing this one. The batch
+// is atomic: any invalid record (self loop, endpoint outside the universe)
+// rejects the whole batch and mutates nothing, as does a durable-commit
+// hook failure (wrapped in ErrCommit). vertices > 0 grows the universe to
+// that size first, so inserts may reference brand-new vertices; the
+// universe never shrinks. Deleting an absent edge and inserting a present
+// one are no-ops in the materialized graph (last write per pair wins),
+// keeping batches idempotent. Work is O(len(ins)+len(del)).
+func (v *Versioned) Apply(ins, del []Edge, vertices int) (VersionedStats, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	n := v.n
 	if vertices > n {
 		if vertices > maxVertexID {
-			return v.version, fmt.Errorf("graph: vertices %d exceeds max universe %d", vertices, maxVertexID)
+			return v.statsLocked(), fmt.Errorf("graph: vertices %d exceeds max universe %d", vertices, maxVertexID)
 		}
 		n = vertices
 	}
 	if err := validateBatch(ins, n); err != nil {
-		return v.version, err
+		return v.statsLocked(), err
 	}
 	if err := validateBatch(del, n); err != nil {
-		return v.version, err
+		return v.statsLocked(), err
 	}
 	if len(ins) == 0 && len(del) == 0 && n == v.n {
-		return v.version, nil // nothing changes; don't advance the epoch
+		return v.statsLocked(), nil // nothing changes; don't advance the epoch
+	}
+	if v.commit != nil {
+		if err := v.commit(canonBatch(ins), canonBatch(del), n, v.version+1); err != nil {
+			return v.statsLocked(), fmt.Errorf("%w: %w", ErrCommit, err)
+		}
 	}
 	for _, e := range ins {
 		v.log = append(v.log, canonRec(e, false))
@@ -105,7 +150,7 @@ func (v *Versioned) Apply(ins, del []Edge, vertices int) (uint64, error) {
 	v.batches++
 	v.edges += uint64(len(ins))
 	v.deletes += uint64(len(del))
-	return v.version, nil
+	return v.statsLocked(), nil
 }
 
 func validateBatch(edges []Edge, n int) error {
@@ -126,6 +171,22 @@ func canonRec(e Edge, del bool) deltaRec {
 		u, w = w, u
 	}
 	return deltaRec{u: u, v: w, del: del}
+}
+
+// canonBatch returns a canonicalized (u < v) copy of edges for the commit
+// hook, so what the hook persists is byte-for-byte what a replay re-applies.
+func canonBatch(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		out[i] = e
+	}
+	return out
 }
 
 // Snapshot pins and returns the frozen view of the current epoch: an
@@ -205,6 +266,11 @@ func (v *Versioned) Pins() int64 { return v.pins.Load() }
 func (v *Versioned) Stats() VersionedStats {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	return v.statsLocked()
+}
+
+// statsLocked builds the stats snapshot. Callers hold v.mu.
+func (v *Versioned) statsLocked() VersionedStats {
 	return VersionedStats{
 		Edges:       v.edges,
 		Deletes:     v.deletes,

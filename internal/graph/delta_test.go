@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -146,13 +147,13 @@ func TestVersionedEpochSemantics(t *testing.T) {
 		t.Fatalf("epoch-0 snapshot: epoch=%d pending=%d", s0.Epoch(), s0.Pending())
 	}
 
-	epoch, err := vg.Apply([]Edge{{2, 3}}, nil, 0)
-	if err != nil || epoch != 1 {
-		t.Fatalf("apply: epoch=%d err=%v, want 1 <nil>", epoch, err)
+	st, err := vg.Apply([]Edge{{2, 3}}, nil, 0)
+	if err != nil || st.Epoch != 1 {
+		t.Fatalf("apply: epoch=%d err=%v, want 1 <nil>", st.Epoch, err)
 	}
 	// No-op batch: nothing changes, epoch must not advance.
-	if epoch, _ := vg.Apply(nil, nil, 0); epoch != 1 {
-		t.Fatalf("no-op apply advanced epoch to %d", epoch)
+	if st, _ := vg.Apply(nil, nil, 0); st.Epoch != 1 {
+		t.Fatalf("no-op apply advanced epoch to %d", st.Epoch)
 	}
 	s1 := vg.Snapshot()
 	s1b := vg.Snapshot()
@@ -183,7 +184,7 @@ func TestVersionedEpochSemantics(t *testing.T) {
 	}
 	requireStructurallyEqual(t, s2.Graph(), s1.Graph())
 
-	st := vg.Stats()
+	st = vg.Stats()
 	if st.Edges != 1 || st.Batches != 1 || st.Compactions != 1 || st.Epoch != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -270,4 +271,92 @@ func TestSnapshotOverRelease(t *testing.T) {
 		}
 	}()
 	s.Release()
+}
+
+// TestCommitHookSeesCanonicalBatch checks the durable-commit contract: the
+// hook runs once per accepted batch with canonicalized pairs, the resolved
+// universe, and the epoch the batch will produce — and is skipped entirely
+// for rejected and no-op batches.
+func TestCommitHookSeesCanonicalBatch(t *testing.T) {
+	vg := NewVersioned(1, FromEdges(1, 4, []Edge{{0, 1}}))
+	type call struct {
+		ins, del []Edge
+		vertices int
+		epoch    uint64
+	}
+	var calls []call
+	vg.SetCommit(func(ins, del []Edge, vertices int, epoch uint64) error {
+		calls = append(calls, call{ins, del, vertices, epoch})
+		return nil
+	})
+	// {3, 1} must arrive canonicalized as {1, 3}; universe grows to 6.
+	if _, err := vg.Apply([]Edge{{3, 1}}, []Edge{{1, 0}}, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Rejected batch: hook must not fire.
+	if _, err := vg.Apply([]Edge{{0, 0}}, nil, 0); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	// No-op batch: hook must not fire.
+	if _, err := vg.Apply(nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(calls))
+	}
+	c := calls[0]
+	if len(c.ins) != 1 || c.ins[0] != (Edge{1, 3}) {
+		t.Fatalf("hook ins = %v, want canonicalized [{1 3}]", c.ins)
+	}
+	if len(c.del) != 1 || c.del[0] != (Edge{0, 1}) {
+		t.Fatalf("hook del = %v, want canonicalized [{0 1}]", c.del)
+	}
+	if c.vertices != 6 || c.epoch != 1 {
+		t.Fatalf("hook vertices=%d epoch=%d, want 6, 1", c.vertices, c.epoch)
+	}
+}
+
+// TestCommitHookFailureRejectsBatch checks that a failing hook vetoes the
+// batch — epoch unchanged, nothing logged, error wrapped in ErrCommit —
+// and that the same batch succeeds once the hook recovers.
+func TestCommitHookFailureRejectsBatch(t *testing.T) {
+	vg := NewVersioned(1, FromEdges(1, 4, []Edge{{0, 1}}))
+	boom := errors.New("disk on fire")
+	fail := true
+	vg.SetCommit(func(_, _ []Edge, _ int, _ uint64) error {
+		if fail {
+			return boom
+		}
+		return nil
+	})
+	st, err := vg.Apply([]Edge{{1, 2}}, nil, 0)
+	if !errors.Is(err, ErrCommit) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrCommit wrapping the hook error", err)
+	}
+	if st.Epoch != 0 || st.Pending != 0 {
+		t.Fatalf("failed commit mutated state: %+v", st)
+	}
+	fail = false
+	st, err = vg.Apply([]Edge{{1, 2}}, nil, 0)
+	if err != nil || st.Epoch != 1 || st.Pending != 1 {
+		t.Fatalf("retry after hook recovery: %+v, %v", st, err)
+	}
+}
+
+// TestNewVersionedAt checks the WAL-recovery constructor: the overlay
+// starts at the checkpoint epoch and replayed batches continue from there.
+func TestNewVersionedAt(t *testing.T) {
+	vg := NewVersionedAt(1, FromEdges(1, 4, []Edge{{0, 1}}), 7)
+	if got := vg.Epoch(); got != 7 {
+		t.Fatalf("starting epoch = %d, want 7", got)
+	}
+	st, err := vg.Apply([]Edge{{1, 2}}, nil, 0)
+	if err != nil || st.Epoch != 8 {
+		t.Fatalf("apply on recovered overlay: %+v, %v", st, err)
+	}
+	s := vg.Snapshot()
+	defer s.Release()
+	if s.Epoch() != 8 {
+		t.Fatalf("snapshot epoch = %d, want 8", s.Epoch())
+	}
 }

@@ -246,6 +246,11 @@ func (e *Engine) Drained() <-chan struct{} { return e.sched.Drained() }
 // snapshots every counter).
 func (e *Engine) Draining() bool { return e.sched.Draining() }
 
+// SyncWAL fsyncs every graph's write-ahead log (a no-op without one). The
+// drain path calls it after quiescence so nothing acknowledged is left
+// unsynced.
+func (e *Engine) SyncWAL() error { return e.reg.SyncWAL() }
+
 // resolveProcs maps a request's Procs field to an effective per-diffusion
 // worker count: 0 (or anything out of range) means the per-query maximum,
 // as the request docs promise.
@@ -282,6 +287,7 @@ func (e *Engine) Stats() EngineStats {
 			TraversalsSaved: e.batchTraversalsSaved.Load(),
 		},
 		Ingest:     e.reg.IngestStats(),
+		Wal:        e.reg.WalStats(),
 		GraphLoads: e.reg.Loads(),
 		Workspace:  e.reg.WorkspaceStats(),
 		Sched:      schedStats(e.sched.Stats()),

@@ -10,7 +10,10 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"time"
 
 	"parcluster/internal/api"
@@ -30,18 +33,24 @@ const (
 // Ingest applies one atomic batch of edge mutations to a registered graph
 // and returns the epoch the batch produced. The whole batch validates
 // before anything applies: a single bad record (self loop, endpoint outside
-// the universe) rejects it with a 400-mapped error and mutates nothing.
-// Ingesting into a registered-but-unloaded graph loads it first. While the
-// engine drains, ingestion refuses with sched.ErrDraining (503) like any
-// other new work.
+// the universe) rejects it with a 400-mapped error and mutates nothing. A
+// durable-commit failure (the WAL could not persist the batch) rejects it
+// too, as a 500-mapped server fault. Ingesting into a registered-but-
+// unloaded graph loads it first.
+//
+// The whole apply runs under a scheduler ticket — admission-only, no
+// worker tokens, so batches never contend with kernels — which is what
+// ties ingestion into the drain protocol: a draining engine refuses new
+// batches at Admit (503), and Drained does not report quiescence until
+// every in-flight apply has closed its ticket. Checking Draining() and
+// then applying ticketless would let a batch slip through after drain
+// flips and mutate (post-WAL: write to disk) after quiescence was
+// announced.
 //
 // A batch that crosses the engine's pending-delta threshold kicks the
 // background compactor instead of folding inline, so ingest latency stays
 // proportional to the batch, not the graph.
 func (e *Engine) Ingest(ctx context.Context, graphName string, req *api.IngestRequest) (*api.IngestResponse, error) {
-	if e.Draining() {
-		return nil, sched.ErrDraining
-	}
 	if graphName == "" {
 		return nil, fmt.Errorf("%w: missing graph name", ErrBadRequest)
 	}
@@ -55,21 +64,31 @@ func (e *Engine) Ingest(ctx context.Context, graphName string, req *api.IngestRe
 	if req.Vertices < 0 || req.Vertices > maxIngestVertices {
 		return nil, fmt.Errorf("%w: vertices %d outside [0, %d]", ErrBadRequest, req.Vertices, maxIngestVertices)
 	}
+	ticket, err := e.sched.Admit(sched.Interactive, graphName, "ingest", time.Time{})
+	if err != nil {
+		return nil, err
+	}
+	defer ticket.Close()
 	vg, err := e.reg.Versioned(ctx, graphName)
 	if err != nil {
 		return nil, err
 	}
-	epoch, err := vg.Apply(toEdges(req.Edges), toEdges(req.Deletes), req.Vertices)
+	st, err := vg.Apply(toEdges(req.Edges), toEdges(req.Deletes), req.Vertices)
 	if err != nil {
+		if errors.Is(err, graph.ErrCommit) {
+			return nil, err // durability fault: the client's batch was fine
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	st := vg.Stats()
 	if e.maxDeltaEdges > 0 && st.Pending >= e.maxDeltaEdges {
 		e.kickCompactor()
 	}
+	// Epoch, Vertices and Pending all come from Apply's own critical
+	// section: a concurrent later batch or compaction cannot leak into the
+	// response describing this one.
 	return &api.IngestResponse{
 		Graph:    graphName,
-		Epoch:    epoch,
+		Epoch:    st.Epoch,
 		Vertices: st.Vertices,
 		Inserted: len(req.Edges),
 		Deleted:  len(req.Deletes),
@@ -121,18 +140,19 @@ func (e *Engine) compactor(interval time.Duration) {
 // admission — so Drained is never held back by a fold that hasn't started,
 // while one already holding a ticket finishes and is waited for.
 func (e *Engine) compactAll() {
-	for name, vg := range e.reg.versioned() {
-		if vg.Pending() == 0 {
+	for name, l := range e.reg.versioned() {
+		if l.vg.Pending() == 0 {
 			continue
 		}
-		e.compactGraph(name, vg)
+		e.compactGraph(name, l)
 	}
 }
 
-// compactGraph folds one graph's delta log under a scheduler ticket.
+// compactGraph folds one graph's delta log under a scheduler ticket, then
+// checkpoints the fold into the graph's WAL (when one is attached).
 // Admission failure (draining, class saturated) just skips the fold — the
 // deltas stay queryable through snapshots and the next pass retries.
-func (e *Engine) compactGraph(name string, vg *graph.Versioned) {
+func (e *Engine) compactGraph(name string, l *load) {
 	ticket, err := e.sched.Admit(sched.Background, name, "compact", time.Time{})
 	if err != nil {
 		return
@@ -143,17 +163,40 @@ func (e *Engine) compactGraph(name string, vg *graph.Versioned) {
 		return
 	}
 	start := time.Now()
-	folded, _ := vg.Compact(1) // one token acquired, one worker used
+	folded, _ := l.vg.Compact(1) // one token acquired, one worker used
 	grant.Release()
 	if folded {
 		e.metrics.kernelDur.With("compact").Observe(time.Since(start))
+		if err := checkpointWAL(l); err != nil {
+			// A failed checkpoint is not data loss — the log retains every
+			// batch and the next fold retries — but it is worth a warning.
+			slog.Default().Warn("wal checkpoint failed", "graph", name, "err", err)
+		}
 	}
 }
 
-// CompactNow synchronously folds every graph's pending deltas, bypassing
-// the scheduler — a test and shutdown hook, not a serving-path API.
+// checkpointWAL persists the graph's current snapshot into its WAL and
+// truncates the covered segments. Batches applied between the fold and the
+// snapshot pin are harmless: the snapshot is still a complete edge set at
+// its epoch, and replay resumes from the batch after it. A failed
+// checkpoint only costs replay time — the log retains everything.
+func checkpointWAL(l *load) error {
+	if l.wal == nil {
+		return nil
+	}
+	snap := l.vg.Snapshot()
+	defer snap.Release()
+	return l.wal.Checkpoint(snap.Epoch(), func(w io.Writer) error {
+		return graph.WriteBinary(w, snap.Graph())
+	})
+}
+
+// CompactNow synchronously folds every graph's pending deltas (and
+// checkpoints attached WALs), bypassing the scheduler — a test and
+// shutdown hook, not a serving-path API.
 func (e *Engine) CompactNow() {
-	for _, vg := range e.reg.versioned() {
-		vg.Compact(e.resolveProcs(0))
+	for _, l := range e.reg.versioned() {
+		l.vg.Compact(e.resolveProcs(0))
+		_ = checkpointWAL(l) // best effort; the log retains everything
 	}
 }

@@ -162,6 +162,13 @@ func writeEngineMetrics(pw *obs.PromWriter, st EngineStats) {
 	pw.Counter("lgc_batch_groups_total", "Bit-parallel lane groups executed by the batching planner.", float64(st.Batch.Groups))
 	pw.Counter("lgc_batch_lanes_filled_total", "Diffusions answered through shared-traversal lanes.", float64(st.Batch.LanesFilled))
 	pw.Counter("lgc_batch_traversals_saved_total", "Edge traversals avoided by lane sharing (lanes minus groups).", float64(st.Batch.TraversalsSaved))
+	pw.Counter("lgc_wal_appends_total", "Ingest batches committed to the write-ahead log.", float64(st.Wal.Appends))
+	pw.Counter("lgc_wal_bytes_total", "Framed bytes appended to the write-ahead log.", float64(st.Wal.Bytes))
+	pw.Counter("lgc_wal_fsyncs_total", "Explicit fsyncs issued by the write-ahead log.", float64(st.Wal.Fsyncs))
+	pw.Counter("lgc_wal_replayed_batches_total", "Batches re-applied from the write-ahead log at load time.", float64(st.Wal.ReplayedBatches))
+	pw.Counter("lgc_wal_checkpoints_total", "Compaction checkpoints persisted to the write-ahead log.", float64(st.Wal.Checkpoints))
+	pw.Counter("lgc_wal_replay_ms_total", "Wall-clock milliseconds spent scanning and replaying write-ahead logs.", st.Wal.ReplayMS)
+	pw.Gauge("lgc_wal_segments", "Write-ahead-log segment files currently on disk.", float64(st.Wal.Segments))
 	pw.Gauge("lgc_in_flight", "Requests currently admitted and unfinished.", float64(st.InFlight))
 	pw.Gauge("lgc_cache_entries", "Result-cache entries resident.", float64(st.CacheEntries))
 	pw.Gauge("lgc_cache_bytes", "Approximate result-cache footprint in bytes.", float64(st.CacheBytes))

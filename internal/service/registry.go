@@ -2,14 +2,18 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parcluster/internal/api"
 	"parcluster/internal/gen"
 	"parcluster/internal/graph"
+	"parcluster/internal/wal"
 	"parcluster/internal/workspace"
 )
 
@@ -36,6 +40,7 @@ type Registry struct {
 	loads   map[string]*load
 	procs   int
 	dynamic bool
+	walCfg  *WALConfig
 	// dynamicCount / dynamicLimit bound how many distinct on-the-fly specs
 	// clients can materialize: loaded graphs are pinned forever, so without
 	// a cap dynamic mode would let a client grow the process without bound.
@@ -53,30 +58,46 @@ const maxDynamicGraphs = 64
 // load is one singleflight slot: the first Get for a name creates it and
 // runs the source; everyone else waits on done. A successful load wraps the
 // graph in its mutation overlay (vg) and owns one workspace pool per vertex
-// universe the graph has had: pools are sized to a universe, and ingest can
-// grow the universe, so a grown graph gets a fresh pool while snapshots of
-// older epochs keep borrowing from theirs.
+// universe pinned snapshots can still borrow from: pools are sized to a
+// universe, and ingest can grow the universe, so a grown graph gets a fresh
+// pool while snapshots of older epochs keep borrowing from theirs — and a
+// pool is retired once no pin can reach it (its universe is no longer
+// current and its pin count hit zero), so repeated growth cannot
+// accumulate graph-sized pools without bound.
 type load struct {
 	done chan struct{}
 	g    *graph.CSR // the base CSR as originally loaded (epoch 0)
 	vg   *graph.Versioned
+	wal  *wal.Log // nil unless the registry persists this graph
 	err  error
 
-	poolMu sync.Mutex
-	pools  map[int]*workspace.Pool // universe size -> pool
+	poolMu   sync.Mutex
+	pools    map[int]*workspace.Pool // universe size -> pool
+	poolPins map[int]int             // universe size -> outstanding PinnedGraph pins
 }
 
 // finish installs the overlay and the initial workspace pool for a
 // successfully sourced graph.
 func (l *load) finish(procs int, g *graph.CSR) {
-	l.g = g
-	l.vg = graph.NewVersioned(procs, g)
-	l.pools = map[int]*workspace.Pool{g.NumVertices(): workspace.NewPool(g.NumVertices())}
+	l.finishVersioned(graph.NewVersioned(procs, g), g)
 }
 
-// pool returns the workspace pool for a vertex universe of size n, creating
-// it on first use after the universe grows.
-func (l *load) pool(n int) *workspace.Pool {
+// finishVersioned is finish for an overlay built elsewhere (the WAL
+// recovery path, where the overlay may start at a checkpoint epoch). The
+// initial pool is sized to the overlay's current universe, which after a
+// replay can be larger than the sourced base.
+func (l *load) finishVersioned(vg *graph.Versioned, g *graph.CSR) {
+	l.g = g
+	l.vg = vg
+	n := vg.Stats().Vertices
+	l.pools = map[int]*workspace.Pool{n: workspace.NewPool(n)}
+	l.poolPins = make(map[int]int)
+}
+
+// acquirePool returns the workspace pool for a vertex universe of size n —
+// creating it on first use after the universe grows — and counts one pin
+// against it. Every acquire must be balanced by one releasePool.
+func (l *load) acquirePool(n int) *workspace.Pool {
 	l.poolMu.Lock()
 	defer l.poolMu.Unlock()
 	p, ok := l.pools[n]
@@ -84,7 +105,27 @@ func (l *load) pool(n int) *workspace.Pool {
 		p = workspace.NewPool(n)
 		l.pools[n] = p
 	}
+	l.poolPins[n]++
 	return p
+}
+
+// releasePool drops one pin from universe n's pool and sweeps: any pool
+// whose universe is no longer the overlay's current size and has zero pins
+// is unreachable — no existing PinnedGraph borrows from it and no future
+// Acquire will return it — so it is deleted and its arenas become garbage.
+// The current universe's pool always survives, pinned or not.
+func (l *load) releasePool(n int) {
+	cur := l.vg.Stats().Vertices
+	l.poolMu.Lock()
+	defer l.poolMu.Unlock()
+	if l.poolPins[n]--; l.poolPins[n] <= 0 {
+		delete(l.poolPins, n)
+	}
+	for size := range l.pools {
+		if size != cur && l.poolPins[size] == 0 {
+			delete(l.pools, size)
+		}
+	}
 }
 
 // PinnedGraph is one epoch of one graph, pinned for the lifetime of a
@@ -93,15 +134,80 @@ func (l *load) pool(n int) *workspace.Pool {
 // Release the pin — exactly once; it is idempotent — when the request
 // finishes, so leak detectors (Versioned.Pins) can prove quiescence.
 type PinnedGraph struct {
-	G     *graph.CSR
-	Epoch uint64
-	Pool  *workspace.Pool
-	snap  *graph.Snapshot
-	once  sync.Once
+	G       *graph.CSR
+	Epoch   uint64
+	Pool    *workspace.Pool
+	release func()
+	once    sync.Once
 }
 
 // Release returns the pin. Idempotent.
-func (p *PinnedGraph) Release() { p.once.Do(p.snap.Release) }
+func (p *PinnedGraph) Release() { p.once.Do(p.release) }
+
+// WALConfig enables per-graph write-ahead logging: every graph the
+// registry materializes gets a segmented log under Dir (one subdirectory
+// per graph name), ingest batches commit to it before their epoch becomes
+// visible, and a load replays it to recover the exact pre-crash epoch.
+type WALConfig struct {
+	// Dir is the root directory for the per-graph logs.
+	Dir string
+	// SegmentBytes is the log segment rotation threshold (<= 0 = the wal
+	// package default).
+	SegmentBytes int64
+	// Policy and Interval select the fsync policy (see wal.ParseSyncPolicy).
+	Policy   wal.SyncPolicy
+	Interval time.Duration
+}
+
+// EnableWAL turns on durable ingest for every graph this registry loads
+// from now on. Call it before the first load: already-materialized graphs
+// keep running without a log. Eagerly-registered graphs (RegisterGraph)
+// registered after this call are re-routed through the lazy load path so
+// their logs replay on first use.
+func (r *Registry) EnableWAL(cfg WALConfig) error {
+	if cfg.Dir == "" {
+		return errors.New("service: WAL dir must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walCfg = &cfg
+	return nil
+}
+
+// graphWALDir maps a graph name to its per-graph log directory, escaping
+// anything outside [A-Za-z0-9._-] (and the all-dots names that would walk
+// the directory tree) as %XX so distinct names cannot collide or escape
+// the WAL root.
+func graphWALDir(root, name string) string {
+	var b []byte
+	allDots := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b = append(b, c)
+		default:
+			b = append(b, fmt.Sprintf("%%%02X", c)...)
+		}
+		if c != '.' {
+			allDots = false
+		}
+	}
+	if len(b) == 0 || allDots {
+		// "" / "." / ".." would name nothing or walk the tree; hex-escape
+		// every byte instead. A raw '%' never survives the normal path, so
+		// these cannot collide with an unescaped name.
+		b = b[:0]
+		for i := 0; i < len(name); i++ {
+			b = append(b, fmt.Sprintf("%%%02X", name[i])...)
+		}
+		if len(b) == 0 {
+			b = append(b, '%')
+		}
+	}
+	return filepath.Join(root, string(b))
+}
 
 // NewRegistry returns an empty registry. procs is the worker count passed
 // to sources (<= 0 = all cores). If dynamic is true, a Get for an
@@ -126,11 +232,16 @@ func (r *Registry) Register(name string, src Source) {
 	r.sources[name] = src
 }
 
-// RegisterGraph adds an already-materialized graph.
+// RegisterGraph adds an already-materialized graph. With a WAL enabled the
+// graph still materializes through the lazy load path on first use, so its
+// log replays on top of g instead of being skipped.
 func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sources[name] = func(int) (*graph.CSR, error) { return g, nil }
+	if r.walCfg != nil {
+		return
+	}
 	l := &load{done: closedChan}
 	l.finish(r.procs, g)
 	r.loads[name] = l
@@ -196,7 +307,11 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*PinnedGraph, erro
 	}
 	snap := l.vg.Snapshot()
 	g := snap.Graph()
-	return &PinnedGraph{G: g, Epoch: snap.Epoch(), Pool: l.pool(g.NumVertices()), snap: snap}, nil
+	n := g.NumVertices()
+	return &PinnedGraph{G: g, Epoch: snap.Epoch(), Pool: l.acquirePool(n), release: func() {
+		snap.Release()
+		l.releasePool(n)
+	}}, nil
 }
 
 // Versioned resolves name to its mutation overlay — the handle ingest
@@ -249,9 +364,18 @@ func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 	if isDynamic {
 		r.dynamicCount++
 	}
+	cfg := r.walCfg
 	r.mu.Unlock()
 
-	g, err := src(r.procs)
+	var err error
+	if cfg == nil {
+		var g *graph.CSR
+		if g, err = src(r.procs); err == nil {
+			l.finish(r.procs, g)
+		}
+	} else {
+		err = r.loadDurable(l, name, src, cfg)
+	}
 	if err != nil {
 		l.err = err
 		r.mu.Lock()
@@ -261,11 +385,133 @@ func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 		}
 		r.mu.Unlock()
 	} else {
-		l.finish(r.procs, g)
 		r.loadCount.Add(1)
 	}
 	close(l.done)
 	return l, l.err
+}
+
+// loadDurable materializes one graph with its write-ahead log attached:
+// open (and repair) the log, build the base — from the newest checkpoint
+// when one exists, else from the source — replay every batch the log holds
+// beyond that base, asserting each lands on exactly the epoch it was
+// logged at, and only then install the commit hook that routes all future
+// Apply calls through the log. A recovered overlay is therefore
+// bit-identical to the never-crashed one: same base construction, same
+// canonicalized batches in the same order.
+func (r *Registry) loadDurable(l *load, name string, src Source, cfg *WALConfig) error {
+	lg, err := wal.Open(graphWALDir(cfg.Dir, name), wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Policy:       cfg.Policy,
+		Interval:     cfg.Interval,
+	})
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		lg.Close()
+		return err
+	}
+	var base *graph.CSR
+	var vg *graph.Versioned
+	if ckpt := lg.CheckpointEpoch(); ckpt > 0 {
+		rd, err := lg.CheckpointReader()
+		if err != nil {
+			return fail(err)
+		}
+		if base, err = graph.ReadBinary(rd); err != nil {
+			return fail(fmt.Errorf("service: reading WAL checkpoint for %q: %w", name, err))
+		}
+		vg = graph.NewVersionedAt(r.procs, base, ckpt)
+	} else {
+		if base, err = src(r.procs); err != nil {
+			return fail(err)
+		}
+		vg = graph.NewVersioned(r.procs, base)
+	}
+	if err := lg.Replay(func(b *wal.Batch) error {
+		st, err := vg.Apply(toEdges(b.Ins), toEdges(b.Del), int(b.Vertices))
+		if err != nil {
+			return err
+		}
+		if st.Epoch != b.Epoch {
+			return fmt.Errorf("replayed batch landed on epoch %d, log says %d", st.Epoch, b.Epoch)
+		}
+		return nil
+	}); err != nil {
+		return fail(fmt.Errorf("service: replaying WAL for %q: %w", name, err))
+	}
+	vg.SetCommit(func(ins, del []graph.Edge, vertices int, epoch uint64) error {
+		return lg.Append(&wal.Batch{
+			Epoch:    epoch,
+			Vertices: uint64(vertices),
+			Ins:      toPairs(ins),
+			Del:      toPairs(del),
+		})
+	})
+	l.wal = lg
+	l.finishVersioned(vg, base)
+	return nil
+}
+
+// toPairs converts canonicalized edges to the WAL's wire pairs.
+func toPairs(edges []graph.Edge) [][2]uint32 {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([][2]uint32, len(edges))
+	for i, e := range edges {
+		out[i] = [2]uint32{e.U, e.V}
+	}
+	return out
+}
+
+// Close flushes and closes every per-graph write-ahead log. Call it after
+// the engine has drained; the registry must not be used afterwards.
+func (r *Registry) Close() error {
+	var errs []error
+	for _, l := range r.completedLoads() {
+		if l.wal != nil {
+			errs = append(errs, l.wal.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SyncWAL fsyncs every per-graph log with unsynced records, so a drained
+// engine holds zero un-fsynced WAL records under any fsync policy.
+func (r *Registry) SyncWAL() error {
+	var errs []error
+	for _, l := range r.completedLoads() {
+		if l.wal != nil {
+			errs = append(errs, l.wal.Sync())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WalStats aggregates the write-ahead-log counters across every loaded
+// graph. Enabled reflects configuration even when nothing has loaded yet.
+func (r *Registry) WalStats() api.WalStats {
+	r.mu.Lock()
+	out := api.WalStats{Enabled: r.walCfg != nil}
+	r.mu.Unlock()
+	for _, l := range r.completedLoads() {
+		if l.wal == nil {
+			continue
+		}
+		st := l.wal.Stats()
+		out.Add(api.WalStats{
+			Appends:         st.Appends,
+			Bytes:           st.AppendedBytes,
+			Fsyncs:          st.Fsyncs,
+			ReplayedBatches: st.ReplayedBatches,
+			ReplayMS:        st.ReplayMS,
+			Segments:        int64(st.Segments),
+			Checkpoints:     st.Checkpoints,
+		})
+	}
+	return out
 }
 
 func (l *load) wait(ctx context.Context) (*load, error) {
@@ -336,17 +582,18 @@ func (r *Registry) completedLoads() []*load {
 	return out
 }
 
-// versioned snapshots the overlay of every loaded graph, keyed by name —
-// the compactor's work list.
-func (r *Registry) versioned() map[string]*graph.Versioned {
+// versioned snapshots every loaded graph's slot, keyed by name — the
+// compactor's work list, carrying both the overlay to fold and the WAL to
+// checkpoint.
+func (r *Registry) versioned() map[string]*load {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]*graph.Versioned, len(r.loads))
+	out := make(map[string]*load, len(r.loads))
 	for name, l := range r.loads {
 		select {
 		case <-l.done:
 			if l.err == nil {
-				out[name] = l.vg
+				out[name] = l
 			}
 		default:
 		}

@@ -210,6 +210,7 @@ func refreshExpvar() *expSnapshot {
 		total.Sched.Add(st.Sched)
 		total.Batch.Add(st.Batch)
 		total.Ingest.Add(st.Ingest)
+		total.Wal.Add(st.Wal)
 		latW += st.AvgLatencyMS * float64(st.Queries-st.Errors)
 	}
 	if done := total.Queries - total.Errors; done > 0 {
@@ -536,14 +537,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Drain gracefully quiesces the server: admission stops (new requests get
 // 503 + Retry-After, healthz flips to draining), and the call blocks until
-// every admitted request has finished — streams included — or ctx expires,
-// returning ctx's error in the latter case. The caller then shuts the
-// listener down (http.Server.Shutdown) knowing request handlers are idle.
+// every admitted request has finished — streams included and ingest
+// batches too, since applies hold scheduler tickets — or ctx expires,
+// returning ctx's error in the latter case. On success every write-ahead
+// log is fsynced, so a drained server holds zero un-fsynced WAL records
+// under any fsync policy. The caller then shuts the listener down
+// (http.Server.Shutdown) knowing request handlers are idle.
 func (s *Server) Drain(ctx context.Context) error {
 	s.eng.BeginDrain()
 	select {
 	case <-s.eng.Drained():
-		return nil
+		return s.eng.SyncWAL()
 	case <-ctx.Done():
 		return ctx.Err()
 	}

@@ -1,0 +1,391 @@
+package service
+
+// wal_test.go is the durability battery for the ingest write-ahead log and
+// the drain/ingest lifecycle fixes: kill-and-replay equivalence (a restart
+// with the same WAL dir reconstructs the exact pre-crash epoch,
+// bit-identical to the never-crashed overlay), checkpoint recovery (the
+// source is not re-run once a checkpoint exists), torn-tail recovery at the
+// service level, commit-failure error mapping, drain waiting for in-flight
+// applies, response self-consistency under concurrent ingest, and the
+// workspace-pool retirement regression. The concurrency tests are written
+// for -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"parcluster/internal/api"
+	"parcluster/internal/graph"
+	"parcluster/internal/sched"
+)
+
+// walTestSource returns a deterministic source for a small graph plus a
+// counter of how many times it ran.
+func walTestSource() (Source, *int) {
+	calls := new(int)
+	return func(procs int) (*graph.CSR, error) {
+		*calls++
+		return graph.FromEdges(1, 8, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3},
+			{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7}, {U: 4, V: 7},
+		}), nil
+	}, calls
+}
+
+// walEngine builds an engine over a WAL-enabled registry rooted at dir.
+// The background compactor is disabled so tests control folding.
+func walEngine(t *testing.T, dir string) (*Engine, *Registry, *int) {
+	t.Helper()
+	src, calls := walTestSource()
+	reg := NewRegistry(1, false)
+	if err := reg.EnableWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Register("g", src)
+	e := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, CompactInterval: -1, MaxDeltaEdges: -1})
+	t.Cleanup(e.Close)
+	return e, reg, calls
+}
+
+// pinCSR resolves a graph and returns its current epoch plus deep copies
+// of the snapshot CSR's offsets and adjacency — the bit-identity oracle.
+func pinCSR(t *testing.T, reg *Registry, name string) (uint64, []uint64, [][]uint32) {
+	t.Helper()
+	pin, err := reg.Acquire(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	offsets := append([]uint64(nil), pin.G.Offsets()...)
+	adj := make([][]uint32, pin.G.NumVertices())
+	for v := 0; v < pin.G.NumVertices(); v++ {
+		adj[v] = append([]uint32(nil), pin.G.Neighbors(uint32(v))...)
+	}
+	return pin.Epoch, offsets, adj
+}
+
+func requireSameCSR(t *testing.T, wantOff, gotOff []uint64, wantAdj, gotAdj [][]uint32) {
+	t.Helper()
+	if len(gotOff) != len(wantOff) {
+		t.Fatalf("offsets length %d, want %d", len(gotOff), len(wantOff))
+	}
+	for i := range wantOff {
+		if gotOff[i] != wantOff[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, gotOff[i], wantOff[i])
+		}
+	}
+	for v := range wantAdj {
+		if len(gotAdj[v]) != len(wantAdj[v]) {
+			t.Fatalf("degree(%d) = %d, want %d", v, len(gotAdj[v]), len(wantAdj[v]))
+		}
+		for i := range wantAdj[v] {
+			if gotAdj[v][i] != wantAdj[v][i] {
+				t.Fatalf("adj[%d][%d] = %d, want %d", v, i, gotAdj[v][i], wantAdj[v][i])
+			}
+		}
+	}
+}
+
+// TestWALKillAndReplay is the crash-recovery equivalence battery: ingest a
+// stream of batches (inserts, deletes, universe growth, a mid-stream
+// checkpoint), abandon the registry without closing it (the crash), and
+// reopen the same WAL dir in a fresh registry. The recovered overlay must
+// land on the exact pre-crash epoch with a bit-identical snapshot, the
+// checkpoint must have replaced the source as the base (the source must
+// not re-run), and the replay counters must be visible in engine stats.
+func TestWALKillAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	e1, reg1, _ := walEngine(t, dir)
+
+	ingest := func(e *Engine, req *api.IngestRequest) *api.IngestResponse {
+		t.Helper()
+		resp, err := e.Ingest(ctx, "g", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i := uint32(0); i < 10; i++ {
+		ingest(e1, &api.IngestRequest{Edges: [][2]uint32{{i % 8, 8 + i}}, Vertices: int(8 + i + 1)})
+	}
+	// A fold + checkpoint mid-stream: recovery must come out identical
+	// whether batches sit before or after the checkpoint.
+	e1.CompactNow()
+	ingest(e1, &api.IngestRequest{Deletes: [][2]uint32{{0, 1}, {4, 7}}})
+	for i := uint32(0); i < 5; i++ {
+		ingest(e1, &api.IngestRequest{Edges: [][2]uint32{{i, i + 9}}})
+	}
+	wantEpoch, wantOff, wantAdj := pinCSR(t, reg1, "g")
+	if wantEpoch != 16 {
+		t.Fatalf("pre-crash epoch = %d, want 16", wantEpoch)
+	}
+
+	// The crash: reg1 is simply abandoned. Everything acknowledged is on
+	// disk (SyncAlways), so a fresh registry over the same dir must rebuild
+	// the same world.
+	e2, reg2, calls2 := walEngine(t, dir)
+	gotEpoch, gotOff, gotAdj := pinCSR(t, reg2, "g")
+	if gotEpoch != wantEpoch {
+		t.Fatalf("recovered epoch = %d, want %d", gotEpoch, wantEpoch)
+	}
+	requireSameCSR(t, wantOff, gotOff, wantAdj, gotAdj)
+	if *calls2 != 0 {
+		t.Fatalf("source ran %d times despite a checkpoint", *calls2)
+	}
+	st := e2.Stats().Wal
+	if !st.Enabled || st.ReplayedBatches != 6 { // 16 total, 10 folded into the checkpoint
+		t.Fatalf("recovered wal stats = %+v, want enabled with 6 replayed batches", st)
+	}
+	if st.Checkpoints != 0 || st.Segments < 1 {
+		t.Fatalf("recovered wal stats = %+v", st)
+	}
+
+	// The recovered overlay keeps working durably: one more batch, one more
+	// recovery, still identical.
+	ingest(e2, &api.IngestRequest{Edges: [][2]uint32{{2, 17}, {3, 15}}})
+	wantEpoch2, wantOff2, wantAdj2 := pinCSR(t, reg2, "g")
+	_, reg3, _ := walEngine(t, dir)
+	gotEpoch3, gotOff3, gotAdj3 := pinCSR(t, reg3, "g")
+	if gotEpoch3 != wantEpoch2 {
+		t.Fatalf("second recovery epoch = %d, want %d", gotEpoch3, wantEpoch2)
+	}
+	requireSameCSR(t, wantOff2, gotOff3, wantAdj2, gotAdj3)
+	if err := reg3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTailAtServiceLevel chops bytes off the live segment — the
+// on-disk signature of kill -9 mid-append — and verifies recovery lands on
+// exactly the last intact epoch, with the graph bit-identical to what the
+// pre-crash overlay looked like at that epoch.
+func TestWALTornTailAtServiceLevel(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	e1, reg1, _ := walEngine(t, dir)
+	for i := uint32(0); i < 4; i++ {
+		if _, err := e1.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{0, 2 + i}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantEpoch, wantOff, wantAdj := pinCSR(t, reg1, "g")
+	// The batch whose record gets torn: acknowledged in memory, about to be
+	// lost on disk — exactly what an fsync racing a power cut looks like.
+	if _, err := e1.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{1, 5}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "g", "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments found (err=%v)", err)
+	}
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, reg2, _ := walEngine(t, dir)
+	gotEpoch, gotOff, gotAdj := pinCSR(t, reg2, "g")
+	if gotEpoch != wantEpoch {
+		t.Fatalf("epoch after torn tail = %d, want %d", gotEpoch, wantEpoch)
+	}
+	requireSameCSR(t, wantOff, gotOff, wantAdj, gotAdj)
+}
+
+// TestIngestCommitFailureIsServerFault wires a failing commit hook (the
+// WAL's seam into the overlay) and checks Ingest reports it as a commit
+// fault — not a 400-mapped bad request — with nothing mutated.
+func TestIngestCommitFailureIsServerFault(t *testing.T) {
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", graph.FromEdges(1, 4, []graph.Edge{{U: 0, V: 1}}))
+	e := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, CompactInterval: -1})
+	t.Cleanup(e.Close)
+	ctx := context.Background()
+	vg, err := reg.Versioned(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg.SetCommit(func(_, _ []graph.Edge, _ int, _ uint64) error {
+		return errors.New("disk full")
+	})
+	_, err = e.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{1, 2}}})
+	if !errors.Is(err, graph.ErrCommit) {
+		t.Fatalf("err = %v, want graph.ErrCommit", err)
+	}
+	if errors.Is(err, ErrBadRequest) {
+		t.Fatalf("commit failure mapped to bad request: %v", err)
+	}
+	if got := vg.Epoch(); got != 0 {
+		t.Fatalf("failed commit advanced the epoch to %d", got)
+	}
+	// A genuinely bad batch still maps to bad request, not commit fault.
+	_, err = e.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{2, 2}}})
+	if !errors.Is(err, ErrBadRequest) || errors.Is(err, graph.ErrCommit) {
+		t.Fatalf("self-loop err = %v, want ErrBadRequest only", err)
+	}
+}
+
+// TestDrainWaitsForInflightIngest is the drain/ingest race regression: a
+// batch already inside Apply when drain begins must hold Drained open
+// until it finishes, and must succeed; batches arriving after drain must
+// be refused. The commit hook doubles as the in-Apply synchronization
+// point. Run under -race.
+func TestDrainWaitsForInflightIngest(t *testing.T) {
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", graph.FromEdges(1, 4, []graph.Edge{{U: 0, V: 1}}))
+	e := NewEngine(reg, Config{ProcBudget: 2, CacheSize: 8, CompactInterval: -1})
+	t.Cleanup(e.Close)
+	ctx := context.Background()
+	vg, err := reg.Versioned(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	vg.SetCommit(func(_, _ []graph.Edge, _ int, _ uint64) error {
+		close(entered)
+		<-unblock
+		return nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{1, 2}}})
+		done <- err
+	}()
+	<-entered // the apply is now in flight, mid-commit
+	e.BeginDrain()
+	select {
+	case <-e.Drained():
+		t.Fatal("Drained closed with an ingest apply still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(unblock)
+	select {
+	case <-e.Drained():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drained did not close after the in-flight apply finished")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight ingest failed: %v", err)
+	}
+	if got := vg.Epoch(); got != 1 {
+		t.Fatalf("epoch after drained apply = %d, want 1", got)
+	}
+	// Quiesced means quiesced: new batches are refused at admission.
+	if _, err := e.Ingest(ctx, "g", &api.IngestRequest{Edges: [][2]uint32{{2, 3}}}); !errors.Is(err, sched.ErrDraining) {
+		t.Fatalf("post-drain ingest err = %v, want sched.ErrDraining", err)
+	}
+}
+
+// TestIngestResponseConsistency hammers one graph with concurrent
+// single-insert batches (no compaction) and checks every response is
+// internally consistent: with exactly one pending record added per epoch,
+// any response whose Pending disagrees with its Epoch mixed two batches'
+// states — the bug this locks out is building the response from a second
+// Stats() call after Apply returned. Run under -race.
+func TestIngestResponseConsistency(t *testing.T) {
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", graph.FromEdges(1, 1024, []graph.Edge{{U: 0, V: 1}}))
+	e := NewEngine(reg, Config{ProcBudget: 4, CacheSize: 8, CompactInterval: -1, MaxDeltaEdges: -1})
+	t.Cleanup(e.Close)
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Distinct edges per call, so every batch advances the epoch.
+				u := uint32(2 + w)
+				v := uint32(16 + w*perWorker + i)
+				resp, err := e.Ingest(context.Background(), "g", &api.IngestRequest{Edges: [][2]uint32{{u, v}}})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if uint64(resp.Pending) != resp.Epoch {
+					errc <- fmt.Errorf("torn response: epoch %d with pending %d", resp.Epoch, resp.Pending)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	vg, err := reg.Versioned(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vg.Epoch(); got != workers*perWorker {
+		t.Fatalf("final epoch = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestWorkspacePoolRetirement is the pool-leak regression: repeated
+// universe-growing ingests must not accumulate a graph-sized workspace
+// pool per universe size. A pool survives exactly as long as a pinned
+// snapshot can still borrow from it.
+func TestWorkspacePoolRetirement(t *testing.T) {
+	reg := NewRegistry(1, false)
+	reg.RegisterGraph("g", graph.FromEdges(1, 8, []graph.Edge{{U: 0, V: 1}}))
+	ctx := context.Background()
+	vg, err := reg.Versioned(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := vg.Apply(nil, nil, 16+i); err != nil {
+			t.Fatal(err)
+		}
+		pin, err := reg.Acquire(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin.Release()
+	}
+	if got := reg.WorkspaceStats().Pools; got > 2 {
+		t.Fatalf("pools after 20 universe growths = %d, want <= 2", got)
+	}
+
+	// A pinned old-universe snapshot keeps its pool alive; releasing the
+	// pin retires it.
+	old, err := reg.Acquire(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vg.Apply(nil, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := reg.Acquire(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Release()
+	if got := reg.WorkspaceStats().Pools; got != 2 {
+		t.Fatalf("pools with an old snapshot pinned = %d, want 2", got)
+	}
+	old.Release()
+	pin, err := reg.Acquire(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin.Release()
+	if got := reg.WorkspaceStats().Pools; got != 1 {
+		t.Fatalf("pools after the old pin released = %d, want 1", got)
+	}
+}

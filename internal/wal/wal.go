@@ -1,0 +1,894 @@
+// Package wal implements the durable ingest log of the parcluster serving
+// layer: a per-graph, segmented, append-only write-ahead log that makes
+// applied edge-mutation batches survive process crashes.
+//
+// Without it, every epoch a graph.Versioned overlay produces lives only in
+// RAM: a restart silently rewinds the graph to its load-time edge set while
+// clients hold epoch-stamped responses that no longer correspond to any
+// state the server can reproduce. With it, the registry commits each
+// accepted batch to the log before the epoch becomes visible, and a restart
+// replays the log on top of the (deterministic) base to reconstruct the
+// exact pre-crash epoch, bit-identical to the never-crashed overlay.
+//
+// On-disk layout (one directory per graph):
+//
+//	seg-00000000.wal   segment files: an 8-byte magic, then framed records
+//	ckpt-%016x         checkpoint files: one compacted snapshot of the
+//	                   graph at the epoch named in the file name
+//
+// Each record is [u32 payload length][u32 CRC32-C of payload][payload]; a
+// batch payload carries the epoch it produced, the resulting vertex
+// universe, and the canonicalized insert/delete pairs. Records are strictly
+// epoch-ascending. On Open, a torn tail (partial record or CRC mismatch in
+// the LAST segment — the signature of a crash mid-append) is truncated at
+// exactly the last intact record boundary; the same damage in any earlier,
+// sealed segment is refused as real corruption, because sealed segments are
+// never legitimately half-written.
+//
+// The commit point is configurable via the fsync policy: SyncAlways (the
+// default) fsyncs every append before it returns, so an acknowledged batch
+// is durable; SyncInterval fsyncs a dirty log on a timer (bounded loss
+// window, higher throughput); SyncNever leaves scheduling to the OS. A
+// failed write or fsync truncates the partial record back out, so a batch
+// whose Append returned an error is also absent after a restart — rejected
+// batches never resurrect.
+//
+// Checkpoints bound replay and disk: after the compactor folds a graph's
+// delta log into a fresh base CSR, it streams that base into a checkpoint
+// file (written to a temp name, fsynced, then atomically renamed), the log
+// rotates to a fresh segment, and every sealed segment whose records are
+// all covered by the checkpoint is deleted. Open prefers the newest valid
+// checkpoint and Replay yields only the batches after it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it returns: an acknowledged
+	// batch is durable. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs a dirty log on a timer (see Options.Interval):
+	// bounded loss window, amortized fsync cost.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; durability is whatever the OS
+	// provides. For tests and throwaway deployments.
+	SyncNever
+)
+
+// ParseSyncPolicy parses the -wal-fsync flag spelling: "always", "never",
+// or a Go duration (e.g. "100ms") selecting SyncInterval at that period.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "never":
+		return SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncAlways, 0, fmt.Errorf("wal: fsync policy %q (want always, never, or a positive duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options sizes a Log. The zero value means: 64 MiB segments, SyncAlways.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that would push the
+	// active segment past it seals the segment and starts a new one
+	// (<= 0 = 64 MiB, floored at 4 KiB).
+	SegmentBytes int64
+	// Policy is the fsync policy.
+	Policy SyncPolicy
+	// Interval is the SyncInterval period (<= 0 = 100ms). Ignored for the
+	// other policies.
+	Interval time.Duration
+}
+
+// Batch is one logged ingest batch: the canonicalized (u < v) edge
+// mutations of a single graph.Versioned.Apply call, the vertex universe it
+// left behind, and the epoch it produced.
+type Batch struct {
+	// Epoch is the graph version this batch produced. Strictly ascending
+	// across the log.
+	Epoch uint64
+	// Vertices is the vertex universe size after the batch applied (the
+	// resolved size, not the request's raw grow target).
+	Vertices uint64
+	// Ins and Del are the canonicalized insert / delete pairs, u < v, in
+	// Apply order.
+	Ins, Del [][2]uint32
+}
+
+// Stats is a point-in-time counter snapshot for stats endpoints.
+type Stats struct {
+	// Appends and AppendedBytes count records (and their framed bytes)
+	// accepted by Append since this Log was opened.
+	Appends, AppendedBytes int64
+	// Fsyncs counts explicit fsync calls issued (appends under SyncAlways,
+	// timer flushes under SyncInterval, Sync calls).
+	Fsyncs int64
+	// ReplayedBatches counts batches delivered by Replay.
+	ReplayedBatches int64
+	// ReplayMS is the total wall-clock time spent in Open's scan and in
+	// Replay, in milliseconds.
+	ReplayMS float64
+	// Segments is the number of segment files currently on disk.
+	Segments int
+	// Checkpoints counts Checkpoint calls that completed.
+	Checkpoints int64
+	// CheckpointEpoch is the epoch of the newest valid checkpoint (0 =
+	// none).
+	CheckpointEpoch uint64
+	// LastEpoch is the highest epoch recorded (by checkpoint or batch).
+	LastEpoch uint64
+}
+
+const (
+	segMagic  = "PWALSEG1"
+	ckptMagic = "PWALCKP1"
+
+	recBatch = 1 // record-type byte
+
+	recHeaderLen   = 8                 // u32 length + u32 crc
+	batchFixedLen  = 1 + 8 + 8 + 4 + 4 // type, epoch, vertices, nIns, nDel
+	ckptFooterLen  = 12                // u64 payload length + u32 crc
+	maxRecordBytes = 1 << 30           // sanity bound on a framed payload
+
+	defaultSegmentBytes = 64 << 20
+	minSegmentBytes     = 4 << 10
+	defaultSyncInterval = 100 * time.Millisecond
+)
+
+// castagnoli is the CRC32-C table (the iSCSI polynomial, hardware-
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// segmentMeta describes one on-disk segment.
+type segmentMeta struct {
+	index     int
+	lastEpoch uint64 // highest batch epoch in the segment (0 = empty)
+	size      int64
+}
+
+// Log is one graph's write-ahead log. All methods are safe for concurrent
+// use; Append serializes internally, which is the ordering the overlay's
+// commit hook needs (it already runs under the overlay mutex).
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f        *os.File // active segment
+	active   *segmentMeta
+	segments []*segmentMeta // ascending by index; last is active
+
+	ckptEpoch uint64
+	lastEpoch uint64
+	dirty     bool // unsynced appended bytes (SyncInterval / SyncNever)
+	broken    error
+	closed    bool
+
+	buf []byte // reused append encoding buffer
+
+	appends, appendedBytes, fsyncs, replayed, checkpoints int64
+	replayDur                                             time.Duration
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	// testSyncErr, when non-nil, is consulted before each fsync of the
+	// active segment — the crash-point injection seam for the
+	// failed-fsync tests.
+	testSyncErr func() error
+}
+
+// Open opens (or creates) the log in dir, validating every segment: a torn
+// tail on the last segment is truncated at the last intact record boundary;
+// torn or CRC-corrupt records in sealed segments are refused as corruption.
+// Leftover temp files from an interrupted checkpoint are removed.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SegmentBytes < minSegmentBytes {
+		opts.SegmentBytes = minSegmentBytes
+	}
+	if opts.Policy == SyncInterval && opts.Interval <= 0 {
+		opts.Interval = defaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	start := time.Now()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segIdx []int
+	var ckptEpochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted checkpoint write; the rename never happened, so
+			// the content is garbage by construction.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".wal"):
+			var idx int
+			if _, err := fmt.Sscanf(name, "seg-%08d.wal", &idx); err == nil {
+				segIdx = append(segIdx, idx)
+			}
+		case strings.HasPrefix(name, "ckpt-"):
+			var epoch uint64
+			if _, err := fmt.Sscanf(name, "ckpt-%016x", &epoch); err == nil {
+				ckptEpochs = append(ckptEpochs, epoch)
+			}
+		}
+	}
+	sort.Ints(segIdx)
+	sort.Slice(ckptEpochs, func(i, j int) bool { return ckptEpochs[i] > ckptEpochs[j] })
+	for _, epoch := range ckptEpochs {
+		if l.validCheckpoint(epoch) {
+			l.ckptEpoch = epoch
+			break
+		}
+	}
+	l.lastEpoch = l.ckptEpoch
+
+	for i, idx := range segIdx {
+		last := i == len(segIdx)-1
+		meta, err := l.scanSegment(idx, last)
+		if err != nil {
+			return nil, err
+		}
+		if meta.lastEpoch != 0 {
+			if meta.lastEpoch <= l.lastEpoch && meta.lastEpoch > l.ckptEpoch {
+				return nil, fmt.Errorf("wal: %s: epochs not ascending across segments", l.segPath(idx))
+			}
+			if meta.lastEpoch > l.lastEpoch {
+				l.lastEpoch = meta.lastEpoch
+			}
+		}
+		l.segments = append(l.segments, meta)
+	}
+	if len(l.segments) == 0 {
+		if err := l.startSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		meta := l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(l.segPath(meta.index), os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening active segment: %w", err)
+		}
+		if _, err := f.Seek(meta.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.active = f, meta
+	}
+	l.replayDur += time.Since(start)
+
+	if opts.Policy == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) segPath(idx int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("seg-%08d.wal", idx))
+}
+
+func (l *Log) ckptPath(epoch uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("ckpt-%016x", epoch))
+}
+
+// validCheckpoint structurally validates a checkpoint file: magic present
+// and the footer's payload length consistent with the file size. The
+// payload CRC is verified when the checkpoint is actually read
+// (CheckpointReader), which happens exactly once per load.
+func (l *Log) validCheckpoint(epoch uint64) bool {
+	f, err := os.Open(l.ckptPath(epoch))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() < int64(len(ckptMagic))+ckptFooterLen {
+		return false
+	}
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != ckptMagic {
+		return false
+	}
+	footer := make([]byte, ckptFooterLen)
+	if _, err := f.ReadAt(footer, st.Size()-ckptFooterLen); err != nil {
+		return false
+	}
+	payloadLen := binary.LittleEndian.Uint64(footer)
+	return int64(payloadLen) == st.Size()-int64(len(ckptMagic))-ckptFooterLen
+}
+
+// scanSegment validates one segment's framing front to back. On the last
+// (active) segment a torn tail — short header, short payload, or CRC
+// mismatch — truncates the file at the last intact boundary; on a sealed
+// segment the same damage is a hard error.
+func (l *Log) scanSegment(idx int, last bool) (*segmentMeta, error) {
+	path := l.segPath(idx)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	truncate := func(off int64, why string) (*segmentMeta, error) {
+		if !last {
+			return nil, fmt.Errorf("wal: %s: %s at offset %d in a sealed segment (corruption)", path, why, off)
+		}
+		if err := f.Truncate(off); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	size := st.Size()
+	if size < int64(len(segMagic)) {
+		// A crash between segment creation and the header write; rewrite the
+		// header (last segment only — a sealed segment cannot be this short).
+		if !last {
+			return nil, fmt.Errorf("wal: %s: sealed segment shorter than its header", path)
+		}
+		if err := f.Truncate(0); err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		return &segmentMeta{index: idx, size: int64(len(segMagic))}, nil
+	}
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("wal: %s: bad segment magic", path)
+	}
+	meta := &segmentMeta{index: idx, size: int64(len(segMagic))}
+	header := make([]byte, recHeaderLen)
+	var payload []byte
+	prev := l.ckptEpoch
+	for meta.size < size {
+		off := meta.size
+		if size-off < recHeaderLen {
+			if m, err := truncate(off, "torn record header"); m != nil || err != nil {
+				return m, err
+			}
+			break
+		}
+		if _, err := f.ReadAt(header, off); err != nil {
+			return nil, err
+		}
+		plen := binary.LittleEndian.Uint32(header)
+		want := binary.LittleEndian.Uint32(header[4:])
+		if plen < batchFixedLen || plen > maxRecordBytes {
+			if m, err := truncate(off, "implausible record length"); m != nil || err != nil {
+				return m, err
+			}
+			break
+		}
+		if size-off-recHeaderLen < int64(plen) {
+			if m, err := truncate(off, "torn record payload"); m != nil || err != nil {
+				return m, err
+			}
+			break
+		}
+		if int(plen) > cap(payload) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := f.ReadAt(payload, off+recHeaderLen); err != nil {
+			return nil, err
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			if m, err := truncate(off, "record CRC mismatch"); m != nil || err != nil {
+				return m, err
+			}
+			break
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			if m, terr := truncate(off, err.Error()); m != nil || terr != nil {
+				return m, terr
+			}
+			break
+		}
+		if b.Epoch <= prev && b.Epoch > l.ckptEpoch {
+			return nil, fmt.Errorf("wal: %s: batch epoch %d not ascending (previous %d)", path, b.Epoch, prev)
+		}
+		if b.Epoch > prev {
+			prev = b.Epoch
+		}
+		meta.lastEpoch = b.Epoch
+		meta.size = off + recHeaderLen + int64(plen)
+	}
+	return meta, nil
+}
+
+// startSegment creates and activates segment idx. Callers hold l.mu (or are
+// inside Open before the Log is published).
+func (l *Log) startSegment(idx int) error {
+	path := l.segPath(idx)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	meta := &segmentMeta{index: idx, size: int64(len(segMagic))}
+	l.f, l.active = f, meta
+	l.segments = append(l.segments, meta)
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append commits one batch: the framed record is written (rotating segments
+// at the size threshold) and, under SyncAlways, fsynced before Append
+// returns. Epochs must be strictly ascending. On a write or fsync failure
+// the partial record is truncated back out, so a failed Append leaves the
+// log exactly as it was — the caller must treat the batch as rejected.
+func (l *Log) Append(b *Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log wedged by earlier failure: %w", l.broken)
+	}
+	if b.Epoch <= l.lastEpoch {
+		return fmt.Errorf("wal: batch epoch %d not after last logged epoch %d", b.Epoch, l.lastEpoch)
+	}
+	l.buf = encodeBatch(l.buf[:0], b)
+	rec := l.buf
+	if l.active.size+int64(len(rec)) > l.opts.SegmentBytes && l.active.size > int64(len(segMagic)) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	start := l.active.size
+	if _, err := l.f.WriteAt(rec, start); err != nil {
+		l.unwindLocked(start)
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncActiveLocked(); err != nil {
+			l.unwindLocked(start)
+			return fmt.Errorf("wal: fsyncing record: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	l.active.size = start + int64(len(rec))
+	l.active.lastEpoch = b.Epoch
+	l.lastEpoch = b.Epoch
+	l.appends++
+	l.appendedBytes += int64(len(rec))
+	return nil
+}
+
+// unwindLocked truncates the active segment back to off after a failed
+// append, so the half-written (or written-but-unsynced) record cannot
+// resurrect on restart. If even the truncate fails the log is wedged:
+// every later Append fails fast rather than risking an inconsistent tail.
+func (l *Log) unwindLocked(off int64) {
+	if err := l.f.Truncate(off); err != nil {
+		l.broken = err
+		return
+	}
+	l.f.Sync() // best effort; the record bytes are gone either way
+}
+
+// syncActiveLocked fsyncs the active segment, counting it, via the test
+// seam.
+func (l *Log) syncActiveLocked() error {
+	if l.testSyncErr != nil {
+		if err := l.testSyncErr(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	l.dirty = false
+	return nil
+}
+
+// rotateLocked seals the active segment (final fsync) and starts the next.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.startSegment(l.active.index + 1)
+}
+
+// Sync flushes any unsynced appended records to stable storage. A no-op
+// when the log is clean; the drain path calls it so a quiesced engine has
+// zero un-fsynced records under every policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty {
+		return nil
+	}
+	return l.syncActiveLocked()
+}
+
+// syncLoop is the SyncInterval flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.Sync()
+		}
+	}
+}
+
+// CheckpointEpoch returns the epoch of the newest valid checkpoint (0 =
+// none): the epoch the registry should load the checkpoint snapshot at
+// before replaying the remaining batches.
+func (l *Log) CheckpointEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptEpoch
+}
+
+// CheckpointReader returns the newest checkpoint's payload (the bytes the
+// Checkpoint writer produced, typically a binary CSR), fully CRC-verified.
+// Returns an error if no checkpoint exists or the payload fails its CRC —
+// the latter is real corruption and should fail the graph load loudly.
+func (l *Log) CheckpointReader() (io.Reader, error) {
+	l.mu.Lock()
+	epoch := l.ckptEpoch
+	l.mu.Unlock()
+	if epoch == 0 {
+		return nil, errors.New("wal: no checkpoint")
+	}
+	raw, err := os.ReadFile(l.ckptPath(epoch))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(ckptMagic)+ckptFooterLen || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("wal: checkpoint %d malformed", epoch)
+	}
+	footer := raw[len(raw)-ckptFooterLen:]
+	payload := raw[len(ckptMagic) : len(raw)-ckptFooterLen]
+	if binary.LittleEndian.Uint64(footer) != uint64(len(payload)) {
+		return nil, fmt.Errorf("wal: checkpoint %d length mismatch", epoch)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(footer[8:]) {
+		return nil, fmt.Errorf("wal: checkpoint %d payload CRC mismatch (corruption)", epoch)
+	}
+	return newBytesReader(payload), nil
+}
+
+// Replay streams every durable batch after the newest checkpoint, in epoch
+// order, to fn; fn returning an error stops the replay and returns that
+// error. Call it once, after Open and before the first Append.
+func (l *Log) Replay(fn func(*Batch) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := time.Now()
+	defer func() { l.replayDur += time.Since(start) }()
+	header := make([]byte, recHeaderLen)
+	var payload []byte
+	for _, meta := range l.segments {
+		f, err := os.Open(l.segPath(meta.index))
+		if err != nil {
+			return err
+		}
+		off := int64(len(segMagic))
+		for off < meta.size {
+			if _, err := f.ReadAt(header, off); err != nil {
+				f.Close()
+				return err
+			}
+			plen := binary.LittleEndian.Uint32(header)
+			if int(plen) > cap(payload) {
+				payload = make([]byte, plen)
+			}
+			payload = payload[:plen]
+			if _, err := f.ReadAt(payload, off+recHeaderLen); err != nil {
+				f.Close()
+				return err
+			}
+			// Open validated framing and CRC already; decode cannot fail on
+			// the scanned prefix, but check anyway to fail loudly if the file
+			// changed underneath us.
+			b, err := decodeBatch(payload)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %s changed during replay: %w", l.segPath(meta.index), err)
+			}
+			off += recHeaderLen + int64(plen)
+			if b.Epoch <= l.ckptEpoch {
+				continue // already folded into the checkpoint
+			}
+			l.replayed++
+			if err := fn(b); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Checkpoint persists a snapshot of the graph at epoch (write streams the
+// snapshot bytes, e.g. a binary CSR) and truncates the log: the snapshot is
+// written to a temp file, fsynced, atomically renamed to ckpt-<epoch>, the
+// active segment rotates, and every sealed segment fully covered by the
+// checkpoint — plus every older checkpoint file — is deleted. After a crash
+// at any point, Open recovers a consistent view: either the old checkpoint
+// plus the old segments, or the new checkpoint plus whatever segments
+// deletion had not yet reached (their covered batches are skipped).
+func (l *Log) Checkpoint(epoch uint64, write func(io.Writer) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if epoch <= l.ckptEpoch {
+		return nil // an older fold has nothing new to persist
+	}
+	if epoch > l.lastEpoch {
+		return fmt.Errorf("wal: checkpoint epoch %d beyond last logged epoch %d", epoch, l.lastEpoch)
+	}
+	tmp := l.ckptPath(epoch) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write([]byte(ckptMagic)); err != nil {
+		return fail(err)
+	}
+	cw := &crcWriter{w: f}
+	if err := write(cw); err != nil {
+		return fail(fmt.Errorf("wal: writing checkpoint payload: %w", err))
+	}
+	var footer [ckptFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[:], uint64(cw.n))
+	binary.LittleEndian.PutUint32(footer[8:], cw.crc)
+	if _, err := f.Write(footer[:]); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, l.ckptPath(epoch)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	prevCkpt := l.ckptEpoch
+	l.ckptEpoch = epoch
+	l.checkpoints++
+
+	// Seal the active segment so it becomes a deletion candidate, then drop
+	// everything the checkpoint covers. Deletion failures are non-fatal:
+	// Open skips covered batches, so a lingering segment only costs disk.
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	keep := l.segments[:0]
+	for _, meta := range l.segments {
+		if meta != l.active && meta.lastEpoch <= epoch {
+			os.Remove(l.segPath(meta.index))
+			continue
+		}
+		keep = append(keep, meta)
+	}
+	l.segments = keep
+	if prevCkpt != 0 {
+		os.Remove(l.ckptPath(prevCkpt))
+	}
+	return syncDir(l.dir)
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:         l.appends,
+		AppendedBytes:   l.appendedBytes,
+		Fsyncs:          l.fsyncs,
+		ReplayedBatches: l.replayed,
+		ReplayMS:        float64(l.replayDur.Microseconds()) / 1e3,
+		Segments:        len(l.segments),
+		Checkpoints:     l.checkpoints,
+		CheckpointEpoch: l.ckptEpoch,
+		LastEpoch:       l.lastEpoch,
+	}
+}
+
+// Close flushes unsynced records, stops the interval flusher, and closes
+// the active segment. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if l.dirty {
+		syncErr = l.syncActiveLocked()
+	}
+	l.closed = true
+	stop := l.stopSync
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// encodeBatch appends b's framed record (header + payload) to dst.
+func encodeBatch(dst []byte, b *Batch) []byte {
+	hdr := len(dst)
+	dst = append(dst, make([]byte, recHeaderLen)...)
+	base := len(dst)
+	dst = append(dst, recBatch)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Vertices)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Ins)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Del)))
+	for _, e := range b.Ins {
+		dst = binary.LittleEndian.AppendUint32(dst, e[0])
+		dst = binary.LittleEndian.AppendUint32(dst, e[1])
+	}
+	for _, e := range b.Del {
+		dst = binary.LittleEndian.AppendUint32(dst, e[0])
+		dst = binary.LittleEndian.AppendUint32(dst, e[1])
+	}
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(dst)-base))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], crc32.Checksum(dst[base:], castagnoli))
+	return dst
+}
+
+// decodeBatch parses a batch payload (CRC already verified).
+func decodeBatch(p []byte) (*Batch, error) {
+	if len(p) < batchFixedLen || p[0] != recBatch {
+		return nil, errors.New("unknown record type")
+	}
+	b := &Batch{
+		Epoch:    binary.LittleEndian.Uint64(p[1:]),
+		Vertices: binary.LittleEndian.Uint64(p[9:]),
+	}
+	nIns := binary.LittleEndian.Uint32(p[17:])
+	nDel := binary.LittleEndian.Uint32(p[21:])
+	if uint64(len(p)) != batchFixedLen+8*(uint64(nIns)+uint64(nDel)) {
+		return nil, errors.New("batch record length mismatch")
+	}
+	off := batchFixedLen
+	readPairs := func(n uint32) [][2]uint32 {
+		if n == 0 {
+			return nil
+		}
+		out := make([][2]uint32, n)
+		for i := range out {
+			out[i][0] = binary.LittleEndian.Uint32(p[off:])
+			out[i][1] = binary.LittleEndian.Uint32(p[off+4:])
+			off += 8
+		}
+		return out
+	}
+	b.Ins = readPairs(nIns)
+	b.Del = readPairs(nDel)
+	return b, nil
+}
+
+// crcWriter counts and checksums the checkpoint payload as it streams to
+// the underlying file.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// newBytesReader wraps a byte slice as an io.Reader without importing
+// bytes just for one type (keeps the dependency surface tiny).
+func newBytesReader(p []byte) io.Reader { return &sliceReader{p: p} }
+
+// sliceReader is a minimal forward-only reader over a byte slice.
+type sliceReader struct{ p []byte }
+
+func (r *sliceReader) Read(dst []byte) (int, error) {
+	if len(r.p) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.p)
+	r.p = r.p[n:]
+	return n, nil
+}

@@ -1,0 +1,560 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+func batch(epoch uint64, ins ...[2]uint32) *Batch {
+	return &Batch{Epoch: epoch, Vertices: 100, Ins: ins}
+}
+
+func collect(t *testing.T, l *Log) []*Batch {
+	t.Helper()
+	var got []*Batch
+	if err := l.Replay(func(b *Batch) error {
+		got = append(got, b)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+// TestRoundTrip appends batches across several forced segment rotations and
+// checks a reopened log replays every batch, field-exact and in order.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: minSegmentBytes})
+	const n = 64
+	for i := uint64(1); i <= n; i++ {
+		ins := make([][2]uint32, 0, 8)
+		for j := uint32(0); j < 8; j++ {
+			ins = append(ins, [2]uint32{j, uint32(i)*10 + j + 1})
+		}
+		b := &Batch{Epoch: i, Vertices: 1000 + i, Ins: ins, Del: [][2]uint32{{0, uint32(i)}}}
+		if err := l.Append(b); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != n || st.LastEpoch != n {
+		t.Fatalf("stats after appends: %+v", st)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation with %d-byte segments, got %d segment(s)", minSegmentBytes, st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, Options{SegmentBytes: minSegmentBytes})
+	defer l2.Close()
+	got := collect(t, l2)
+	if len(got) != n {
+		t.Fatalf("replayed %d batches, want %d", len(got), n)
+	}
+	for i, b := range got {
+		want := uint64(i + 1)
+		if b.Epoch != want || b.Vertices != 1000+want || len(b.Ins) != 8 || len(b.Del) != 1 {
+			t.Fatalf("batch %d corrupted on replay: %+v", i, b)
+		}
+		if b.Ins[3] != [2]uint32{3, uint32(want)*10 + 4} || b.Del[0] != [2]uint32{0, uint32(want)} {
+			t.Fatalf("batch %d pairs corrupted: %+v", i, b)
+		}
+	}
+	if rs := l2.Stats(); rs.ReplayedBatches != n || rs.LastEpoch != n {
+		t.Fatalf("reopen stats: %+v", rs)
+	}
+}
+
+// TestEpochMonotonic rejects appends that do not advance the epoch.
+func TestEpochMonotonic(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	if err := l.Append(batch(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(batch(5)); err == nil {
+		t.Fatal("duplicate epoch accepted")
+	}
+	if err := l.Append(batch(3)); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+	if err := l.Append(batch(6)); err != nil {
+		t.Fatalf("ascending epoch rejected: %v", err)
+	}
+}
+
+// lastSegment returns the path of the highest-indexed segment in dir.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	return segs[len(segs)-1]
+}
+
+// TestTornTailTruncated simulates a crash mid-append: bytes chopped off the
+// last record at several offsets (inside the payload, inside the header).
+// Open must truncate at exactly the previous record boundary and keep every
+// earlier batch.
+func TestTornTailTruncated(t *testing.T) {
+	for _, chop := range []int64{1, 3, recHeaderLen - 1, recHeaderLen, recHeaderLen + 1} {
+		t.Run(fmt.Sprintf("chop%d", chop), func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{})
+			for i := uint64(1); i <= 3; i++ {
+				if err := l.Append(batch(i, [2]uint32{0, uint32(i)})); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+
+			seg := lastSegment(t, dir)
+			st, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, st.Size()-chop); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := mustOpen(t, dir, Options{})
+			defer l2.Close()
+			got := collect(t, l2)
+			if len(got) != 2 || got[1].Epoch != 2 {
+				t.Fatalf("after torn tail: replayed %d batches (want the 2 intact ones)", len(got))
+			}
+			// The truncated log must accept the re-applied batch: the torn
+			// record is gone, so epoch 3 is free again.
+			if err := l2.Append(batch(3)); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+		})
+	}
+}
+
+// TestCRCCorruptionLastSegment flips a payload byte in the final record:
+// Open must drop that record (and only it) as a torn tail.
+func TestCRCCorruptionLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	recEnd := make([]int64, 0, 3)
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(batch(i, [2]uint32{0, uint32(i)})); err != nil {
+			t.Fatal(err)
+		}
+		recEnd = append(recEnd, l.active.size)
+	}
+	l.Close()
+
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the last record's payload.
+	if _, err := f.WriteAt([]byte{0xff}, recEnd[2]-2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 2 {
+		t.Fatalf("after CRC flip in tail: replayed %d batches, want 2", len(got))
+	}
+}
+
+// TestCRCCorruptionSealedSegment flips a byte in a sealed (non-last)
+// segment: that is not a torn tail, and Open must refuse the log rather
+// than silently dropping committed batches.
+func TestCRCCorruptionSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: minSegmentBytes})
+	for i := uint64(1); i <= 64; i++ {
+		ins := make([][2]uint32, 16)
+		for j := range ins {
+			ins[j] = [2]uint32{uint32(j), uint32(j) + uint32(i) + 1}
+		}
+		if err := l.Append(&Batch{Epoch: i, Vertices: 100, Ins: ins}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	first := l.segPath(l.segments[0].index)
+	l.Close()
+
+	f, err := os.OpenFile(first, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, int64(len(segMagic))+recHeaderLen+5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := Open(dir, Options{SegmentBytes: minSegmentBytes}); err == nil {
+		t.Fatal("Open accepted a corrupted sealed segment")
+	} else if !strings.Contains(err.Error(), "sealed segment") {
+		t.Fatalf("unexpected error for sealed-segment corruption: %v", err)
+	}
+}
+
+// TestFailedFsyncUnwinds injects an fsync failure under SyncAlways: Append
+// must report the error, the record must not survive a reopen, and the same
+// epoch must be appendable again (the failed batch was fully unwound).
+func TestFailedFsyncUnwinds(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if err := l.Append(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected fsync failure")
+	l.testSyncErr = func() error { return boom }
+	if err := l.Append(batch(2)); !errors.Is(err, boom) {
+		t.Fatalf("Append with failing fsync: %v (want injected error)", err)
+	}
+	l.testSyncErr = nil
+	if got := l.lastEpoch; got != 1 {
+		t.Fatalf("lastEpoch after failed append = %d, want 1", got)
+	}
+	if err := l.Append(batch(2)); err != nil {
+		t.Fatalf("retrying epoch after unwound failure: %v", err)
+	}
+	l.Close()
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	got := collect(t, l2)
+	if len(got) != 2 || got[0].Epoch != 1 || got[1].Epoch != 2 {
+		t.Fatalf("after failed-fsync unwind, replay = %v", got)
+	}
+}
+
+// TestCheckpointTruncates writes a checkpoint mid-stream and verifies:
+// sealed segments covered by it are deleted, replay yields only the
+// post-checkpoint batches, and CheckpointReader returns the exact payload.
+func TestCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: minSegmentBytes})
+	for i := uint64(1); i <= 40; i++ {
+		ins := make([][2]uint32, 16)
+		for j := range ins {
+			ins[j] = [2]uint32{uint32(j), uint32(j) + uint32(i) + 1}
+		}
+		if err := l.Append(&Batch{Epoch: i, Vertices: 100, Ins: ins}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("pretend this is a binary CSR at epoch 25")
+	if err := l.Checkpoint(25, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if st := l.Stats(); st.CheckpointEpoch != 25 || st.Checkpoints != 1 {
+		t.Fatalf("stats after checkpoint: %+v", st)
+	}
+	// Batches keep flowing after the checkpoint.
+	for i := uint64(41); i <= 45; i++ {
+		if err := l.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2 := mustOpen(t, dir, Options{SegmentBytes: minSegmentBytes})
+	defer l2.Close()
+	if got := l2.CheckpointEpoch(); got != 25 {
+		t.Fatalf("CheckpointEpoch after reopen = %d, want 25", got)
+	}
+	r, err := l2.CheckpointReader()
+	if err != nil {
+		t.Fatalf("CheckpointReader: %v", err)
+	}
+	back, err := io.ReadAll(r)
+	if err != nil || string(back) != string(payload) {
+		t.Fatalf("checkpoint payload round-trip = %q, %v", back, err)
+	}
+	got := collect(t, l2)
+	if len(got) != 20 || got[0].Epoch != 26 || got[len(got)-1].Epoch != 45 {
+		t.Fatalf("replay after checkpoint: %d batches, first %d, last %d (want 20 / 26 / 45)",
+			len(got), got[0].Epoch, got[len(got)-1].Epoch)
+	}
+}
+
+// TestCheckpointCRCCorruption corrupts the checkpoint payload on disk:
+// CheckpointReader must refuse it loudly instead of handing back garbage.
+func TestCheckpointCRCCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(3, func(w io.Writer) error {
+		_, err := w.Write([]byte("snapshot bytes"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := l.ckptPath(3)
+	l.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, int64(len(ckptMagic))+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if _, err := l2.CheckpointReader(); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupted checkpoint payload accepted: %v", err)
+	}
+}
+
+// TestInterruptedCheckpointTmpIgnored leaves a stale .tmp checkpoint file
+// behind (a crash mid-checkpoint, before the rename): Open must delete it
+// and keep using the previous state.
+func TestInterruptedCheckpointTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	for i := uint64(1); i <= 2; i++ {
+		if err := l.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	tmp := filepath.Join(dir, fmt.Sprintf("ckpt-%016x.tmp", uint64(2)))
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := l2.CheckpointEpoch(); got != 0 {
+		t.Fatalf("tmp file treated as checkpoint: epoch %d", got)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale .tmp not removed (err=%v)", err)
+	}
+	if got := collect(t, l2); len(got) != 2 {
+		t.Fatalf("replay = %d batches, want 2", len(got))
+	}
+}
+
+// TestTruncatedCheckpointFallsBack truncates the newest checkpoint file (a
+// crash window the atomic rename should make impossible, but belt and
+// braces): Open must fall back to the older checkpoint.
+func TestTruncatedCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	for i := uint64(1); i <= 4; i++ {
+		if err := l.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(2, func(w io.Writer) error {
+		_, err := w.Write([]byte("epoch two"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Forge a structurally broken newer checkpoint.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("ckpt-%016x", uint64(4))), []byte(ckptMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := l2.CheckpointEpoch(); got != 2 {
+		t.Fatalf("CheckpointEpoch = %d, want fallback to 2", got)
+	}
+	r, err := l2.CheckpointReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := io.ReadAll(r)
+	if string(back) != "epoch two" {
+		t.Fatalf("fallback checkpoint payload = %q", back)
+	}
+}
+
+// TestCheckpointEpochBounds rejects a checkpoint beyond the logged horizon
+// and no-ops one at or before the existing checkpoint.
+func TestCheckpointEpochBounds(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	if err := l.Append(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(9, func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("checkpoint beyond last epoch accepted")
+	}
+	if err := l.Checkpoint(1, func(w io.Writer) error {
+		_, err := w.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := l.Checkpoint(1, func(io.Writer) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("stale checkpoint re-ran (err=%v, called=%v)", err, called)
+	}
+}
+
+// TestSyncPolicies exercises interval and never policies: appends succeed,
+// Sync flushes the dirty tail, and a reopen sees everything synced.
+func TestSyncPolicies(t *testing.T) {
+	t.Run("interval", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{Policy: SyncInterval, Interval: time.Hour})
+		if err := l.Append(batch(1)); err != nil {
+			t.Fatal(err)
+		}
+		if !l.dirty {
+			t.Fatal("interval append should leave the log dirty")
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if l.dirty {
+			t.Fatal("Sync left the log dirty")
+		}
+		l.Close()
+		l2 := mustOpen(t, dir, Options{})
+		defer l2.Close()
+		if got := collect(t, l2); len(got) != 1 {
+			t.Fatalf("replay = %d batches, want 1", len(got))
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{Policy: SyncNever})
+		if err := l.Append(batch(1)); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Fsyncs != 0 {
+			t.Fatalf("SyncNever issued %d fsyncs", st.Fsyncs)
+		}
+		l.Close() // Close flushes the dirty tail
+		l2 := mustOpen(t, dir, Options{})
+		defer l2.Close()
+		if got := collect(t, l2); len(got) != 1 {
+			t.Fatalf("replay = %d batches, want 1", len(got))
+		}
+	})
+}
+
+// TestParseSyncPolicy covers the flag spellings.
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in     string
+		policy SyncPolicy
+		dur    time.Duration
+		err    bool
+	}{
+		{"always", SyncAlways, 0, false},
+		{"", SyncAlways, 0, false},
+		{"never", SyncNever, 0, false},
+		{"250ms", SyncInterval, 250 * time.Millisecond, false},
+		{"2s", SyncInterval, 2 * time.Second, false},
+		{"0s", SyncAlways, 0, true},
+		{"-1s", SyncAlways, 0, true},
+		{"sometimes", SyncAlways, 0, true},
+	}
+	for _, c := range cases {
+		p, d, err := ParseSyncPolicy(c.in)
+		if (err != nil) != c.err || p != c.policy || d != c.dur {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v, %v; want %v, %v, err=%v", c.in, p, d, err, c.policy, c.dur, c.err)
+		}
+	}
+}
+
+// TestClosedLog verifies post-Close operations fail with ErrClosed and that
+// Close is idempotent.
+func TestClosedLog(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(batch(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := l.Checkpoint(1, func(io.Writer) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+}
+
+// TestEmptyDirOpens opens a fresh directory: one empty segment, no
+// checkpoint, empty replay.
+func TestEmptyDirOpens(t *testing.T) {
+	l := mustOpen(t, filepath.Join(t.TempDir(), "sub", "dir"), Options{})
+	defer l.Close()
+	if got := collect(t, l); len(got) != 0 {
+		t.Fatalf("fresh log replayed %d batches", len(got))
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.CheckpointEpoch != 0 || st.LastEpoch != 0 {
+		t.Fatalf("fresh log stats: %+v", st)
+	}
+}
+
+// TestImplausibleLengthTruncated writes garbage that decodes as an absurd
+// record length at the tail: truncated, not believed.
+func TestImplausibleLengthTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if err := l.Append(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, recHeaderLen)
+	binary.LittleEndian.PutUint32(junk, uint32(maxRecordBytes+1))
+	if _, err := f.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 1 {
+		t.Fatalf("replay = %d batches, want 1", len(got))
+	}
+}

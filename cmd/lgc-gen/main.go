@@ -1,10 +1,13 @@
 // Command lgc-gen generates a synthetic graph and writes it to a file in
-// any of the supported formats (.adj Ligra text, .bin binary, edge list).
+// any of the supported formats (.adj Ligra text, .bin binary, .lgz
+// compressed memory-mappable, edge list).
 //
 // Usage:
 //
 //	lgc-gen -gen randlocal:n=10000000,deg=5 -out randlocal.bin
 //	lgc-gen -gen 3D-grid -out grid.adj
+//	lgc-gen -gen soc-LJ -out lj.lgz
+//	lgc-gen -gen soc-LJ -out lj.graph -format lgz
 //	lgc-gen -list
 package main
 
@@ -14,17 +17,18 @@ import (
 	"os"
 	"time"
 
-	"parcluster"
 	"parcluster/internal/gen"
+	"parcluster/internal/graph"
 )
 
 func main() {
 	var (
-		spec  = flag.String("gen", "", "generator spec, e.g. 'randlocal:n=100000,deg=5'")
-		out   = flag.String("out", "", "output path (.adj, .bin, or edge list)")
-		procs = flag.Int("procs", 0, "worker count (0 = all cores)")
-		list  = flag.Bool("list", false, "list known generator recipes and exit")
-		check = flag.Bool("check", false, "validate graph invariants before writing")
+		spec   = flag.String("gen", "", "generator spec, e.g. 'randlocal:n=100000,deg=5'")
+		out    = flag.String("out", "", "output path (.adj, .bin, .lgz, or edge list)")
+		format = flag.String("format", "", "output format: adj, bin, edges, lgz (default: from extension)")
+		procs  = flag.Int("procs", 0, "worker count (0 = all cores)")
+		list   = flag.Bool("list", false, "list known generator recipes and exit")
+		check  = flag.Bool("check", false, "validate graph invariants before writing")
 	)
 	flag.Parse()
 	if *list {
@@ -33,13 +37,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*spec, *out, *procs, *check); err != nil {
+	if err := run(*spec, *out, *format, *procs, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "lgc-gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specStr, out string, procs int, check bool) error {
+func run(specStr, out, format string, procs int, check bool) error {
 	if specStr == "" || out == "" {
 		return fmt.Errorf("both -gen and -out are required (try -list)")
 	}
@@ -60,7 +64,7 @@ func run(specStr, out string, procs int, check bool) error {
 		fmt.Println("validation: ok")
 	}
 	start = time.Now()
-	if err := parcluster.SaveFile(out, g); err != nil {
+	if err := graph.SaveFormat(procs, out, format, g); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s in %v\n", out, time.Since(start))

@@ -76,6 +76,7 @@ import (
 	"time"
 
 	"parcluster/internal/core"
+	"parcluster/internal/graph"
 	"parcluster/internal/sched"
 	"parcluster/internal/service"
 	"parcluster/internal/wal"
@@ -104,6 +105,7 @@ type serveConfig struct {
 	pprofAddr       string
 	traceRing       int
 	logRequests     bool
+	graphFormat     string
 	graphs, gens    []string
 }
 
@@ -131,6 +133,7 @@ func main() {
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "finished-trace ring capacity behind /v1/trace (0 = 256, negative = disable tracing)")
 	flag.BoolVar(&cfg.logRequests, "log-requests", false, "log every request, not just slow and failed ones")
 	var graphs, gens multiFlag
+	flag.StringVar(&cfg.graphFormat, "graph-format", "", "on-disk format of -graph files: auto, adj, bin, edges, lgz (default: from extension)")
 	flag.Var(&graphs, "graph", "register a graph file as name=path (repeatable)")
 	flag.Var(&gens, "gen", "register a generator spec as name=spec (repeatable)")
 	flag.Parse()
@@ -211,7 +214,7 @@ func run(cfg serveConfig) error {
 		if !ok {
 			return fmt.Errorf("-graph %q: want name=path", spec)
 		}
-		reg.RegisterFile(name, path)
+		reg.RegisterFileFormat(name, path, cfg.graphFormat)
 	}
 	for _, spec := range gens {
 		name, genSpec, ok := strings.Cut(spec, "=")
@@ -257,7 +260,8 @@ func run(cfg serveConfig) error {
 			if err != nil {
 				return fmt.Errorf("preload %q: %w", name, err)
 			}
-			log.Printf("preloaded %q: n=%d m=%d in %v", name, g.NumVertices(), g.NumEdges(), time.Since(start))
+			log.Printf("preloaded %q: n=%d m=%d format=%s in %v",
+				name, g.NumVertices(), g.NumEdges(), graph.Format(g), time.Since(start))
 		}
 	}
 

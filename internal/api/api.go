@@ -172,6 +172,20 @@ type GraphInfo struct {
 	// Pending is the number of ingested delta records not yet folded into
 	// the base CSR by the compactor.
 	Pending int `json:"pending,omitempty"`
+	// Format is the base graph's in-memory representation: "csr" for the
+	// heap CSR, "lgz" for the compressed memory-mapped CSR. Empty until the
+	// graph loads.
+	Format string `json:"format,omitempty"`
+	// LoadMS is how long materializing the graph took (source read or
+	// generation, WAL checkpoint + replay included), in milliseconds.
+	LoadMS int64 `json:"load_ms,omitempty"`
+	// MappedBytes is the size of the memory-mapped .lgz image backing the
+	// graph, or 0 for heap representations.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// ResidentHint estimates how many of MappedBytes are currently resident
+	// in the page cache (Linux mincore); -1 when the probe is unavailable,
+	// omitted for heap graphs. A warmup hint for operators, nothing more.
+	ResidentHint int64 `json:"resident_hint,omitempty"`
 }
 
 // IngestRequest is a batch of live edge mutations for one registered graph
@@ -478,4 +492,7 @@ type EngineStats struct {
 	Sched         SchedStats         `json:"sched"`
 	AvgLatencyMS  float64            `json:"avg_latency_ms"`
 	ProcBudget    int                `json:"proc_budget"`
+	// Graphs lists every registered graph with per-graph load timing and,
+	// for memory-mapped graphs, format and residency details.
+	Graphs []GraphInfo `json:"graphs,omitempty"`
 }

@@ -86,7 +86,7 @@ var prNibbleBatchResidualSink func(lane int, r *sparse.Map)
 // active-lanes mask, the ID-sorted union frontier, and per-lane frontier
 // size/volume tallies maintained by the filter pass.
 type laneBatch struct {
-	g     *graph.CSR
+	g     graph.Graph
 	procs int
 	mode  FrontierMode
 	units []BatchUnit
@@ -106,7 +106,7 @@ type laneBatch struct {
 	vecs  []*sparse.Map
 }
 
-func newLaneBatch(g *graph.CSR, procs int, mode FrontierMode, units []BatchUnit, bw *workspace.BatchWorkspace) *laneBatch {
+func newLaneBatch(g graph.Graph, procs int, mode FrontierMode, units []BatchUnit, bw *workspace.BatchWorkspace) *laneBatch {
 	return &laneBatch{
 		g:          g,
 		procs:      procs,
@@ -307,7 +307,7 @@ func vecFromLane(bank *sparse.Lanes, lane int, res *workspace.Result) *sparse.Ma
 // PRNibbleRun (bit-identical to FrontierDense; see the file comment). The
 // β-fraction variant is not batchable — callers wanting beta < 1 must fan
 // out. Panics if len(units) > MaxBatchLanes.
-func PRNibbleBatch(g *graph.CSR, units []BatchUnit, alpha, eps float64, rule PushRule, cfg BatchConfig) ([]*sparse.Map, []Stats) {
+func PRNibbleBatch(g graph.Graph, units []BatchUnit, alpha, eps float64, rule PushRule, cfg BatchConfig) ([]*sparse.Map, []Stats) {
 	if len(units) == 0 {
 		return nil, nil
 	}
@@ -440,7 +440,7 @@ func PRNibbleBatch(g *graph.CSR, units []BatchUnit, alpha, eps float64, rule Pus
 // NibbleRun, including the Figure 3 early-stop semantics (a lane whose
 // filter empties at step t returns its p_{t-1}). Panics if
 // len(units) > MaxBatchLanes.
-func NibbleBatch(g *graph.CSR, units []BatchUnit, eps float64, T int, cfg BatchConfig) ([]*sparse.Map, []Stats) {
+func NibbleBatch(g graph.Graph, units []BatchUnit, eps float64, T int, cfg BatchConfig) ([]*sparse.Map, []Stats) {
 	if len(units) == 0 {
 		return nil, nil
 	}

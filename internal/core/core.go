@@ -54,7 +54,7 @@ func (s Stats) String() string {
 
 // checkSeed panics with a descriptive error if the seed vertex is out of
 // range; diffusing from a nonexistent vertex is always a programming error.
-func checkSeed(g *graph.CSR, seed uint32) {
+func checkSeed(g graph.Graph, seed uint32) {
 	if int(seed) >= g.NumVertices() {
 		panic(fmt.Sprintf("core: seed vertex %d out of range [0,%d)", seed, g.NumVertices()))
 	}
@@ -64,7 +64,7 @@ func checkSeed(g *graph.CSR, seed uint32) {
 // algorithms extend to seed sets with multiple vertices), removing
 // duplicates while preserving order. It panics on an empty set or an
 // out-of-range vertex.
-func normalizeSeeds(g *graph.CSR, seeds []uint32) []uint32 {
+func normalizeSeeds(g graph.Graph, seeds []uint32) []uint32 {
 	if len(seeds) == 0 {
 		panic("core: empty seed set")
 	}

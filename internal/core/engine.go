@@ -235,7 +235,7 @@ func (v *vec) reserve(extra int) {
 // vertex-indexed share array, the frontier bitmap, the filter ID buffer) is
 // borrowed lazily — a run that never goes dense never pays for any of it.
 type frontierEngine struct {
-	g         *graph.CSR
+	g         graph.Graph
 	procs     int
 	mode      FrontierMode
 	st        *Stats
@@ -247,7 +247,7 @@ type frontierEngine struct {
 	wentDense bool      // some round took the dense path (filter-buffer policy)
 }
 
-func newFrontierEngine(g *graph.CSR, procs int, mode FrontierMode, st *Stats, ws *workspace.Workspace, obs Observer) *frontierEngine {
+func newFrontierEngine(g graph.Graph, procs int, mode FrontierMode, st *Stats, ws *workspace.Workspace, obs Observer) *frontierEngine {
 	return &frontierEngine{g: g, procs: procs, mode: mode, st: st, ws: ws, obs: obs}
 }
 

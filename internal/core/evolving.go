@@ -91,15 +91,17 @@ type EvolvingSetResult struct {
 
 // esWalkStep advances the coupled lazy random walk: stay with probability
 // 1/2, otherwise move to a uniform neighbor (an isolated vertex stays put).
-func esWalkStep(g *graph.CSR, x uint32, r *rng.RNG) uint32 {
+func esWalkStep(g graph.Graph, x uint32, r *rng.RNG) uint32 {
 	if r.Bool() {
 		return x
 	}
-	ns := g.Neighbors(x)
-	if len(ns) == 0 {
+	d := int(g.Degree(x))
+	if d == 0 {
 		return x
 	}
-	return ns[r.Intn(len(ns))]
+	// NeighborAt decodes at most one sub-block on a compressed graph —
+	// the walk touches one edge, not the whole adjacency list.
+	return g.NeighborAt(x, uint32(r.Intn(d)))
 }
 
 // esThreshold draws U uniformly in (0, qx] (capped at 1/2 in grow-only
@@ -114,7 +116,7 @@ func esThreshold(r *rng.RNG, qx float64, growOnly bool) float64 {
 }
 
 // EvolvingSetSeq is the sequential evolving set process.
-func EvolvingSetSeq(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (EvolvingSetResult, Stats) {
+func EvolvingSetSeq(g graph.Graph, seed uint32, opts EvolvingSetOptions) (EvolvingSetResult, Stats) {
 	checkSeed(g, seed)
 	opts.defaults()
 	var st Stats
@@ -128,9 +130,12 @@ func EvolvingSetSeq(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 		// Count S-neighbors for S and its boundary.
 		counts := map[uint32]uint32{}
 		var vol uint64
+		var adj []uint32
 		for v := range inS {
 			vol += uint64(g.Degree(v))
-			for _, w := range g.Neighbors(v) {
+			ns := g.NeighborsInto(adj, v)
+			adj = ns
+			for _, w := range ns {
 				counts[w]++
 			}
 		}
@@ -193,7 +198,7 @@ func EvolvingSetSeq(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 // frontier engine, which auto-selects the sparse or dense traversal per
 // step), and the membership filter is a vertexFilter over S and its touched
 // boundary.
-func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (EvolvingSetResult, Stats) {
+func EvolvingSetPar(g graph.Graph, seed uint32, opts EvolvingSetOptions) (EvolvingSetResult, Stats) {
 	checkSeed(g, seed)
 	opts.defaults()
 	procs := parallel.ResolveProcs(opts.Procs)
@@ -211,7 +216,7 @@ func EvolvingSetPar(g *graph.CSR, seed uint32, opts EvolvingSetOptions) (Evolvin
 
 // evolvingSetSteps is the evolution loop proper, run entirely against
 // scratch state borrowed from ws.
-func evolvingSetSteps(g *graph.CSR, seed uint32, opts EvolvingSetOptions, procs int, ws *workspace.Workspace) (EvolvingSetResult, Stats) {
+func evolvingSetSteps(g graph.Graph, seed uint32, opts EvolvingSetOptions, procs int, ws *workspace.Workspace) (EvolvingSetResult, Stats) {
 	var st Stats
 	r := rng.New(opts.Seed)
 	n := g.NumVertices()
@@ -286,7 +291,7 @@ func evolvingSetSteps(g *graph.CSR, seed uint32, opts EvolvingSetOptions, procs 
 
 // bestTracker keeps the lowest-conductance set seen so far.
 type bestTracker struct {
-	g       *graph.CSR
+	g       graph.Graph
 	set     []uint32
 	phi     float64
 	vol     uint64

@@ -55,14 +55,14 @@ func hkKey(v uint32, j int) uint64 { return uint64(j)<<32 | uint64(v) }
 
 // HKPRSeq is the sequential HK-PR implementation: a FIFO queue of (v, j)
 // entries processed exactly as in [24]. Work: O(N^2 + N e^t / eps).
-func HKPRSeq(g *graph.CSR, seed uint32, t float64, N int, eps float64) (*sparse.Map, Stats) {
+func HKPRSeq(g graph.Graph, seed uint32, t float64, N int, eps float64) (*sparse.Map, Stats) {
 	return HKPRSeqFrom(g, []uint32{seed}, t, N, eps)
 }
 
 // HKPRSeqFrom is HKPRSeq with a multi-vertex seed set (footnote 5 of the
 // paper): the unit of level-0 residual is split evenly over the seeds, all
 // of which are enqueued.
-func HKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64) (*sparse.Map, Stats) {
+func HKPRSeqFrom(g graph.Graph, seeds []uint32, t float64, N int, eps float64) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	if N < 1 {
 		N = 1
@@ -83,13 +83,15 @@ func HKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64) (*
 		queue = append(queue, entry{s, 0})
 		queued[hkKey(s, 0)] = true
 	}
+	var adj []uint32
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
 		v, j := e.v, e.j
 		rvj := r[hkKey(v, j)]
 		p.Add(v, rvj)
-		ns := g.Neighbors(v)
+		ns := g.NeighborsInto(adj, v)
+		adj = ns
 		d := float64(len(ns))
 		st.Pushes++
 		st.Iterations++
@@ -125,7 +127,7 @@ func HKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64) (*
 // Note: Figure 7's listing guards the normal rounds with "if j + 1 == N";
 // per the surrounding text the condition must select the *last* round, and
 // this implementation follows the text.
-func HKPRPar(g *graph.CSR, seed uint32, t float64, N int, eps float64, procs int) (*sparse.Map, Stats) {
+func HKPRPar(g graph.Graph, seed uint32, t float64, N int, eps float64, procs int) (*sparse.Map, Stats) {
 	return HKPRParFrom(g, []uint32{seed}, t, N, eps, procs, FrontierAuto)
 }
 
@@ -134,14 +136,14 @@ func HKPRPar(g *graph.CSR, seed uint32, t float64, N int, eps float64, procs int
 // (engine.go): each level is one engine round pushing tOverJ-scaled shares
 // into the next level's residual table, with the r/r' double buffer
 // swapped between rounds.
-func HKPRParFrom(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode) (*sparse.Map, Stats) {
+func HKPRParFrom(g graph.Graph, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode) (*sparse.Map, Stats) {
 	return HKPRRun(g, seeds, t, N, eps, RunConfig{Procs: procs, Frontier: mode})
 }
 
 // HKPRRun is HKPRParFrom with a RunConfig, the entry point that can
 // additionally borrow all graph-sized scratch state from a workspace pool.
 // Results are bit-identical with and without a pool.
-func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg RunConfig) (*sparse.Map, Stats) {
+func HKPRRun(g graph.Graph, seeds []uint32, t float64, N int, eps float64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
@@ -154,7 +156,7 @@ func HKPRRun(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, cfg Ru
 // hkprRelax is the level-synchronous coordinate-relaxation loop proper,
 // run entirely against scratch state borrowed from ws; the result is
 // snapshotted into res when one is configured.
-func hkprRelax(g *graph.CSR, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
+func hkprRelax(g graph.Graph, seeds []uint32, t float64, N int, eps float64, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	if N < 1 {
 		N = 1
 	}

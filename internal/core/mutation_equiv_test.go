@@ -103,16 +103,16 @@ func (m *mutationTracker) rebuild() *graph.CSR {
 func TestPropertyOverlayMatchesRebuild(t *testing.T) {
 	type kernel struct {
 		name string
-		run  func(g *graph.CSR, seed uint32, cfg RunConfig) (*sparse.Map, Stats)
+		run  func(g graph.Graph, seed uint32, cfg RunConfig) (*sparse.Map, Stats)
 	}
 	kernels := []kernel{
-		{"prnibble", func(g *graph.CSR, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
+		{"prnibble", func(g graph.Graph, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
 			return PRNibbleRun(g, []uint32{seed}, 0.05, 1e-6, OptimizedRule, 1, cfg)
 		}},
-		{"nibble", func(g *graph.CSR, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
+		{"nibble", func(g graph.Graph, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
 			return NibbleRun(g, []uint32{seed}, 1e-7, 12, cfg)
 		}},
-		{"hkpr", func(g *graph.CSR, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
+		{"hkpr", func(g graph.Graph, seed uint32, cfg RunConfig) (*sparse.Map, Stats) {
 			return HKPRRun(g, []uint32{seed}, 10, 12, 1e-6, cfg)
 		}},
 	}
@@ -135,7 +135,7 @@ func TestPropertyOverlayMatchesRebuild(t *testing.T) {
 				snap := m.vg.Snapshot()
 				overlay := snap.Graph()
 				rebuilt := m.rebuild()
-				if err := overlay.Validate(); err != nil {
+				if err := overlay.(*graph.CSR).Validate(); err != nil {
 					t.Fatalf("checkpoint %d: snapshot invalid: %v", checkpoint, err)
 				}
 				seed := firstSeed(t, rebuilt)

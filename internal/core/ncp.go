@@ -71,7 +71,7 @@ type NCPPoint struct {
 // NCP computes the network community profile of g. The returned points are
 // sorted by size and form the raw scatter; LowerEnvelope turns them into
 // the monotone staircase usually plotted.
-func NCP(g *graph.CSR, opts NCPOptions) []NCPPoint {
+func NCP(g graph.Graph, opts NCPOptions) []NCPPoint {
 	opts.defaults()
 	n := g.NumVertices()
 	if n == 0 {

@@ -22,13 +22,13 @@ import (
 // truncation). Theorem 2: O(T/eps) work and O(T log(1/eps)) depth.
 
 // NibbleSeq is the sequential Nibble implementation.
-func NibbleSeq(g *graph.CSR, seed uint32, eps float64, T int) (*sparse.Map, Stats) {
+func NibbleSeq(g graph.Graph, seed uint32, eps float64, T int) (*sparse.Map, Stats) {
 	return NibbleSeqFrom(g, []uint32{seed}, eps, T)
 }
 
 // NibbleSeqFrom is NibbleSeq with a multi-vertex seed set (footnote 5 of
 // the paper): the initial unit of mass is split evenly over the seeds.
-func NibbleSeqFrom(g *graph.CSR, seeds []uint32, eps float64, T int) (*sparse.Map, Stats) {
+func NibbleSeqFrom(g graph.Graph, seeds []uint32, eps float64, T int) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	var st Stats
 	p := sparse.NewMap(len(seeds))
@@ -41,12 +41,14 @@ func NibbleSeqFrom(g *graph.CSR, seeds []uint32, eps float64, T int) (*sparse.Ma
 	// sub-threshold (the filter then empties the frontier and p_0 is
 	// returned).
 	frontier := append([]uint32(nil), seeds...)
+	var adj []uint32
 	for t := 1; t <= T; t++ {
 		next := sparse.NewMap(len(frontier))
 		for _, v := range frontier {
 			pv := p.Get(v)
 			next.Add(v, pv/2)
-			ns := g.Neighbors(v)
+			ns := g.NeighborsInto(adj, v)
+			adj = ns
 			share := pv / (2 * float64(len(ns)))
 			for _, w := range ns {
 				next.Add(w, share)
@@ -73,7 +75,7 @@ func NibbleSeqFrom(g *graph.CSR, seeds []uint32, eps float64, T int) (*sparse.Ma
 // sends half of each frontier vertex's mass to itself, an edgeMap spreads
 // the rest with fetch-and-add, and a filter over the touched vertices forms
 // the next frontier.
-func NibblePar(g *graph.CSR, seed uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
+func NibblePar(g graph.Graph, seed uint32, eps float64, T, procs int) (*sparse.Map, Stats) {
 	return NibbleParFrom(g, []uint32{seed}, eps, T, procs, FrontierAuto)
 }
 
@@ -84,14 +86,14 @@ func NibblePar(g *graph.CSR, seed uint32, eps float64, T, procs int) (*sparse.Ma
 // next vector is a frontier vertex or one of its neighbors), the
 // per-source share hoisting, the sparse/dense edge traversal, and the
 // threshold filter — lives in the shared frontier engine (engine.go).
-func NibbleParFrom(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode) (*sparse.Map, Stats) {
+func NibbleParFrom(g graph.Graph, seeds []uint32, eps float64, T, procs int, mode FrontierMode) (*sparse.Map, Stats) {
 	return NibbleRun(g, seeds, eps, T, RunConfig{Procs: procs, Frontier: mode})
 }
 
 // NibbleRun is NibbleParFrom with a RunConfig, the entry point that can
 // additionally borrow all graph-sized scratch state from a workspace pool.
 // Results are bit-identical with and without a pool.
-func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) (*sparse.Map, Stats) {
+func NibbleRun(g graph.Graph, seeds []uint32, eps float64, T int, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
@@ -104,7 +106,7 @@ func NibbleRun(g *graph.CSR, seeds []uint32, eps float64, T int, cfg RunConfig) 
 // nibbleWalk is the truncated-walk loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func nibbleWalk(g *graph.CSR, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
+func nibbleWalk(g graph.Graph, seeds []uint32, eps float64, T, procs int, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	var st Stats
 	n := g.NumVertices()
 	p := newVec(n, mode, len(seeds), ws)

@@ -54,13 +54,13 @@ func (r PushRule) coefficients(alpha float64) (pGain, edgeShare, selfKeep float6
 // As in [2], vertices with r(v) >= eps*d(v) wait in a FIFO queue; a popped
 // vertex is pushed repeatedly until it falls below threshold (a single push
 // suffices under the optimized rule, which zeroes the residual).
-func PRNibbleSeq(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
+func PRNibbleSeq(g graph.Graph, seed uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
 	return PRNibbleSeqFrom(g, []uint32{seed}, alpha, eps, rule)
 }
 
 // PRNibbleSeqFrom is PRNibbleSeq with a multi-vertex seed set (footnote 5
 // of the paper): the initial residual is split evenly over the seeds.
-func PRNibbleSeqFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
+func PRNibbleSeqFrom(g graph.Graph, seeds []uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	var st Stats
 	pGain, edgeShare, selfKeep := rule.coefficients(alpha)
@@ -79,11 +79,13 @@ func PRNibbleSeqFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule Push
 			inQueue.Set(s, 1)
 		}
 	}
+	var adj []uint32
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue.Delete(v)
-		ns := g.Neighbors(v)
+		ns := g.NeighborsInto(adj, v)
+		adj = ns
 		d := float64(len(ns))
 		for above(v) {
 			rv := r.Get(v)
@@ -137,7 +139,7 @@ func (h *residHeap) Pop() any {
 // identical to PRNibbleSeq but popping the queued vertex with the highest
 // r(v)/d(v) at insertion time. The paper found it "did not help much in
 // practice"; it is kept for the corresponding ablation benchmark.
-func PRNibbleSeqPQ(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
+func PRNibbleSeqPQ(g graph.Graph, seed uint32, alpha, eps float64, rule PushRule) (*sparse.Map, Stats) {
 	checkSeed(g, seed)
 	var st Stats
 	pGain, edgeShare, selfKeep := rule.coefficients(alpha)
@@ -151,10 +153,12 @@ func PRNibbleSeqPQ(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule)
 		heap.Push(h, [2]float64{float64(seed), 1 / float64(g.Degree(seed))})
 		inQueue.Set(seed, 1)
 	}
+	var adj []uint32
 	for h.Len() > 0 {
 		v := heap.Pop(h).(uint32)
 		inQueue.Delete(v)
-		ns := g.Neighbors(v)
+		ns := g.NeighborsInto(adj, v)
+		adj = ns
 		d := float64(len(ns))
 		for above(v) {
 			rv := r.Get(v)

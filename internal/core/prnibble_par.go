@@ -33,7 +33,7 @@ import (
 // beta in (0, 1] selects the β-fraction variant from the end of §3.3: each
 // iteration processes only the top β-fraction of above-threshold vertices
 // by r(v)/d(v) (beta = 1 processes all of them, the Figure 5/6 algorithm).
-func PRNibblePar(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
+func PRNibblePar(g graph.Graph, seed uint32, alpha, eps float64, rule PushRule, procs int, beta float64) (*sparse.Map, Stats) {
 	return PRNibbleParFrom(g, []uint32{seed}, alpha, eps, rule, procs, beta, FrontierAuto)
 }
 
@@ -42,14 +42,14 @@ func PRNibblePar(g *graph.CSR, seed uint32, alpha, eps float64, rule PushRule, p
 // increase the frontier sizes at each iteration, and with them the
 // available parallelism — exactly the regime where the dense frontier
 // representation pays off.
-func PRNibbleParFrom(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode) (*sparse.Map, Stats) {
+func PRNibbleParFrom(g graph.Graph, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode) (*sparse.Map, Stats) {
 	return PRNibbleRun(g, seeds, alpha, eps, rule, beta, RunConfig{Procs: procs, Frontier: mode})
 }
 
 // PRNibbleRun is PRNibbleParFrom with a RunConfig, the entry point that can
 // additionally borrow all graph-sized scratch state from a workspace pool.
 // Results are bit-identical with and without a pool.
-func PRNibbleRun(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, beta float64, cfg RunConfig) (*sparse.Map, Stats) {
+func PRNibbleRun(g graph.Graph, seeds []uint32, alpha, eps float64, rule PushRule, beta float64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	ws := acquireWorkspace(cfg.Workspace, g.NumVertices())
@@ -69,7 +69,7 @@ var prNibbleResidualSink func(*sparse.Map)
 // prNibblePush is the PR-Nibble push loop proper, run entirely against
 // scratch state borrowed from ws; the result is snapshotted into res when
 // one is configured.
-func prNibblePush(g *graph.CSR, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
+func prNibblePush(g graph.Graph, seeds []uint32, alpha, eps float64, rule PushRule, procs int, beta float64, mode FrontierMode, ws *workspace.Workspace, res *workspace.Result, cancel <-chan struct{}, obs Observer) (*sparse.Map, Stats) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}

@@ -28,14 +28,16 @@ import (
 
 // walkFrom runs one random walk of sampled length from start and returns
 // its final vertex. A walk stopping at an isolated vertex stays there.
-func walkFrom(g *graph.CSR, start uint32, length int, r *rng.RNG) uint32 {
+func walkFrom(g graph.Graph, start uint32, length int, r *rng.RNG) uint32 {
 	v := start
 	for step := 0; step < length; step++ {
-		ns := g.Neighbors(v)
-		if len(ns) == 0 {
+		d := int(g.Degree(v))
+		if d == 0 {
 			break
 		}
-		v = ns[r.Intn(len(ns))]
+		// One edge per step: NeighborAt decodes at most one sub-block on a
+		// compressed graph instead of the walk vertex's whole list.
+		v = g.NeighborAt(v, uint32(r.Intn(d)))
 	}
 	return v
 }
@@ -43,14 +45,14 @@ func walkFrom(g *graph.CSR, start uint32, length int, r *rng.RNG) uint32 {
 // RandHKPRSeq is the sequential rand-HK-PR: N walks one after another,
 // counting final vertices in a sparse map. The returned vector is the
 // empirical distribution (1/N) * counts.
-func RandHKPRSeq(g *graph.CSR, seed uint32, t float64, K, N int, walkSeed uint64) (*sparse.Map, Stats) {
+func RandHKPRSeq(g graph.Graph, seed uint32, t float64, K, N int, walkSeed uint64) (*sparse.Map, Stats) {
 	return RandHKPRSeqFrom(g, []uint32{seed}, t, K, N, walkSeed)
 }
 
 // RandHKPRSeqFrom is RandHKPRSeq with a multi-vertex seed set: each walk
 // starts from a uniformly drawn seed (the seed distribution of [10] with
 // uniform mass over the set).
-func RandHKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64) (*sparse.Map, Stats) {
+func RandHKPRSeqFrom(g graph.Graph, seeds []uint32, t float64, K, N int, walkSeed uint64) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	var st Stats
 	tp := rng.NewTruncPoisson(t, K)
@@ -77,14 +79,14 @@ func RandHKPRSeqFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed
 // mapped to dense IDs with a concurrent hash table, integer-sorted with the
 // parallel radix sort, and counted by detecting run boundaries with filter
 // over the sorted array — no contended atomics anywhere on the hot path.
-func RandHKPRPar(g *graph.CSR, seed uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
+func RandHKPRPar(g graph.Graph, seed uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
 	return RandHKPRParFrom(g, []uint32{seed}, t, K, N, walkSeed, procs)
 }
 
 // RandHKPRParFrom is RandHKPRPar with a multi-vertex seed set. Walk i draws
 // its start from stream Split(walkSeed, i) exactly as the sequential
 // version does, so the bit-identical-output guarantee extends to seed sets.
-func RandHKPRParFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
+func RandHKPRParFrom(g graph.Graph, seeds []uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
 	return RandHKPRRun(g, seeds, t, K, N, walkSeed, RunConfig{Procs: procs})
 }
 
@@ -95,7 +97,7 @@ func RandHKPRParFrom(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed
 // RunConfig.Result for the ownership contract). Cancellation is observed
 // every 256 walks per worker; a cancelled run returns a truncated (not
 // renormalized) distribution that callers must discard.
-func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uint64, cfg RunConfig) (*sparse.Map, Stats) {
+func RandHKPRRun(g graph.Graph, seeds []uint32, t float64, K, N int, walkSeed uint64, cfg RunConfig) (*sparse.Map, Stats) {
 	seeds = normalizeSeeds(g, seeds)
 	procs := parallel.ResolveProcs(cfg.Procs)
 	var st Stats
@@ -168,7 +170,7 @@ func RandHKPRRun(g *graph.CSR, seeds []uint32, t float64, K, N int, walkSeed uin
 // "led to poor speed up since many random walks end up on the same vertex
 // causing high memory contention"; it is retained to reproduce that
 // comparison (ablation A1 in DESIGN.md).
-func RandHKPRParContended(g *graph.CSR, seed uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
+func RandHKPRParContended(g graph.Graph, seed uint32, t float64, K, N int, walkSeed uint64, procs int) (*sparse.Map, Stats) {
 	checkSeed(g, seed)
 	procs = parallel.ResolveProcs(procs)
 	var st Stats

@@ -61,7 +61,7 @@ type SweepResult struct {
 // array — and, when the parallel merge sort runs, its merge scratch — is
 // borrowed from res when one is configured, so the pooled sweep's sort
 // allocates nothing (the last per-call sweep allocation, DESIGN.md §7).
-func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map, res *workspace.Result) []uint32 {
+func sweepOrder(procs int, g graph.Graph, vec *sparse.Map, res *workspace.Result) []uint32 {
 	var order []uint32
 	if res != nil {
 		order = res.Uint32s(vec.Len())[:0]
@@ -97,7 +97,7 @@ func sweepOrder(procs int, g *graph.CSR, vec *sparse.Map, res *workspace.Result)
 func emptySweep() SweepResult { return SweepResult{Conductance: 1} }
 
 // SweepCutSeq is the sequential sweep cut.
-func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
+func SweepCutSeq(g graph.Graph, vec *sparse.Map) SweepResult {
 	return SweepCutSeqInto(g, vec, nil)
 }
 
@@ -106,7 +106,7 @@ func SweepCutSeq(g *graph.CSR, vec *sparse.Map) SweepResult {
 // (nil = allocate fresh, exactly SweepCutSeq). The returned slices then
 // alias the arena and are valid until it is Reset or Released; results are
 // bit-identical with and without an arena.
-func SweepCutSeqInto(g *graph.CSR, vec *sparse.Map, res *workspace.Result) SweepResult {
+func SweepCutSeqInto(g graph.Graph, vec *sparse.Map, res *workspace.Result) SweepResult {
 	order := sweepOrder(1, g, vec, res)
 	N := len(order)
 	if N == 0 {
@@ -130,9 +130,12 @@ func SweepCutSeqInto(g *graph.CSR, vec *sparse.Map, res *workspace.Result) Sweep
 	var cut int64
 	best, bestPhi := 0, math.Inf(1)
 	var bestVol, bestCut uint64
+	var adj []uint32
 	for i, v := range order {
 		vol += uint64(g.Degree(v))
-		for _, w := range g.Neighbors(v) {
+		ns := g.NeighborsInto(adj, v)
+		adj = ns
+		for _, w := range ns {
 			if rw := int(rank.Get(w)) - 1; rw >= 0 && rw < i {
 				cut-- // edge became internal
 			} else {
@@ -152,7 +155,7 @@ func SweepCutSeqInto(g *graph.CSR, vec *sparse.Map, res *workspace.Result) Sweep
 // SweepCutPar is the default work-efficient parallel sweep cut: crossing
 // counts per rank are obtained by accumulating +1/-1 contributions of every
 // edge with fetch-and-add into a rank-indexed array, then prefix-summing.
-func SweepCutPar(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
+func SweepCutPar(g graph.Graph, vec *sparse.Map, procs int) SweepResult {
 	return SweepCutParInto(g, vec, procs, nil)
 }
 
@@ -163,7 +166,7 @@ func SweepCutPar(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 // Order and PrefixConductance slices then alias the arena and are valid
 // until it is Reset or Released; results are bit-identical with and without
 // an arena.
-func SweepCutParInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
+func SweepCutParInto(g graph.Graph, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
 	procs = parallel.ResolveProcs(procs)
 	order := sweepOrder(procs, g, vec, res)
 	N := len(order)
@@ -251,16 +254,19 @@ type SweepZPair struct {
 // (-1, rank w) when rank w > rank v (case a), else (0, rank v), (0, rank w)
 // (case b). The §3.1 worked example is this construction on the Figure 1
 // graph, and the tests compare against it verbatim.
-func BuildSweepZ(g *graph.CSR, order []uint32) []SweepZPair {
+func BuildSweepZ(g graph.Graph, order []uint32) []SweepZPair {
 	N := len(order)
 	rank := make(map[uint32]int, N)
 	for i, v := range order {
 		rank[v] = i + 1
 	}
 	var z []SweepZPair
+	var adj []uint32
 	for _, v := range order {
 		rv := rank[v]
-		for _, w := range g.Neighbors(v) {
+		ns := g.NeighborsInto(adj, v)
+		adj = ns
+		for _, w := range ns {
 			rw, ok := rank[w]
 			if !ok {
 				rw = N + 1
@@ -279,7 +285,7 @@ func BuildSweepZ(g *graph.CSR, order []uint32) []SweepZPair {
 // Z (two pairs per directed edge of the support), integer-sorts it by rank
 // with the parallel radix sort, prefix-sums the pair values, and reads the
 // per-rank crossing count off the last pair of each rank group.
-func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
+func SweepCutParSort(g graph.Graph, vec *sparse.Map, procs int) SweepResult {
 	return SweepCutParSortInto(g, vec, procs, nil)
 }
 
@@ -290,7 +296,7 @@ func SweepCutParSort(g *graph.CSR, vec *sparse.Map, procs int) SweepResult {
 // that Z is volume-sized (two pairs per support edge), so the arena's
 // uint64 slab grows to the sweep's edge volume and stays that size for
 // recycling; results are bit-identical with and without an arena.
-func SweepCutParSortInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
+func SweepCutParSortInto(g graph.Graph, vec *sparse.Map, procs int, res *workspace.Result) SweepResult {
 	procs = parallel.ResolveProcs(procs)
 	order := sweepOrder(procs, g, vec, res)
 	N := len(order)
@@ -314,23 +320,28 @@ func SweepCutParSortInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspac
 	// Pack each pair into a uint64: rank in the low 32 bits (the radix sort
 	// key), value+1 in bits 32..33 riding along.
 	z := resUint64s(res, int(zlen))
-	parallel.For(procs, N, 16, func(i int) {
-		v := order[i]
-		rv := uint64(i + 1)
-		o := offs[i]
-		for _, w := range g.Neighbors(v) {
-			rw := uint64(rank.Get(w)) // 0 when absent
-			if rw == 0 {
-				rw = uint64(N + 1)
+	parallel.ForRange(procs, N, 16, func(lo, hi int) {
+		var adj []uint32
+		for i := lo; i < hi; i++ {
+			v := order[i]
+			rv := uint64(i + 1)
+			o := offs[i]
+			ns := g.NeighborsInto(adj, v)
+			adj = ns
+			for _, w := range ns {
+				rw := uint64(rank.Get(w)) // 0 when absent
+				if rw == 0 {
+					rw = uint64(N + 1)
+				}
+				if rw > rv {
+					z[o] = rv | (2 << 32)   // (+1, rv)
+					z[o+1] = rw | (0 << 32) // (-1, rw)
+				} else {
+					z[o] = rv | (1 << 32)   // (0, rv)
+					z[o+1] = rw | (1 << 32) // (0, rw)
+				}
+				o += 2
 			}
-			if rw > rv {
-				z[o] = rv | (2 << 32)   // (+1, rv)
-				z[o+1] = rw | (0 << 32) // (-1, rw)
-			} else {
-				z[o] = rv | (1 << 32)   // (0, rv)
-				z[o+1] = rw | (1 << 32) // (0, rw)
-			}
-			o += 2
 		}
 	})
 	parallel.RadixSortUint64Scratch(procs, z, resUint64s(res, int(zlen)), parallel.KeyBitsFor(uint64(N+1)))
@@ -370,7 +381,7 @@ func SweepCutParSortInto(g *graph.CSR, vec *sparse.Map, procs int, res *workspac
 // sweepFromCuts computes prefix volumes and conductances from per-prefix
 // crossing counts, selects the minimum, and assembles the result; the
 // prefix arrays are borrowed from res when one is configured.
-func sweepFromCuts(g *graph.CSR, order []uint32, cuts []int64, procs int, res *workspace.Result) SweepResult {
+func sweepFromCuts(g graph.Graph, order []uint32, cuts []int64, procs int, res *workspace.Result) SweepResult {
 	N := len(order)
 	degs := resUint64s(res, N)
 	parallel.For(procs, N, 0, func(i int) { degs[i] = uint64(g.Degree(order[i])) })
@@ -401,7 +412,7 @@ func finishSweep(order []uint32, prefix []float64, best int, vol, cut uint64) Sw
 // SortPairsByScore is a convenience for tests and tools: it returns the
 // support of vec sorted by the sweep order along with the normalized
 // scores.
-func SortPairsByScore(g *graph.CSR, vec *sparse.Map) ([]uint32, []float64) {
+func SortPairsByScore(g graph.Graph, vec *sparse.Map) ([]uint32, []float64) {
 	order := sweepOrder(1, g, vec, nil)
 	scores := make([]float64, len(order))
 	for i, v := range order {

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the whole file onto the
+// heap — the documented copying fallback. Decode semantics are identical;
+// only the lazy page-in and the shared page cache are lost.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is a no-op: mapFile never maps here.
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the image. A zero-length file or
+// a failed mmap falls back to reading the file onto the heap (mapped =
+// false), so callers on exotic filesystems still load, just without the
+// lazy page-in.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size > 0 && int64(int(size)) == size {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return data, true, nil
+		}
+		// Fall through to the copying path on any mmap failure.
+	}
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,37 @@
+//go:build linux
+
+package graph
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// ResidentBytes estimates how many bytes of the mapped image are currently
+// resident in the page cache, via mincore(2). It returns -1 when the image
+// is not mapped or the probe fails — a hint for operators watching warmup,
+// never an input to any decision the server makes.
+func (g *CCSR) ResidentBytes() int64 {
+	if !g.mapped || len(g.data) == 0 {
+		return -1
+	}
+	pageSize := int64(syscall.Getpagesize())
+	pages := (int64(len(g.data)) + pageSize - 1) / pageSize
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&g.data[0])), uintptr(len(g.data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return -1
+	}
+	var resident int64
+	for _, b := range vec {
+		if b&1 != 0 {
+			resident++
+		}
+	}
+	resident *= pageSize
+	if resident > int64(len(g.data)) {
+		resident = int64(len(g.data))
+	}
+	return resident
+}

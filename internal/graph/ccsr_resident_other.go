@@ -1,0 +1,7 @@
+//go:build !linux
+
+package graph
+
+// ResidentBytes returns -1: the page-cache residency probe is only
+// implemented on Linux (mincore). See ccsr_resident_linux.go.
+func (g *CCSR) ResidentBytes() int64 { return -1 }

@@ -1,0 +1,401 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// compress round-trips g through the in-memory encoder and open path.
+func compress(t testing.TB, g Graph) *CCSR {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCompressed(2, &buf, g); err != nil {
+		t.Fatalf("WriteCompressed: %v", err)
+	}
+	c, err := NewCompressed(buf.Bytes())
+	if err != nil {
+		t.Fatalf("NewCompressed rejected own encoder output: %v", err)
+	}
+	return c
+}
+
+// testGraphs covers the encoder's structural corners: empty universe,
+// isolated vertices, hubs past the 128-target sub-block boundary (so the
+// relative-offset index is exercised), and dense random graphs.
+func testGraphs(t testing.TB) map[string]*CSR {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	gnp := func(n int, d float64) *CSR {
+		var es []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < d/float64(n) {
+					es = append(es, Edge{U: uint32(u), V: uint32(v)})
+				}
+			}
+		}
+		return FromEdges(2, n, es)
+	}
+	star := func(n int) *CSR {
+		es := make([]Edge, 0, n-1)
+		for v := 1; v < n; v++ {
+			es = append(es, Edge{U: 0, V: uint32(v)})
+		}
+		return FromEdges(2, n, es)
+	}
+	return map[string]*CSR{
+		"empty":       FromEdges(1, 0, nil),
+		"singleton":   FromEdges(1, 1, nil),
+		"isolated":    FromEdges(1, 5, []Edge{{U: 1, V: 3}}),
+		"figure1":     figure1(t),
+		"star127":     star(128),  // hub degree 127: one full sub-block
+		"star128":     star(129),  // hub degree 128: exactly one sub-block
+		"star129":     star(130),  // hub degree 129: index header appears
+		"star1000":    star(1001), // many sub-blocks
+		"gnp-sparse":  gnp(300, 4),
+		"gnp-dense":   gnp(200, 40),
+		"path-sorted": FromEdges(1, 6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}}),
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			c := compress(t, g)
+			if err := c.Verify(2); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+				t.Fatalf("shape: got (%d,%d) want (%d,%d)",
+					c.NumVertices(), c.NumEdges(), g.NumVertices(), g.NumEdges())
+			}
+			if c.MaxDegree() != g.MaxDegree() {
+				t.Fatalf("max degree: got %d want %d", c.MaxDegree(), g.MaxDegree())
+			}
+			co, go_ := c.Offsets(), g.Offsets()
+			for v := 0; v <= g.NumVertices(); v++ {
+				if co[v] != go_[v] {
+					t.Fatalf("offsets[%d]: got %d want %d", v, co[v], go_[v])
+				}
+			}
+			buf := make([]uint32, 0, 8)
+			for v := 0; v < g.NumVertices(); v++ {
+				vv := uint32(v)
+				want := g.Neighbors(vv)
+				got := c.Neighbors(vv)
+				if len(got) != len(want) {
+					t.Fatalf("v=%d: degree got %d want %d", v, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("v=%d adj[%d]: got %d want %d", v, i, got[i], want[i])
+					}
+					if at := c.NeighborAt(vv, uint32(i)); at != want[i] {
+						t.Fatalf("v=%d NeighborAt(%d): got %d want %d", v, i, at, want[i])
+					}
+				}
+				ns := c.NeighborsInto(buf, vv)
+				buf = ns
+				if len(ns) != len(want) {
+					t.Fatalf("v=%d NeighborsInto: degree got %d want %d", v, len(ns), len(want))
+				}
+				for i := range want {
+					if ns[i] != want[i] {
+						t.Fatalf("v=%d NeighborsInto[%d]: got %d want %d", v, i, ns[i], want[i])
+					}
+				}
+				// NeighborsTail must agree from every resume point,
+				// including sub-block boundaries and mid-block offsets.
+				for _, j := range []int{0, 1, len(want) / 2, len(want) - 1, 127, 128, 129, 255, 256} {
+					if j < 0 || j >= len(want) {
+						continue
+					}
+					tail, start := c.NeighborsTail(buf, vv, j)
+					buf = tail
+					if start > j || start < 0 {
+						t.Fatalf("v=%d j=%d: start=%d out of range", v, j, start)
+					}
+					for k := j; k < len(want); k++ {
+						if tail[k-start] != want[k] {
+							t.Fatalf("v=%d j=%d start=%d tail[%d]: got %d want %d",
+								v, j, start, k-start, tail[k-start], want[k])
+						}
+					}
+				}
+			}
+			// Spot-check edge membership both ways.
+			rr := rand.New(rand.NewSource(11))
+			for i := 0; i < 200 && g.NumVertices() > 0; i++ {
+				u := uint32(rr.Intn(g.NumVertices()))
+				v := uint32(rr.Intn(g.NumVertices()))
+				if c.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d): got %v want %v", u, v, c.HasEdge(u, v), g.HasEdge(u, v))
+				}
+			}
+			if g.NumVertices() > 0 {
+				S := []uint32{0, uint32(g.NumVertices() - 1)}
+				if g.NumVertices() == 1 {
+					S = S[:1]
+				}
+				if c.Volume(S) != g.Volume(S) || c.Boundary(S) != g.Boundary(S) {
+					t.Fatalf("Volume/Boundary mismatch on %v", S)
+				}
+			}
+		})
+	}
+}
+
+func TestCompressedFileRoundTrip(t *testing.T) {
+	g := testGraphs(t)["gnp-sparse"]
+	path := filepath.Join(t.TempDir(), "g.lgz")
+	if err := SaveCompressed(2, path, g); err != nil {
+		t.Fatalf("SaveCompressed: %v", err)
+	}
+	c, err := OpenCompressed(path)
+	if err != nil {
+		t.Fatalf("OpenCompressed: %v", err)
+	}
+	defer c.Close()
+	if c.Path() != path {
+		t.Fatalf("Path: got %q want %q", c.Path(), path)
+	}
+	if c.MappedBytes() <= 0 {
+		t.Fatalf("MappedBytes: got %d, want > 0", c.MappedBytes())
+	}
+	if err := c.Verify(2); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	requireSameAdjacency(t, c, g)
+	// ResidentBytes is a hint: any value in [-1, MappedBytes] is legal.
+	if rb := c.ResidentBytes(); rb > c.MappedBytes() {
+		t.Fatalf("ResidentBytes %d exceeds MappedBytes %d", rb, c.MappedBytes())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func requireSameAdjacency(t *testing.T, c Graph, g *CSR) {
+	t.Helper()
+	if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch")
+	}
+	var buf []uint32
+	for v := 0; v < g.NumVertices(); v++ {
+		want := g.Neighbors(uint32(v))
+		got := c.NeighborsInto(buf, uint32(v))
+		buf = got
+		if len(got) != len(want) {
+			t.Fatalf("v=%d degree got %d want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v=%d adj[%d] got %d want %d", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLoadDispatch exercises the extension-driven Load/SaveFile seam the
+// registry and CLIs use: .lgz goes through the compressed path, everything
+// else through the text/binary parsers, and both come back equal.
+func TestLoadDispatch(t *testing.T) {
+	g := testGraphs(t)["figure1"]
+	dir := t.TempDir()
+
+	lgz := filepath.Join(dir, "g.lgz")
+	adj := filepath.Join(dir, "g.adj")
+	if err := SaveFile(lgz, g); err != nil {
+		t.Fatalf("SaveFile(.lgz): %v", err)
+	}
+	if err := SaveFile(adj, g); err != nil {
+		t.Fatalf("SaveFile(.adj): %v", err)
+	}
+
+	cg, err := Load(2, lgz)
+	if err != nil {
+		t.Fatalf("Load(.lgz): %v", err)
+	}
+	if _, ok := cg.(*CCSR); !ok {
+		t.Fatalf("Load(.lgz) returned %T, want *CCSR", cg)
+	}
+	requireSameAdjacency(t, cg, g)
+
+	hg, err := Load(2, adj)
+	if err != nil {
+		t.Fatalf("Load(.adj): %v", err)
+	}
+	if _, ok := hg.(*CSR); !ok {
+		t.Fatalf("Load(.adj) returned %T, want *CSR", hg)
+	}
+
+	// LoadFile must refuse .lgz: it promises a heap CSR.
+	if _, err := LoadFile(2, lgz); err == nil {
+		t.Fatalf("LoadFile(.lgz) succeeded, want error")
+	}
+
+	// Explicit format overrides the extension.
+	misnamed := filepath.Join(dir, "g.bin") // actually .lgz bytes
+	if err := SaveCompressed(1, misnamed, g); err != nil {
+		t.Fatalf("SaveCompressed: %v", err)
+	}
+	fg, err := LoadFormat(2, misnamed, "lgz")
+	if err != nil {
+		t.Fatalf("LoadFormat(lgz): %v", err)
+	}
+	requireSameAdjacency(t, fg, g)
+	if _, err := LoadFormat(2, misnamed, "nonesuch"); err == nil {
+		t.Fatalf("LoadFormat with unknown format succeeded, want error")
+	}
+}
+
+// TestCompressedRejectsCorrupt flips and truncates a valid image and
+// demands a loud failure — an error from open or Verify, never a panic,
+// never silent acceptance of changed bytes.
+func TestCompressedRejectsCorrupt(t *testing.T) {
+	g := testGraphs(t)["gnp-sparse"]
+	var buf bytes.Buffer
+	if err := WriteCompressed(1, &buf, g); err != nil {
+		t.Fatalf("WriteCompressed: %v", err)
+	}
+	img := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 7, lgzHeaderSize - 1, lgzHeaderSize, len(img) / 2, len(img) - 1} {
+			if n >= len(img) {
+				continue
+			}
+			if _, err := NewCompressed(append([]byte(nil), img[:n]...)); err == nil {
+				t.Fatalf("accepted truncation to %d bytes", n)
+			}
+		}
+	})
+	t.Run("extended", func(t *testing.T) {
+		long := append(append([]byte(nil), img...), 0, 0, 0, 0, 0, 0, 0, 0)
+		if _, err := NewCompressed(long); err == nil {
+			t.Fatalf("accepted trailing garbage")
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		// Every header byte and a sample of body bytes: a flip must be
+		// caught at open, or (for block bytes, whose CRC is deferred) by
+		// Verify. Some block flips can also surface as decode panics on
+		// the hot path, so Verify is the contract here.
+		stride := len(img)/97 + 1
+		for off := 0; off < len(img); off += stride {
+			mut := append([]byte(nil), img...)
+			mut[off] ^= 0x40
+			c, err := NewCompressed(mut)
+			if err != nil {
+				continue
+			}
+			if err := c.Verify(1); err == nil {
+				t.Fatalf("bit flip at offset %d survived open+Verify", off)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), img...)
+		mut[0] = 'X'
+		if _, err := NewCompressed(mut); err == nil {
+			t.Fatalf("accepted bad magic")
+		}
+	})
+}
+
+// FuzzCompressedCSR hammers the .lgz open path and decoder with mutated
+// images. Contract: NewCompressed may reject, Verify may reject, but
+// nothing panics with an out-of-bounds access, and any image that passes
+// Verify must decode every list consistently with its own offsets.
+func FuzzCompressedCSR(f *testing.F) {
+	for _, g := range []*CSR{
+		FromEdges(1, 0, nil),
+		FromEdges(1, 5, []Edge{{U: 1, V: 3}}),
+		figure1(f),
+		func() *CSR {
+			es := make([]Edge, 0, 300)
+			for v := 1; v <= 300; v++ {
+				es = append(es, Edge{U: 0, V: uint32(v)})
+			}
+			return FromEdges(1, 301, es)
+		}(),
+	} {
+		var buf bytes.Buffer
+		if err := WriteCompressed(1, &buf, g); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		img := buf.Bytes()
+		f.Add(append([]byte(nil), img...))
+		// Mutated seeds steer the fuzzer toward interesting corruption.
+		for _, off := range []int{8, 16, 24, 40, 56, lgzHeaderSize, len(img) - 1} {
+			if off < 0 || off >= len(img) {
+				continue
+			}
+			mut := append([]byte(nil), img...)
+			mut[off] ^= 0xFF
+			f.Add(mut)
+		}
+		if len(img) > lgzHeaderSize {
+			f.Add(append([]byte(nil), img[:lgzHeaderSize]...))
+		}
+	}
+	f.Add([]byte(lgzMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := NewCompressed(data)
+		if err != nil {
+			return
+		}
+		if err := c.Verify(1); err != nil {
+			return
+		}
+		// Image passed full verification: every accessor must agree.
+		var buf []uint32
+		for v := 0; v < c.NumVertices(); v++ {
+			vv := uint32(v)
+			ns := c.NeighborsInto(buf, vv)
+			buf = ns
+			if uint32(len(ns)) != c.Degree(vv) {
+				t.Fatalf("v=%d: decoded %d targets, degree says %d", v, len(ns), c.Degree(vv))
+			}
+			for i, u := range ns {
+				if uint64(u) >= uint64(c.NumVertices()) {
+					t.Fatalf("v=%d: neighbor %d out of universe", v, u)
+				}
+				if at := c.NeighborAt(vv, uint32(i)); at != u {
+					t.Fatalf("v=%d: NeighborAt(%d)=%d, list says %d", v, i, at, u)
+				}
+			}
+			if len(ns) > 1 {
+				j := len(ns) / 2
+				tail, start := c.NeighborsTail(nil, vv, j)
+				for k := j; k < len(ns); k++ {
+					if tail[k-start] != ns[k] {
+						t.Fatalf("v=%d: tail decode diverges at %d", v, k)
+					}
+				}
+			}
+			// The fused streaming walker must visit the same targets: once
+			// from an interior start (partial first sub-block), once with an
+			// interior stop (partial last sub-block).
+			for _, win := range [][2]int{{len(ns) / 3, len(ns)}, {0, len(ns) - len(ns)/3}} {
+				j, stop := win[0], win[1]
+				at := j
+				got := c.WalkTail(vv, j, stop-j, func(w uint32) {
+					if at >= stop || ns[at] != w {
+						t.Fatalf("v=%d: WalkTail(%d,%d) diverges at %d", v, j, stop, at)
+					}
+					at++
+				})
+				if at != stop || got != stop-j {
+					t.Fatalf("v=%d: WalkTail(%d,%d) visited [%d) and returned %d", v, j, stop, at, got)
+				}
+			}
+		}
+	})
+}

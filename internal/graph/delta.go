@@ -36,7 +36,7 @@ type deltaRec struct {
 type Versioned struct {
 	mu      sync.Mutex
 	procs   int
-	base    *CSR
+	base    Graph
 	n       int // current universe size; >= base.NumVertices()
 	log     []deltaRec
 	version uint64
@@ -89,7 +89,7 @@ type VersionedStats struct {
 // NewVersioned wraps base in a mutable, epoch-versioned graph. procs is the
 // worker count used for lazy snapshot freezes (<= 0 = all cores); Compact
 // may override it per call.
-func NewVersioned(procs int, base *CSR) *Versioned {
+func NewVersioned(procs int, base Graph) *Versioned {
 	return &Versioned{procs: procs, base: base, n: base.NumVertices()}
 }
 
@@ -97,7 +97,7 @@ func NewVersioned(procs int, base *CSR) *Versioned {
 // WAL-recovery constructor, where base is a checkpoint snapshot that
 // already embodies every batch up to and including epoch, and the batches
 // after it are replayed through Apply.
-func NewVersionedAt(procs int, base *CSR, epoch uint64) *Versioned {
+func NewVersionedAt(procs int, base Graph, epoch uint64) *Versioned {
 	return &Versioned{procs: procs, base: base, n: base.NumVertices(), version: epoch}
 }
 
@@ -231,7 +231,7 @@ func (v *Versioned) Compact(procs int) (bool, uint64) {
 	if procs <= 0 {
 		procs = v.procs
 	}
-	var g *CSR
+	var g Graph
 	if v.snap != nil && v.snap.epoch == v.version {
 		g = v.snap.g // the frozen view already embodies every pending delta
 	} else {
@@ -288,15 +288,15 @@ func (v *Versioned) statsLocked() VersionedStats {
 // many deltas were pending at freeze time, so kernels run on it unchanged
 // and produce bit-identical results to a from-scratch build.
 type Snapshot struct {
-	g       *CSR
+	g       Graph
 	epoch   uint64
 	pending int
 	vg      *Versioned
 	refs    atomic.Int64
 }
 
-// Graph returns the snapshot's immutable CSR.
-func (s *Snapshot) Graph() *CSR { return s.g }
+// Graph returns the snapshot's immutable graph view.
+func (s *Snapshot) Graph() Graph { return s.g }
 
 // Epoch returns the version this snapshot was frozen at.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
@@ -321,7 +321,7 @@ func (s *Snapshot) Release() {
 // O(Δ log Δ + n + m/P) for Δ log records — no global rebuild, no re-sort of
 // untouched adjacency. Because the output is canonical, it is structurally
 // identical to FromEdges of the union edge set.
-func mergeDeltas(p int, base *CSR, log []deltaRec, n int) *CSR {
+func mergeDeltas(p int, base Graph, log []deltaRec, n int) *CSR {
 	p = parallel.ResolveProcs(p)
 	baseN := base.NumVertices()
 
@@ -361,10 +361,19 @@ func mergeDeltas(p int, base *CSR, log []deltaRec, n int) *CSR {
 	offsets[n] = total
 
 	adj := make([]uint32, total)
+	decode := NeedsDecode(base)
 	parallel.For(p, n, 64, func(vi int) {
 		var bs []uint32
+		var bp *[]uint32
 		if vi < baseN {
-			bs = base.Neighbors(uint32(vi))
+			if decode {
+				// Decode through pooled scratch so folding a compressed
+				// base does not allocate per vertex.
+				bp = adjScratch.Get().(*[]uint32)
+				bs = base.NeighborsInto(*bp, uint32(vi))
+			} else {
+				bs = base.Neighbors(uint32(vi))
+			}
 		}
 		insP := ins[insStart[vi]:insStart[vi+1]]
 		delP := del[delStart[vi]:delStart[vi+1]]
@@ -390,6 +399,10 @@ func mergeDeltas(p int, base *CSR, log []deltaRec, n int) *CSR {
 			adj[o] = uint32(insP[j])
 			o++
 			j++
+		}
+		if bp != nil {
+			*bp = bs[:0]
+			adjScratch.Put(bp)
 		}
 	})
 	return &CSR{offsets: offsets, adj: adj, m: total / 2, maxDeg: maxDegreeOf(p, offsets)}

@@ -7,12 +7,24 @@ import (
 	"testing"
 )
 
+// asCSR unwraps a snapshot's Graph to the concrete heap CSR the merge
+// machinery builds; the delta tests exercise heap representations only.
+func asCSR(t *testing.T, g Graph) *CSR {
+	t.Helper()
+	c, ok := g.(*CSR)
+	if !ok {
+		t.Fatalf("expected *CSR, got %T", g)
+	}
+	return c
+}
+
 // requireStructurallyEqual asserts two CSRs are byte-for-byte the same
 // representation: same universe, same offsets, same adjacency storage. This
 // is the strong form of equality the delta merge promises — not just the
 // same edge set, the same canonical layout FromEdges would build.
-func requireStructurallyEqual(t *testing.T, got, want *CSR) {
+func requireStructurallyEqual(t *testing.T, gotG, wantG Graph) {
 	t.Helper()
+	got, want := asCSR(t, gotG), asCSR(t, wantG)
 	if got.NumVertices() != want.NumVertices() {
 		t.Fatalf("vertices: got %d want %d", got.NumVertices(), want.NumVertices())
 	}
@@ -117,7 +129,7 @@ func TestVersionedMatchesRebuild(t *testing.T) {
 				}
 				snap := vg.Snapshot()
 				want := truth.rebuild()
-				if err := snap.Graph().Validate(); err != nil {
+				if err := asCSR(t, snap.Graph()).Validate(); err != nil {
 					t.Fatalf("step %d: invalid snapshot: %v", step, err)
 				}
 				requireStructurallyEqual(t, snap.Graph(), want)

@@ -14,6 +14,91 @@ import (
 	"parcluster/internal/parallel"
 )
 
+// Graph is the read interface every traversal layer (ligra, core, service)
+// runs against. Two representations implement it: the heap-resident *CSR
+// below and the compressed, memory-mapped *CCSR (ccsr.go). Both expose the
+// same edge-offset array and sorted adjacency lists, so edge-balanced
+// chunking, the sparse/dense direction heuristic, and per-edge visit order
+// are identical across representations — which is what makes kernel results
+// bit-identical on either one.
+//
+// Neighbors may allocate on a decoding representation; hot loops call
+// NeighborsInto / NeighborsTail with a reused scratch buffer instead (both
+// are allocation-free aliases on *CSR). NeedsDecode reports whether the
+// scratch is actually consumed.
+type Graph interface {
+	// NumVertices returns n.
+	NumVertices() int
+	// NumEdges returns the number of unique undirected edges m.
+	NumEdges() uint64
+	// TotalVolume returns 2m.
+	TotalVolume() uint64
+	// Degree returns d(v).
+	Degree(v uint32) uint32
+	// MaxDegree returns the largest degree (0 for an empty graph).
+	MaxDegree() uint32
+	// Offsets returns the edge-offset array (length n+1): vertex v's
+	// adjacency occupies edge slots [Offsets()[v], Offsets()[v+1]). The
+	// slice must not be modified.
+	Offsets() []uint64
+	// Neighbors returns v's sorted adjacency list. The result must not be
+	// modified; it may alias internal storage or a fresh allocation.
+	Neighbors(v uint32) []uint32
+	// NeighborsInto returns v's sorted adjacency list, using buf as decode
+	// scratch when the representation requires it. The returned slice is
+	// valid until the next call that reuses buf; callers keep the loop
+	// idiom ns := g.NeighborsInto(buf, v); buf = ns so scratch growth is
+	// retained across iterations.
+	NeighborsInto(buf []uint32, v uint32) []uint32
+	// NeighborsTail returns the suffix of v's adjacency list covering at
+	// least indices [j, d(v)), plus the index its first element corresponds
+	// to (start <= j; 0 on a heap CSR). Edge-balanced chunk loops that
+	// resume mid-list use it so a decoding representation only decodes the
+	// sub-blocks from j onward instead of the whole list.
+	NeighborsTail(buf []uint32, v uint32, j int) (ns []uint32, start int)
+	// NeighborAt returns the i-th neighbor of v (0 <= i < d(v)). Random
+	// walks use it to sample one neighbor without materializing the list.
+	NeighborAt(v uint32, i uint32) uint32
+	// HasEdge reports whether {u, v} is an edge.
+	HasEdge(u, v uint32) bool
+	// Volume returns vol(S), the sum of degrees over S.
+	Volume(S []uint32) uint64
+	// Boundary returns |∂(S)|, the edges with exactly one endpoint in S.
+	Boundary(S []uint32) uint64
+	// Conductance returns φ(S); see ConductanceFrom for the convention.
+	Conductance(S []uint32) float64
+}
+
+// TailWalker is an optional capability for representations whose adjacency
+// must be decoded on access: WalkTail streams the callback straight out of
+// the decoder, so a dense traversal skips the materialize-then-rescan round
+// trip of NeighborsTail. The heap CSR deliberately does not implement it —
+// its adjacency is already a zero-copy slice, and the indirect per-edge call
+// would only add cost there.
+type TailWalker interface {
+	// WalkTail calls fn(w) for each neighbor w of v at list indices
+	// [j, j+limit) (clamped to d(v)), in adjacency order, and returns the
+	// number of neighbors visited.
+	WalkTail(v uint32, j, limit int, fn func(dst uint32)) int
+}
+
+// NeedsDecode reports whether Neighbors calls on g decode compressed
+// adjacency (so hot loops should provision a reusable scratch buffer). The
+// heap CSR aliases its storage and never decodes.
+func NeedsDecode(g Graph) bool {
+	_, heap := g.(*CSR)
+	return !heap
+}
+
+// Format returns a short name for g's representation: "csr" for the heap
+// CSR, "lgz" for the compressed memory-mapped form.
+func Format(g Graph) string {
+	if NeedsDecode(g) {
+		return "lgz"
+	}
+	return "csr"
+}
+
 // CSR is an immutable undirected graph in compressed sparse row form. Each
 // undirected edge {u, v} is stored twice (in u's and in v's adjacency list),
 // lists are sorted and contain no self loops or duplicates.
@@ -42,6 +127,22 @@ func (g *CSR) Degree(v uint32) uint32 {
 // storage and must not be modified.
 func (g *CSR) Neighbors(v uint32) []uint32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborsInto implements Graph. The heap CSR aliases its storage, so buf
+// is ignored and the call never allocates or copies.
+func (g *CSR) NeighborsInto(buf []uint32, v uint32) []uint32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborsTail implements Graph: the full aliased list with start 0.
+func (g *CSR) NeighborsTail(buf []uint32, v uint32, j int) ([]uint32, int) {
+	return g.adj[g.offsets[v]:g.offsets[v+1]], 0
+}
+
+// NeighborAt returns the i-th neighbor of v in O(1).
+func (g *CSR) NeighborAt(v uint32, i uint32) uint32 {
+	return g.adj[g.offsets[v]+uint64(i)]
 }
 
 // HasEdge reports whether {u, v} is an edge, by binary search on the shorter
@@ -247,7 +348,21 @@ func (g *CSR) Validate() error {
 
 // Volume returns vol(S) = sum of degrees of the vertices in S. Duplicate
 // entries in S are counted twice; callers pass sets.
-func (g *CSR) Volume(S []uint32) uint64 {
+func (g *CSR) Volume(S []uint32) uint64 { return volumeOf(g, S) }
+
+// Boundary returns |∂(S)|, the number of edges with exactly one endpoint
+// in S. Work is proportional to vol(S).
+func (g *CSR) Boundary(S []uint32) uint64 { return boundaryOf(g, S) }
+
+// Conductance returns φ(S) = |∂(S)| / min(vol(S), 2m − vol(S)). Following
+// the convention used throughout the repository, φ is defined as 1 when the
+// denominator is zero (S empty or S = V with no strict complement volume),
+// so that degenerate cuts never win a sweep.
+func (g *CSR) Conductance(S []uint32) float64 { return conductanceOf(g, S) }
+
+// volumeOf, boundaryOf and conductanceOf are the representation-independent
+// implementations behind the Graph interface's set utilities.
+func volumeOf(g Graph, S []uint32) uint64 {
 	var vol uint64
 	for _, v := range S {
 		vol += uint64(g.Degree(v))
@@ -255,16 +370,17 @@ func (g *CSR) Volume(S []uint32) uint64 {
 	return vol
 }
 
-// Boundary returns |∂(S)|, the number of edges with exactly one endpoint
-// in S. Work is proportional to vol(S).
-func (g *CSR) Boundary(S []uint32) uint64 {
+func boundaryOf(g Graph, S []uint32) uint64 {
 	in := make(map[uint32]bool, len(S))
 	for _, v := range S {
 		in[v] = true
 	}
 	var cut uint64
+	var buf []uint32
 	for _, v := range S {
-		for _, w := range g.Neighbors(v) {
+		ns := g.NeighborsInto(buf, v)
+		buf = ns
+		for _, w := range ns {
 			if !in[w] {
 				cut++
 			}
@@ -273,13 +389,8 @@ func (g *CSR) Boundary(S []uint32) uint64 {
 	return cut
 }
 
-// Conductance returns φ(S) = |∂(S)| / min(vol(S), 2m − vol(S)). Following
-// the convention used throughout the repository, φ is defined as 1 when the
-// denominator is zero (S empty or S = V with no strict complement volume),
-// so that degenerate cuts never win a sweep.
-func (g *CSR) Conductance(S []uint32) float64 {
-	vol := g.Volume(S)
-	return ConductanceFrom(g.TotalVolume(), vol, g.Boundary(S))
+func conductanceOf(g Graph, S []uint32) float64 {
+	return ConductanceFrom(g.TotalVolume(), g.Volume(S), g.Boundary(S))
 }
 
 // ConductanceFrom computes φ from precomputed quantities: the total graph

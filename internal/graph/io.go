@@ -23,17 +23,23 @@ import (
 //     generated graphs.
 
 // WriteAdjacencyGraph writes g in Ligra's AdjacencyGraph text format.
-func WriteAdjacencyGraph(w io.Writer, g *CSR) error {
+func WriteAdjacencyGraph(w io.Writer, g Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	n := g.NumVertices()
+	offsets := g.Offsets()
 	fmt.Fprintln(bw, "AdjacencyGraph")
 	fmt.Fprintln(bw, n)
-	fmt.Fprintln(bw, len(g.adj))
+	fmt.Fprintln(bw, g.TotalVolume())
 	for v := 0; v < n; v++ {
-		fmt.Fprintln(bw, g.offsets[v])
+		fmt.Fprintln(bw, offsets[v])
 	}
-	for _, e := range g.adj {
-		fmt.Fprintln(bw, e)
+	var buf []uint32
+	for v := 0; v < n; v++ {
+		ns := g.NeighborsInto(buf, uint32(v))
+		buf = ns
+		for _, e := range ns {
+			fmt.Fprintln(bw, e)
+		}
 	}
 	return bw.Flush()
 }
@@ -156,11 +162,14 @@ func ReadEdgeList(p int, r io.Reader) (*CSR, error) {
 }
 
 // WriteEdgeList writes each undirected edge once as "u v".
-func WriteEdgeList(w io.Writer, g *CSR) error {
+func WriteEdgeList(w io.Writer, g Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	n := g.NumVertices()
+	var buf []uint32
 	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(uint32(v)) {
+		ns := g.NeighborsInto(buf, uint32(v))
+		buf = ns
+		for _, u := range ns {
 			if uint32(v) < u {
 				fmt.Fprintf(bw, "%d %d\n", v, u)
 			}
@@ -216,7 +225,7 @@ func readUint32Chunked(r io.Reader, count uint64) ([]uint32, error) {
 }
 
 // WriteBinary writes g in the package's little-endian binary format.
-func WriteBinary(w io.Writer, g *CSR) error {
+func WriteBinary(w io.Writer, g Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
@@ -225,14 +234,19 @@ func WriteBinary(w io.Writer, g *CSR) error {
 	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(g.adj))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, g.TotalVolume()); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets()); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
-		return err
+	var buf []uint32
+	for v := uint64(0); v < n; v++ {
+		ns := g.NeighborsInto(buf, uint32(v))
+		buf = ns
+		if err := binary.Write(bw, binary.LittleEndian, ns); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -276,8 +290,10 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	return g, nil
 }
 
-// LoadFile loads a graph from path, dispatching on extension: ".adj" =
-// AdjacencyGraph, ".bin" = binary, anything else = edge list.
+// LoadFile loads a heap-resident graph from path, dispatching on extension:
+// ".adj" = AdjacencyGraph, ".bin" = binary, anything else = edge list. A
+// ".lgz" file is rejected here — its whole point is not materializing on
+// the heap; use Load (or OpenCompressed) for format-agnostic opening.
 func LoadFile(p int, path string) (*CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -289,24 +305,88 @@ func LoadFile(p int, path string) (*CSR, error) {
 		return ReadAdjacencyGraph(f)
 	case ".bin":
 		return ReadBinary(f)
+	case ".lgz":
+		return nil, fmt.Errorf("graph: %s is a compressed graph; open it with graph.Load", path)
 	default:
 		return ReadEdgeList(p, f)
 	}
 }
 
-// SaveFile writes a graph to path, dispatching on extension like LoadFile.
-func SaveFile(path string, g *CSR) error {
+// Load opens a graph in whichever representation its extension names:
+// ".lgz" becomes a memory-mapped compressed graph (OpenCompressed, O(n)
+// open cost), everything else loads onto the heap via LoadFile.
+func Load(p int, path string) (Graph, error) {
+	if filepath.Ext(path) == ".lgz" {
+		return OpenCompressed(path)
+	}
+	return LoadFile(p, path)
+}
+
+// LoadFormat is Load with the format forced instead of sniffed from the
+// extension: "lgz", "adj", "bin", "edges", or "auto" (same as Load).
+func LoadFormat(p int, path, format string) (Graph, error) {
+	switch format {
+	case "", "auto":
+		return Load(p, path)
+	case "lgz":
+		return OpenCompressed(path)
+	case "adj", "bin", "edges":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "adj":
+			return ReadAdjacencyGraph(f)
+		case "bin":
+			return ReadBinary(f)
+		default:
+			return ReadEdgeList(p, f)
+		}
+	default:
+		return nil, fmt.Errorf("graph: unknown format %q (want auto, adj, bin, edges or lgz)", format)
+	}
+}
+
+// SaveFile writes a graph to path, dispatching on extension like Load:
+// ".adj" = AdjacencyGraph, ".bin" = binary, ".lgz" = compressed, anything
+// else = edge list.
+func SaveFile(path string, g Graph) error {
+	return SaveFormat(0, path, "", g)
+}
+
+// SaveFormat is SaveFile with the worker count and output format explicit:
+// "lgz", "adj", "bin", "edges", or "" / "auto" to dispatch on extension.
+func SaveFormat(p int, path, format string, g Graph) error {
+	if format == "" || format == "auto" {
+		switch filepath.Ext(path) {
+		case ".lgz":
+			format = "lgz"
+		case ".adj":
+			format = "adj"
+		case ".bin":
+			format = "bin"
+		default:
+			format = "edges"
+		}
+	}
+	if format == "lgz" {
+		return SaveCompressed(p, path, g)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	switch filepath.Ext(path) {
-	case ".adj":
+	switch format {
+	case "adj":
 		return WriteAdjacencyGraph(f, g)
-	case ".bin":
+	case "bin":
 		return WriteBinary(f, g)
-	default:
+	case "edges":
 		return WriteEdgeList(f, g)
+	default:
+		return fmt.Errorf("graph: unknown format %q (want auto, adj, bin, edges or lgz)", format)
 	}
 }

@@ -24,7 +24,7 @@ import (
 // length g.NumVertices() and must not be written during the call. Work is
 // O(n + vol(F)) over the union frontier F, edge-balanced like
 // EdgeApplyDense.
-func EdgeApplyLanesDense(p int, g *graph.CSR, mask []uint64, fn func(src, dst uint32, lanes uint64)) {
+func EdgeApplyLanesDense(p int, g graph.Graph, mask []uint64, fn func(src, dst uint32, lanes uint64)) {
 	offs := g.Offsets()
 	n := g.NumVertices()
 	total := int(g.TotalVolume())
@@ -32,6 +32,7 @@ func EdgeApplyLanesDense(p int, g *graph.CSR, mask []uint64, fn func(src, dst ui
 		return
 	}
 	parallel.ForRange(p, total, edgeMapGrain, func(elo, ehi int) {
+		buf, bp := acquireDecodeBuf(g)
 		// First vertex whose edge range extends past elo (skipping any run
 		// of zero-degree vertices at the boundary).
 		v := sort.Search(n, func(i int) bool { return offs[i+1] > uint64(elo) })
@@ -44,12 +45,15 @@ func EdgeApplyLanesDense(p int, g *graph.CSR, mask []uint64, fn func(src, dst ui
 				e = int(offs[v+1]) // skip the whole adjacency in O(1)
 				continue
 			}
-			ns := g.Neighbors(uint32(v))
-			for j := e - int(offs[v]); j < len(ns) && e < ehi; j++ {
-				fn(uint32(v), ns[j], lanes)
+			j := e - int(offs[v])
+			ns, start := g.NeighborsTail(buf, uint32(v), j)
+			buf = ns
+			for k := j - start; k < len(ns) && e < ehi; k++ {
+				fn(uint32(v), ns[k], lanes)
 				e++
 			}
 		}
+		releaseDecodeBuf(bp, buf)
 	})
 }
 
@@ -60,7 +64,7 @@ func EdgeApplyLanesDense(p int, g *graph.CSR, mask []uint64, fn func(src, dst ui
 // every listed vertex must have a nonzero mask. degs and offs must each be
 // nil (allocate fresh) or have length >= len(ids); the batch workspace
 // passes recycled graph-sized slices here.
-func EdgeApplyLanesSparse(p int, g *graph.CSR, ids []uint32, mask []uint64, degs, offs []uint64, fn func(src, dst uint32, lanes uint64)) {
+func EdgeApplyLanesSparse(p int, g graph.Graph, ids []uint32, mask []uint64, degs, offs []uint64, fn func(src, dst uint32, lanes uint64)) {
 	nf := len(ids)
 	if nf == 0 {
 		return
@@ -81,16 +85,20 @@ func EdgeApplyLanesSparse(p int, g *graph.CSR, ids []uint32, mask []uint64, degs
 		return
 	}
 	parallel.ForRange(p, int(total), edgeMapGrain, func(elo, ehi int) {
+		buf, bp := acquireDecodeBuf(g)
 		// First frontier index whose edge range contains elo.
 		i := sort.Search(nf, func(i int) bool { return offs[i] > uint64(elo) }) - 1
 		for e := elo; e < ehi; i++ {
 			v := ids[i]
 			lanes := mask[v]
-			ns := g.Neighbors(v)
-			for j := e - int(offs[i]); j < len(ns) && e < ehi; j++ {
-				fn(v, ns[j], lanes)
+			j := e - int(offs[i])
+			ns, start := g.NeighborsTail(buf, v, j)
+			buf = ns
+			for k := j - start; k < len(ns) && e < ehi; k++ {
+				fn(v, ns[k], lanes)
 				e++
 			}
 		}
+		releaseDecodeBuf(bp, buf)
 	})
 }

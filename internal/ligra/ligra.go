@@ -25,11 +25,38 @@ package ligra
 import (
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"parcluster/internal/graph"
 	"parcluster/internal/parallel"
 )
+
+// decodeBufs recycles per-chunk neighbor-decode buffers. A heap CSR's
+// NeighborsTail returns a slice aliasing its adjacency storage and never
+// touches the buffer, so buffers are only acquired when the representation
+// actually decodes (compressed CSR) — the heap hot path stays exactly as
+// allocation-free as before the graph.Graph seam.
+var decodeBufs = sync.Pool{New: func() any { b := make([]uint32, 0, 4096); return &b }}
+
+// acquireDecodeBuf hands a chunk worker a reusable decode buffer when g
+// needs one, else (nil, nil).
+func acquireDecodeBuf(g graph.Graph) ([]uint32, *[]uint32) {
+	if !graph.NeedsDecode(g) {
+		return nil, nil
+	}
+	bp := decodeBufs.Get().(*[]uint32)
+	return *bp, bp
+}
+
+// releaseDecodeBuf returns a buffer to the pool, keeping any growth the
+// chunk's decodes produced. No-op for the heap-CSR (nil) case.
+func releaseDecodeBuf(bp *[]uint32, last []uint32) {
+	if bp != nil {
+		*bp = last[:0]
+		decodeBufs.Put(bp)
+	}
+}
 
 // Mode selects an EdgeMap traversal strategy.
 type Mode uint8
@@ -52,7 +79,7 @@ const DenseThresholdFrac = 20
 
 // OverDenseThreshold reports whether a frontier of the given size and
 // volume crosses the dense-traversal threshold for g.
-func OverDenseThreshold(g *graph.CSR, size int, vol uint64) bool {
+func OverDenseThreshold(g graph.Graph, size int, vol uint64) bool {
 	return uint64(size)+vol > (uint64(g.NumVertices())+g.TotalVolume())/DenseThresholdFrac
 }
 
@@ -215,7 +242,7 @@ func popcount(p int, words []uint64) int {
 // computed with p workers. This is the per-iteration edge bound the
 // algorithms use to size their sparse tables and drive the sparse/dense
 // decision.
-func (s VertexSubset) Volume(p int, g *graph.CSR) uint64 {
+func (s VertexSubset) Volume(p int, g graph.Graph) uint64 {
 	if s.ids == nil && s.bits != nil {
 		// Dense-only subset: sum degrees straight off the bitmap.
 		offs := g.Offsets()
@@ -305,7 +332,7 @@ const edgeMapGrain = 2048
 // "created" flag of a sparse-set Add, which is true exactly once per target.
 // Work is O(|subset| + vol(subset)) and depth is polylogarithmic, matching
 // Ligra's bounds.
-func EdgeMap(p int, g *graph.CSR, s VertexSubset, update func(src, dst uint32) bool) VertexSubset {
+func EdgeMap(p int, g graph.Graph, s VertexSubset, update func(src, dst uint32) bool) VertexSubset {
 	return EdgeMapIndexed(p, g, s, func(_ int, src, dst uint32) bool { return update(src, dst) })
 }
 
@@ -314,7 +341,7 @@ func EdgeMap(p int, g *graph.CSR, s VertexSubset, update func(src, dst uint32) b
 // Force modes pin a strategy. The dense path returns a bitmap-representation
 // subset (each qualifying target set exactly once); the sparse path returns
 // an ID-list subset with EdgeMap's usual multiplicity contract.
-func EdgeMapMode(p int, g *graph.CSR, s VertexSubset, mode Mode, update func(src, dst uint32) bool) VertexSubset {
+func EdgeMapMode(p int, g graph.Graph, s VertexSubset, mode Mode, update func(src, dst uint32) bool) VertexSubset {
 	dense := mode == ForceDense
 	if mode == Auto {
 		// The volume pass is only needed when the heuristic decides.
@@ -339,7 +366,7 @@ func EdgeMapMode(p int, g *graph.CSR, s VertexSubset, mode Mode, update func(src
 // in a dense array) instead of paying a sparse-table lookup on every edge —
 // the same source-value hoisting the paper's Ligra implementation gets for
 // free from its dense vertex arrays.
-func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int, src, dst uint32) bool) VertexSubset {
+func EdgeMapIndexed(p int, g graph.Graph, s VertexSubset, update func(srcIdx int, src, dst uint32) bool) VertexSubset {
 	s = s.ToSparse(p)
 	nf := len(s.ids)
 	if nf == 0 {
@@ -356,18 +383,24 @@ func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int,
 	outs := make([][]uint32, chunks)
 	parallel.ForRange(p, int(total), edgeMapGrain, func(elo, ehi int) {
 		var out []uint32
+		buf, bp := acquireDecodeBuf(g)
 		// First frontier index whose edge range contains elo.
 		i := sort.Search(nf, func(i int) bool { return offs[i] > uint64(elo) }) - 1
 		for e := elo; e < ehi; i++ {
 			v := s.ids[i]
-			ns := g.Neighbors(v)
-			for j := e - int(offs[i]); j < len(ns) && e < ehi; j++ {
-				if update(i, v, ns[j]) {
-					out = append(out, ns[j])
+			// A chunk boundary can land mid-list; NeighborsTail resumes
+			// decoding from the covering sub-block instead of the list head.
+			j := e - int(offs[i])
+			ns, start := g.NeighborsTail(buf, v, j)
+			buf = ns
+			for k := j - start; k < len(ns) && e < ehi; k++ {
+				if update(i, v, ns[k]) {
+					out = append(out, ns[k])
 				}
 				e++
 			}
 		}
+		releaseDecodeBuf(bp, buf)
 		outs[elo/edgeMapGrain] = out
 	})
 	return VertexSubset{ids: parallel.Concat(p, outs)}
@@ -378,7 +411,7 @@ func EdgeMapIndexed(p int, g *graph.CSR, s VertexSubset, update func(srcIdx int,
 // frontier. The diffusion engine uses it when the next frontier is derived
 // from an accumulator's touched-key set instead of EdgeMap's return value,
 // saving the per-chunk output allocation and concat.
-func EdgeApplyIndexed(p int, g *graph.CSR, s VertexSubset, fn func(srcIdx int, src, dst uint32)) {
+func EdgeApplyIndexed(p int, g graph.Graph, s VertexSubset, fn func(srcIdx int, src, dst uint32)) {
 	EdgeApplyIndexedScratch(p, g, s, nil, nil, fn)
 }
 
@@ -386,7 +419,7 @@ func EdgeApplyIndexed(p int, g *graph.CSR, s VertexSubset, fn func(srcIdx int, s
 // prefix-sum scratch: degs and offs must each be nil (allocate fresh) or
 // have length >= s.Size(). The pooled sweep cut passes result-arena slices
 // here so a serving query's edge pass allocates nothing support-sized.
-func EdgeApplyIndexedScratch(p int, g *graph.CSR, s VertexSubset, degs, offs []uint64, fn func(srcIdx int, src, dst uint32)) {
+func EdgeApplyIndexedScratch(p int, g graph.Graph, s VertexSubset, degs, offs []uint64, fn func(srcIdx int, src, dst uint32)) {
 	s = s.ToSparse(p)
 	nf := len(s.ids)
 	if nf == 0 {
@@ -408,15 +441,19 @@ func EdgeApplyIndexedScratch(p int, g *graph.CSR, s VertexSubset, degs, offs []u
 		return
 	}
 	parallel.ForRange(p, int(total), edgeMapGrain, func(elo, ehi int) {
+		buf, bp := acquireDecodeBuf(g)
 		i := sort.Search(nf, func(i int) bool { return offs[i] > uint64(elo) }) - 1
 		for e := elo; e < ehi; i++ {
 			v := s.ids[i]
-			ns := g.Neighbors(v)
-			for j := e - int(offs[i]); j < len(ns) && e < ehi; j++ {
-				fn(i, v, ns[j])
+			j := e - int(offs[i])
+			ns, start := g.NeighborsTail(buf, v, j)
+			buf = ns
+			for k := j - start; k < len(ns) && e < ehi; k++ {
+				fn(i, v, ns[k])
 				e++
 			}
 		}
+		releaseDecodeBuf(bp, buf)
 	})
 }
 
@@ -427,7 +464,7 @@ func EdgeApplyIndexedScratch(p int, g *graph.CSR, s VertexSubset, degs, offs []u
 // (WithBitmap). Work is O(n + vol(F)) regardless of how the frontier's
 // edges are distributed, and chunks are edge-balanced so high-degree
 // vertices split across workers.
-func EdgeApplyDense(p int, g *graph.CSR, s VertexSubset, fn func(src, dst uint32)) {
+func EdgeApplyDense(p int, g graph.Graph, s VertexSubset, fn func(src, dst uint32)) {
 	if s.bits == nil {
 		panic("ligra: EdgeApplyDense requires a bitmap subset (call WithBitmap)")
 	}
@@ -437,7 +474,30 @@ func EdgeApplyDense(p int, g *graph.CSR, s VertexSubset, fn func(src, dst uint32
 	if total == 0 || s.IsEmpty() {
 		return
 	}
+	if tw, ok := g.(graph.TailWalker); ok {
+		// Decoding representation with a fused walker: stream fn straight
+		// out of the decoder instead of materializing each tail into
+		// scratch and rescanning it. Same chunking, same visit order.
+		parallel.ForRange(p, total, edgeMapGrain, func(elo, ehi int) {
+			v := sort.Search(n, func(i int) bool { return offs[i+1] > uint64(elo) })
+			var src uint32
+			visit := func(dst uint32) { fn(src, dst) }
+			for e := elo; e < ehi && v < n; v++ {
+				if offs[v+1] == offs[v] {
+					continue
+				}
+				if !s.Has(uint32(v)) {
+					e = int(offs[v+1]) // skip the whole adjacency in O(1)
+					continue
+				}
+				src = uint32(v)
+				e += tw.WalkTail(src, e-int(offs[v]), ehi-e, visit)
+			}
+		})
+		return
+	}
 	parallel.ForRange(p, total, edgeMapGrain, func(elo, ehi int) {
+		buf, bp := acquireDecodeBuf(g)
 		// First vertex whose edge range extends past elo (skipping any run
 		// of zero-degree vertices at the boundary).
 		v := sort.Search(n, func(i int) bool { return offs[i+1] > uint64(elo) })
@@ -449,11 +509,14 @@ func EdgeApplyDense(p int, g *graph.CSR, s VertexSubset, fn func(src, dst uint32
 				e = int(offs[v+1]) // skip the whole adjacency in O(1)
 				continue
 			}
-			ns := g.Neighbors(uint32(v))
-			for j := e - int(offs[v]); j < len(ns) && e < ehi; j++ {
-				fn(uint32(v), ns[j])
+			j := e - int(offs[v])
+			ns, start := g.NeighborsTail(buf, uint32(v), j)
+			buf = ns
+			for k := j - start; k < len(ns) && e < ehi; k++ {
+				fn(uint32(v), ns[k])
 				e++
 			}
 		}
+		releaseDecodeBuf(bp, buf)
 	})
 }

@@ -60,7 +60,7 @@ type laneLeader struct {
 // taken in request order, grouped into chunks of at most batchLanes, and
 // each chunk answered by one shared traversal. It owns st.ch and closes it
 // when every unit has been delivered or failed.
-func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, procs int) {
+func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g graph.Graph, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, procs int) {
 	defer close(st.ch)
 	tr := obs.FromContext(ctx)
 	for lo := 0; lo < len(units); lo += e.batchLanes {
@@ -79,7 +79,7 @@ func (e *Engine) runBatched(ctx context.Context, cancel context.CancelFunc, st *
 // unit, which is exactly the traversal-sharing win — and releases them as
 // len(pending) completed units so the scheduler's per-(graph, algo) service
 // model learns the per-unit cost, not the group cost.
-func (e *Engine) runBatchGroup(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, lo, hi, procs int, tr *obs.Trace) {
+func (e *Engine) runBatchGroup(ctx context.Context, cancel context.CancelFunc, st *ClusterStream, g graph.Graph, wsPool *workspace.Pool, ticket *sched.Ticket, req *ClusterRequest, rp resolved, keyBase string, units [][]uint32, lo, hi, procs int, tr *obs.Trace) {
 	pending := make([]*laneLeader, 0, hi-lo)
 	var byKey map[string]*laneLeader
 	if !req.NoCache {

@@ -292,6 +292,7 @@ func (e *Engine) Stats() EngineStats {
 		Workspace:  e.reg.WorkspaceStats(),
 		Sched:      schedStats(e.sched.Stats()),
 		ProcBudget: e.sched.Tokens(),
+		Graphs:     e.reg.List(),
 	}
 	if n := e.completed.Load(); n > 0 {
 		s.AvgLatencyMS = float64(e.latencyUS.Load()) / float64(n) / 1e3
@@ -976,7 +977,7 @@ type flight struct {
 // the caller (released after the response is written). Cache hits and
 // flight followers return owned memory and a nil arena: only the goroutine
 // that actually ran the diffusion holds borrowed memory.
-func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, keyBase string, unit int, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
+func (e *Engine) runCached(ctx context.Context, g graph.Graph, wsPool *workspace.Pool, ticket *sched.Ticket, keyBase string, unit int, seeds []uint32, rp resolved, procs int, noCache bool) (*ClusterResult, *workspace.Result, error) {
 	key := rp.key(keyBase, seeds)
 	if noCache {
 		res, _, arena, err := e.compute(ctx, g, wsPool, ticket, key, unit, seeds, rp, procs)
@@ -1049,7 +1050,7 @@ func (e *Engine) runCached(ctx context.Context, g *graph.CSR, wsPool *workspace.
 // and its arena recycled before the error returns. The returned arena backs
 // the returned (borrowed) result and is owned by the caller; owned is the
 // cache's detached copy, nil when caching is disabled.
-func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Pool, ticket *sched.Ticket, key string, unit int, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
+func (e *Engine) compute(ctx context.Context, g graph.Graph, wsPool *workspace.Pool, ticket *sched.Ticket, key string, unit int, seeds []uint32, rp resolved, procs int) (res, owned *ClusterResult, arena *workspace.Result, err error) {
 	tr := obs.FromContext(ctx)
 	queueStart := time.Now()
 	grant, err := ticket.Acquire(ctx, procs)
@@ -1084,7 +1085,7 @@ func (e *Engine) compute(ctx context.Context, g *graph.CSR, wsPool *workspace.Po
 // at its next round boundary; the partial result is the caller's to discard.
 // tr (nil for untraced requests) receives the unit's kernel and sweep spans
 // plus the kernels' per-round events under the given unit index.
-func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int, cancel <-chan struct{}, tr *obs.Trace, unit int) *ClusterResult {
+func (e *Engine) runUnit(g graph.Graph, wsPool *workspace.Pool, arena *workspace.Result, seeds []uint32, rp resolved, procs int, cancel <-chan struct{}, tr *obs.Trace, unit int) *ClusterResult {
 	e.diffusions.Add(1)
 	if rp.algo != "randhk" {
 		// rand-HK-PR aggregates walk endpoints and never touches the
@@ -1139,7 +1140,7 @@ func (e *Engine) runUnit(g *graph.CSR, wsPool *workspace.Pool, arena *workspace.
 
 // sweepResult rounds a diffusion vector into a ClusterResult whose Members
 // slice is borrowed from arena.
-func sweepResult(g *graph.CSR, seeds []uint32, procs int, arena *workspace.Result, vec *sparse.Map, st core.Stats) *ClusterResult {
+func sweepResult(g graph.Graph, seeds []uint32, procs int, arena *workspace.Result, vec *sparse.Map, st core.Stats) *ClusterResult {
 	out := &ClusterResult{Seeds: seeds, Stats: st, Conductance: 1}
 	if vec.Len() == 0 {
 		return out

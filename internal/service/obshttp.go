@@ -176,6 +176,29 @@ func writeEngineMetrics(pw *obs.PromWriter, st EngineStats) {
 	pw.Gauge("lgc_sched_tokens_available", "Scheduler tokens not currently granted.", float64(st.Sched.Avail))
 	pw.Gauge("lgc_sched_service_models", "Per-(graph, algorithm) service-time models tracked by the scheduler.", float64(st.Sched.ServiceModels))
 
+	// Per-graph series (registry.List is name-sorted, as the lint demands).
+	for _, gi := range st.Graphs {
+		if !gi.Loaded {
+			continue
+		}
+		pw.Gauge("lgc_graph_load_ms", "Milliseconds spent materializing the graph at load time.",
+			float64(gi.LoadMS), obs.Label{Name: "graph", Value: gi.Name})
+	}
+	for _, gi := range st.Graphs {
+		if gi.MappedBytes <= 0 {
+			continue
+		}
+		pw.Gauge("lgc_graph_mapped_bytes", "Size of the memory-mapped compressed graph image.",
+			float64(gi.MappedBytes), obs.Label{Name: "graph", Value: gi.Name})
+	}
+	for _, gi := range st.Graphs {
+		if gi.MappedBytes <= 0 || gi.ResidentHint < 0 {
+			continue
+		}
+		pw.Gauge("lgc_graph_resident_bytes", "Page-cache-resident bytes of the mapped graph image (mincore hint).",
+			float64(gi.ResidentHint), obs.Label{Name: "graph", Value: gi.Name})
+	}
+
 	classes := []struct {
 		name string
 		cs   api.SchedClassStats

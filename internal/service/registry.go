@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -18,8 +19,10 @@ import (
 )
 
 // Source produces a graph on demand. procs is the worker count to use for
-// the (parallel) load or generation.
-type Source func(procs int) (*graph.CSR, error)
+// the (parallel) load or generation. A source may return either
+// representation — the heap *graph.CSR or the memory-mapped *graph.CCSR —
+// and the registry serves both identically.
+type Source func(procs int) (graph.Graph, error)
 
 // GraphInfo describes one registry entry for listings.
 type GraphInfo = api.GraphInfo
@@ -66,10 +69,13 @@ const maxDynamicGraphs = 64
 // accumulate graph-sized pools without bound.
 type load struct {
 	done chan struct{}
-	g    *graph.CSR // the base CSR as originally loaded (epoch 0)
+	g    graph.Graph // the base graph as originally loaded (epoch 0)
 	vg   *graph.Versioned
 	wal  *wal.Log // nil unless the registry persists this graph
 	err  error
+	// loadMS is how long materializing the graph took (source read or
+	// generation, plus WAL checkpoint + replay when durable).
+	loadMS int64
 
 	poolMu   sync.Mutex
 	pools    map[int]*workspace.Pool // universe size -> pool
@@ -78,7 +84,7 @@ type load struct {
 
 // finish installs the overlay and the initial workspace pool for a
 // successfully sourced graph.
-func (l *load) finish(procs int, g *graph.CSR) {
+func (l *load) finish(procs int, g graph.Graph) {
 	l.finishVersioned(graph.NewVersioned(procs, g), g)
 }
 
@@ -86,7 +92,7 @@ func (l *load) finish(procs int, g *graph.CSR) {
 // recovery path, where the overlay may start at a checkpoint epoch). The
 // initial pool is sized to the overlay's current universe, which after a
 // replay can be larger than the sourced base.
-func (l *load) finishVersioned(vg *graph.Versioned, g *graph.CSR) {
+func (l *load) finishVersioned(vg *graph.Versioned, g graph.Graph) {
 	l.g = g
 	l.vg = vg
 	n := vg.Stats().Vertices
@@ -134,7 +140,7 @@ func (l *load) releasePool(n int) {
 // Release the pin — exactly once; it is idempotent — when the request
 // finishes, so leak detectors (Versioned.Pins) can prove quiescence.
 type PinnedGraph struct {
-	G       *graph.CSR
+	G       graph.Graph
 	Epoch   uint64
 	Pool    *workspace.Pool
 	release func()
@@ -235,10 +241,10 @@ func (r *Registry) Register(name string, src Source) {
 // RegisterGraph adds an already-materialized graph. With a WAL enabled the
 // graph still materializes through the lazy load path on first use, so its
 // log replays on top of g instead of being skipped.
-func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
+func (r *Registry) RegisterGraph(name string, g graph.Graph) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.sources[name] = func(int) (*graph.CSR, error) { return g, nil }
+	r.sources[name] = func(int) (graph.Graph, error) { return g, nil }
 	if r.walCfg != nil {
 		return
 	}
@@ -247,10 +253,17 @@ func (r *Registry) RegisterGraph(name string, g *graph.CSR) {
 	r.loads[name] = l
 }
 
-// RegisterFile adds a graph file source (.adj, .bin, or edge list; see
-// graph.LoadFile). The file is read on first query.
+// RegisterFile adds a graph file source (.adj, .bin, .lgz, or edge list;
+// see graph.Load). The file is read — or, for .lgz, memory-mapped and
+// header-validated only — on first query.
 func (r *Registry) RegisterFile(name, path string) {
-	r.Register(name, func(p int) (*graph.CSR, error) { return graph.LoadFile(p, path) })
+	r.RegisterFileFormat(name, path, "")
+}
+
+// RegisterFileFormat is RegisterFile with an explicit on-disk format
+// ("adj", "bin", "edges", "lgz"; "" or "auto" detects from the extension).
+func (r *Registry) RegisterFileFormat(name, path, format string) {
+	r.Register(name, func(p int) (graph.Graph, error) { return graph.LoadFormat(p, path, format) })
 }
 
 // RegisterSpec adds a generator-spec source ("barbell:k=20", "soc-LJ", ...).
@@ -261,7 +274,7 @@ func (r *Registry) RegisterSpec(name, spec string) error {
 	if err != nil {
 		return err
 	}
-	r.Register(name, func(p int) (*graph.CSR, error) { return gen.Generate(p, s) })
+	r.Register(name, func(p int) (graph.Graph, error) { return gen.Generate(p, s) })
 	return nil
 }
 
@@ -275,7 +288,7 @@ var closedChan = func() chan struct{} {
 // necessary. Concurrent calls for the same unloaded name perform one load
 // between them. The context only bounds this caller's wait — an in-flight
 // load itself is never abandoned, since another waiter may still want it.
-func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
+func (r *Registry) Get(ctx context.Context, name string) (graph.Graph, error) {
 	g, _, err := r.GetWithWorkspace(ctx, name)
 	return g, err
 }
@@ -285,7 +298,7 @@ func (r *Registry) Get(ctx context.Context, name string) (*graph.CSR, error) {
 // this graph should borrow their graph-sized scratch state from. The
 // returned CSR is one immutable epoch snapshot; callers that must hold a
 // single epoch across a whole request (and report which) use Acquire.
-func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (*graph.CSR, *workspace.Pool, error) {
+func (r *Registry) GetWithWorkspace(ctx context.Context, name string) (graph.Graph, *workspace.Pool, error) {
 	pin, err := r.Acquire(ctx, name)
 	if err != nil {
 		return nil, nil, err
@@ -349,7 +362,7 @@ func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 			return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownGraph, name, err)
 		}
 		isDynamic = true
-		src = func(p int) (*graph.CSR, error) {
+		src = func(p int) (graph.Graph, error) {
 			g, err := gen.Generate(p, spec)
 			if err != nil {
 				// An unparseable or unknown recipe is "no such graph", not a
@@ -368,8 +381,9 @@ func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 	r.mu.Unlock()
 
 	var err error
+	start := time.Now()
 	if cfg == nil {
-		var g *graph.CSR
+		var g graph.Graph
 		if g, err = src(r.procs); err == nil {
 			l.finish(r.procs, g)
 		}
@@ -385,7 +399,12 @@ func (r *Registry) resolve(ctx context.Context, name string) (*load, error) {
 		}
 		r.mu.Unlock()
 	} else {
+		l.loadMS = time.Since(start).Milliseconds()
 		r.loadCount.Add(1)
+		st := l.vg.Stats()
+		slog.Default().Info("graph loaded", "graph", name,
+			"vertices", st.Vertices, "edges", st.BaseEdges,
+			"format", graph.Format(l.g), "load_ms", l.loadMS)
 	}
 	close(l.done)
 	return l, l.err
@@ -412,7 +431,7 @@ func (r *Registry) loadDurable(l *load, name string, src Source, cfg *WALConfig)
 		lg.Close()
 		return err
 	}
-	var base *graph.CSR
+	var base graph.Graph
 	var vg *graph.Versioned
 	if ckpt := lg.CheckpointEpoch(); ckpt > 0 {
 		rd, err := lg.CheckpointReader()
@@ -642,6 +661,12 @@ func (r *Registry) List() []GraphInfo {
 					info.Edges = st.BaseEdges
 					info.Epoch = st.Epoch
 					info.Pending = st.Pending
+					info.Format = graph.Format(l.g)
+					info.LoadMS = l.loadMS
+					if c, ok := l.g.(*graph.CCSR); ok {
+						info.MappedBytes = c.MappedBytes()
+						info.ResidentHint = c.ResidentBytes()
+					}
 				}
 			default: // load in flight; report as not yet loaded
 			}

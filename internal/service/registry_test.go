@@ -16,14 +16,14 @@ import (
 func TestRegistrySingleflight(t *testing.T) {
 	reg := NewRegistry(1, false)
 	var calls atomic.Int64
-	reg.Register("g", func(int) (*graph.CSR, error) {
+	reg.Register("g", func(int) (graph.Graph, error) {
 		calls.Add(1)
 		time.Sleep(50 * time.Millisecond) // widen the race window
 		return gen.Caveman(4, 6), nil
 	})
 
 	const clients = 16
-	got := make([]*graph.CSR, clients)
+	got := make([]graph.Graph, clients)
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -104,7 +104,7 @@ func TestRegistryDynamicLimit(t *testing.T) {
 func TestRegistryRetryAfterError(t *testing.T) {
 	reg := NewRegistry(1, false)
 	var calls atomic.Int64
-	reg.Register("flaky", func(int) (*graph.CSR, error) {
+	reg.Register("flaky", func(int) (graph.Graph, error) {
 		if calls.Add(1) == 1 {
 			return nil, fmt.Errorf("transient")
 		}

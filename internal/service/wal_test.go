@@ -29,7 +29,7 @@ import (
 // counter of how many times it ran.
 func walTestSource() (Source, *int) {
 	calls := new(int)
-	return func(procs int) (*graph.CSR, error) {
+	return func(procs int) (graph.Graph, error) {
 		*calls++
 		return graph.FromEdges(1, 8, []graph.Edge{
 			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3},

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end pack smoke: generate a graph, pack it to the compressed
+# memory-mapped .lgz format with lgc-pack -check, serve the text and the
+# packed file side by side, and require (a) bit-identical cluster answers,
+# (b) the lgz server reporting format/mapped_bytes in /v1/stats, and (c) a
+# measurably faster cold start on the packed file (the load_ms stat). Run
+# from the repository root; used by the CI "pack smoke" step.
+set -euo pipefail
+
+ADDR_ADJ=127.0.0.1:18110
+ADDR_LGZ=127.0.0.1:18111
+TMP=$(mktemp -d)
+trap 'kill $ADJ_PID $LGZ_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/lgc-gen" ./cmd/lgc-gen
+go build -o "$TMP/lgc-pack" ./cmd/lgc-pack
+go build -o "$TMP/lgc-serve" ./cmd/lgc-serve
+
+# Big enough that parsing the text format costs real time (~1.6M edges).
+"$TMP/lgc-gen" -gen 'randlocal:n=200000,deg=8' -out "$TMP/g.adj"
+
+# Pack and fully verify: -check re-opens the file, validates every checksum
+# and decodes every adjacency list.
+"$TMP/lgc-pack" -in "$TMP/g.adj" -out "$TMP/g.lgz" -check
+
+"$TMP/lgc-serve" -addr "$ADDR_ADJ" -graph g="$TMP/g.adj" -preload g &
+ADJ_PID=$!
+"$TMP/lgc-serve" -addr "$ADDR_LGZ" -graph g="$TMP/g.lgz" -preload g &
+LGZ_PID=$!
+
+for base in "http://$ADDR_ADJ" "http://$ADDR_LGZ"; do
+  for i in $(seq 1 100); do
+    curl -sf "$base/healthz" >/dev/null && break
+    sleep 0.1
+  done
+done
+
+# Same request against both representations must give byte-identical
+# clusterings: the .lgz decoder replays the exact heap-CSR edge order.
+req='{"graph":"g","seeds":[0,17,40001],"params":{"alpha":0.05,"epsilon":1e-6}}'
+shape='[.results[] | {seed, members, conductance, size}]'
+curl -sf "http://$ADDR_ADJ/v1/cluster" -d "$req" | jq -c "$shape" > "$TMP/adj.json"
+curl -sf "http://$ADDR_LGZ/v1/cluster" -d "$req" | jq -c "$shape" > "$TMP/lgz.json"
+diff "$TMP/adj.json" "$TMP/lgz.json"
+
+curl -sf "http://$ADDR_ADJ/v1/stats" | jq '.graphs[0]' > "$TMP/adj_info.json"
+curl -sf "http://$ADDR_LGZ/v1/stats" | jq '.graphs[0]' > "$TMP/lgz_info.json"
+
+jq -e '.format == "csr"' "$TMP/adj_info.json" >/dev/null
+jq -e '.format == "lgz" and .mapped_bytes > 0' "$TMP/lgz_info.json" >/dev/null
+
+# Cold start: opening the packed file must beat parsing the text format.
+ADJ_MS=$(jq '.load_ms' "$TMP/adj_info.json")
+LGZ_MS=$(jq '.load_ms' "$TMP/lgz_info.json")
+echo "pack smoke: load_ms adj=$ADJ_MS lgz=$LGZ_MS"
+if [ "$LGZ_MS" -ge "$ADJ_MS" ]; then
+  echo "pack smoke: packed load ($LGZ_MS ms) not faster than text parse ($ADJ_MS ms)" >&2
+  exit 1
+fi
+
+kill $ADJ_PID $LGZ_PID
+wait $ADJ_PID $LGZ_PID 2>/dev/null || true
+echo "pack smoke: OK"

@@ -17,6 +17,19 @@ import (
 // Build one with FromEdges, LoadFile, Generate, or StandIn.
 type Graph = graph.CSR
 
+// CompressedGraph is the compressed, memory-mapped CSR: a .lgz file opened
+// with OpenCompressed. Adjacency lists stay delta-gap varint encoded on
+// disk and are streamed through reusable decode buffers during traversal,
+// so graphs larger than RAM serve queries straight off the page cache.
+// Results are bit-identical to the heap CSR's.
+type CompressedGraph = graph.CCSR
+
+// GraphData is the read-only graph interface every algorithm accepts. Both
+// *Graph (heap CSR) and *CompressedGraph (memory-mapped .lgz) implement it;
+// a given call runs identically — same visit order, same floating-point
+// sums, same Stats — on either representation.
+type GraphData = graph.Graph
+
 // Edge is an undirected edge for FromEdges; orientation is irrelevant.
 type Edge = graph.Edge
 
@@ -79,7 +92,7 @@ type WorkspacePoolStats = workspace.PoolStats
 // be used with runs against graphs of the same vertex count (in practice:
 // against g); a mismatched pool is ignored by the algorithms rather than
 // corrupting state.
-func NewWorkspacePool(g *Graph) *WorkspacePool {
+func NewWorkspacePool(g GraphData) *WorkspacePool {
 	return workspace.NewPool(g.NumVertices())
 }
 
@@ -122,16 +135,33 @@ func FromEdges(procs, n int, edges []Edge) *Graph {
 	return graph.FromEdges(procs, n, edges)
 }
 
-// LoadFile loads a graph from path (.adj = Ligra AdjacencyGraph text,
-// .bin = binary, anything else = SNAP edge list).
+// LoadFile loads a heap-CSR graph from path (.adj = Ligra AdjacencyGraph
+// text, .bin = binary, anything else = SNAP edge list). It refuses .lgz
+// files — open those with Load or OpenCompressed.
 func LoadFile(procs int, path string) (*Graph, error) { return graph.LoadFile(procs, path) }
 
-// SaveFile writes a graph to path with the same extension dispatch as
-// LoadFile.
-func SaveFile(path string, g *Graph) error { return graph.SaveFile(path, g) }
+// Load loads a graph from path with extension dispatch like LoadFile, plus
+// .lgz: compressed files are memory-mapped (header-validated only, O(n)),
+// everything else is parsed onto the heap.
+func Load(procs int, path string) (GraphData, error) { return graph.Load(procs, path) }
+
+// OpenCompressed memory-maps a compressed .lgz graph. Open cost is O(n)
+// validation — the adjacency blocks fault in lazily under traversal. Close
+// the returned graph to unmap.
+func OpenCompressed(path string) (*CompressedGraph, error) { return graph.OpenCompressed(path) }
+
+// SaveFile writes a graph to path with the same extension dispatch as Load
+// (.lgz writes the compressed format).
+func SaveFile(path string, g GraphData) error { return graph.SaveFile(path, g) }
+
+// SaveCompressed writes g as a compressed .lgz file using procs workers
+// (<= 0 = all cores).
+func SaveCompressed(procs int, path string, g GraphData) error {
+	return graph.SaveCompressed(procs, path, g)
+}
 
 // WriteAdjacencyGraph writes g in Ligra's AdjacencyGraph text format.
-func WriteAdjacencyGraph(w io.Writer, g *Graph) error { return graph.WriteAdjacencyGraph(w, g) }
+func WriteAdjacencyGraph(w io.Writer, g GraphData) error { return graph.WriteAdjacencyGraph(w, g) }
 
 // Generate builds a graph from a named recipe (see internal/gen.Generate
 // for the recipe list: figure1, randlocal, grid3d, sbm, caveman, barbell,
@@ -200,7 +230,7 @@ func (o *NibbleOptions) runConfig() core.RunConfig {
 
 // Nibble runs the Nibble diffusion (§3.2) from seed and returns the
 // truncated random-walk vector for a sweep cut.
-func Nibble(g *Graph, seed uint32, opts NibbleOptions) (*Vector, Stats) {
+func Nibble(g GraphData, seed uint32, opts NibbleOptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.NibbleSeq(g, seed, opts.Epsilon, opts.T)
@@ -262,7 +292,7 @@ func (o *PRNibbleOptions) runConfig() core.RunConfig {
 
 // PRNibble runs the PageRank-Nibble diffusion (§3.3) from seed and returns
 // the approximate PageRank vector for a sweep cut.
-func PRNibble(g *Graph, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
+func PRNibble(g GraphData, seed uint32, opts PRNibbleOptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		if opts.PriorityQueue {
@@ -316,7 +346,7 @@ func (o *HKPROptions) runConfig() core.RunConfig {
 
 // HKPR runs the deterministic heat kernel PageRank diffusion (§3.4) from
 // seed and returns the e^-t-scaled approximation of the heat kernel vector.
-func HKPR(g *Graph, seed uint32, opts HKPROptions) (*Vector, Stats) {
+func HKPR(g GraphData, seed uint32, opts HKPROptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.HKPRSeq(g, seed, opts.T, opts.N, opts.Epsilon)
@@ -355,7 +385,7 @@ func (o *RandHKPROptions) defaults() {
 // returns the empirical distribution of walk endpoints. All three
 // implementations (sequential, parallel, contended) return bit-identical
 // vectors for the same Seed.
-func RandHKPR(g *Graph, seed uint32, opts RandHKPROptions) (*Vector, Stats) {
+func RandHKPR(g GraphData, seed uint32, opts RandHKPROptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.RandHKPRSeq(g, seed, opts.T, opts.K, opts.Walks, opts.Seed)
@@ -373,7 +403,7 @@ func RandHKPR(g *Graph, seed uint32, opts RandHKPROptions) (*Vector, Stats) {
 // ignored; an empty or out-of-range seed set panics.
 
 // NibbleFrom runs Nibble from a multi-vertex seed set.
-func NibbleFrom(g *Graph, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
+func NibbleFrom(g GraphData, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.NibbleSeqFrom(g, seeds, opts.Epsilon, opts.T)
@@ -382,7 +412,7 @@ func NibbleFrom(g *Graph, seeds []uint32, opts NibbleOptions) (*Vector, Stats) {
 }
 
 // PRNibbleFrom runs PR-Nibble from a multi-vertex seed set.
-func PRNibbleFrom(g *Graph, seeds []uint32, opts PRNibbleOptions) (*Vector, Stats) {
+func PRNibbleFrom(g GraphData, seeds []uint32, opts PRNibbleOptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.PRNibbleSeqFrom(g, seeds, opts.Alpha, opts.Epsilon, opts.Rule)
@@ -391,7 +421,7 @@ func PRNibbleFrom(g *Graph, seeds []uint32, opts PRNibbleOptions) (*Vector, Stat
 }
 
 // HKPRFrom runs HK-PR from a multi-vertex seed set.
-func HKPRFrom(g *Graph, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
+func HKPRFrom(g GraphData, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.HKPRSeqFrom(g, seeds, opts.T, opts.N, opts.Epsilon)
@@ -401,7 +431,7 @@ func HKPRFrom(g *Graph, seeds []uint32, opts HKPROptions) (*Vector, Stats) {
 
 // RandHKPRFrom runs rand-HK-PR from a multi-vertex seed set (each walk
 // starts at a uniformly drawn seed).
-func RandHKPRFrom(g *Graph, seeds []uint32, opts RandHKPROptions) (*Vector, Stats) {
+func RandHKPRFrom(g GraphData, seeds []uint32, opts RandHKPROptions) (*Vector, Stats) {
 	opts.defaults()
 	if opts.Sequential {
 		return core.RandHKPRSeqFrom(g, seeds, opts.T, opts.K, opts.Walks, opts.Seed)
@@ -429,7 +459,7 @@ type BatchUnit = core.BatchUnit
 // Nibble; the Sequential and Result fields are ignored (batches are always
 // parallel, and arenas are per-unit via BatchUnit.Result). vecs[i] and
 // stats[i] belong to units[i] and match an unbatched run bit for bit.
-func NibbleBatch(g *Graph, units []BatchUnit, opts NibbleOptions) (vecs []*Vector, stats []Stats) {
+func NibbleBatch(g GraphData, units []BatchUnit, opts NibbleOptions) (vecs []*Vector, stats []Stats) {
 	opts.defaults()
 	return core.NibbleBatch(g, units, opts.Epsilon, opts.T, core.BatchConfig{
 		Procs: opts.Procs, Frontier: opts.Frontier, Workspace: opts.Workspace, Cancel: opts.Cancel,
@@ -441,7 +471,7 @@ func NibbleBatch(g *Graph, units []BatchUnit, opts NibbleOptions) (vecs []*Vecto
 // Sequential, PriorityQueue, Result and Beta fields are ignored (the
 // β-fraction variant ranks vertices across one run's frontier and has no
 // per-lane analogue — batches always process the full frontier, β = 1).
-func PRNibbleBatch(g *Graph, units []BatchUnit, opts PRNibbleOptions) (vecs []*Vector, stats []Stats) {
+func PRNibbleBatch(g GraphData, units []BatchUnit, opts PRNibbleOptions) (vecs []*Vector, stats []Stats) {
 	opts.defaults()
 	return core.PRNibbleBatch(g, units, opts.Alpha, opts.Epsilon, opts.Rule, core.BatchConfig{
 		Procs: opts.Procs, Frontier: opts.Frontier, Workspace: opts.Workspace, Cancel: opts.Cancel,
@@ -459,7 +489,7 @@ type EvolvingSetResult = core.EvolvingSetResult
 // coupling that keeps the process alive). Unlike the four diffusions it
 // produces a cluster directly, without a sweep cut. Sequential and parallel
 // versions follow identical trajectories for the same Seed.
-func EvolvingSet(g *Graph, seed uint32, opts EvolvingSetOptions, sequential bool) (EvolvingSetResult, Stats) {
+func EvolvingSet(g GraphData, seed uint32, opts EvolvingSetOptions, sequential bool) (EvolvingSetResult, Stats) {
 	if sequential {
 		return core.EvolvingSetSeq(g, seed, opts)
 	}
@@ -485,7 +515,7 @@ type SweepOptions struct {
 
 // SweepCut rounds a diffusion vector into the minimum-conductance sweep
 // cluster (§3.1).
-func SweepCut(g *Graph, vec *Vector, opts SweepOptions) SweepResult {
+func SweepCut(g GraphData, vec *Vector, opts SweepOptions) SweepResult {
 	if opts.Sequential {
 		return core.SweepCutSeqInto(g, vec, opts.Result)
 	}
@@ -529,7 +559,7 @@ type ClusterOptions struct {
 
 // FindCluster runs a diffusion from seed and a sweep cut over the result —
 // the complete local clustering pipeline of the paper.
-func FindCluster(g *Graph, seed uint32, opts ClusterOptions) (Cluster, error) {
+func FindCluster(g GraphData, seed uint32, opts ClusterOptions) (Cluster, error) {
 	if opts.Workspace != nil {
 		if opts.Nibble.Workspace == nil {
 			opts.Nibble.Workspace = opts.Workspace
@@ -583,7 +613,7 @@ type NCPOptions = core.NCPOptions
 
 // ComputeNCP computes the network community profile of g (§4, Figure 12):
 // the best conductance found at each cluster size over many PR-Nibble runs.
-func ComputeNCP(g *Graph, opts NCPOptions) []NCPPoint { return core.NCP(g, opts) }
+func ComputeNCP(g GraphData, opts NCPOptions) []NCPPoint { return core.NCP(g, opts) }
 
 // NCPLowerEnvelope buckets NCP points into log-spaced size bins, keeping
 // the per-bin minimum — the curve the paper plots.
